@@ -1,0 +1,46 @@
+"""Ablation — sensitivity of Algorithm 1 to alpha and top-k.
+
+The paper fixes alpha = 0.5 and k = 3 (Sec 7.3 Setup); this bench shows the
+NQ/NC trade-off those values buy on a non-bipartite topology and that k > 1
+is what enables the trade-off at all.
+"""
+
+import pytest
+
+from repro.device import ring
+from repro.experiments.result import ExperimentResult
+from repro.graphs import alpha_optimal_suppression
+
+
+def run_ablation() -> ExperimentResult:
+    result = ExperimentResult(
+        "ablation-alpha",
+        "alpha / top-k sensitivity of alpha-optimal suppression (ring-7)",
+    )
+    topo = ring(7)  # odd ring: complete suppression impossible
+    for alpha in (0.0, 0.5, 2.0, 10.0):
+        for top_k in (1, 3, 5):
+            plan = alpha_optimal_suppression(topo, alpha=alpha, top_k=top_k)
+            result.rows.append(
+                {
+                    "alpha": alpha,
+                    "top_k": top_k,
+                    "nq": plan.nq,
+                    "nc": plan.nc,
+                    "objective": plan.objective(alpha),
+                }
+            )
+    return result
+
+
+def test_alpha_topk_ablation(benchmark, show):
+    result = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
+    show(result)
+    rows = {(r["alpha"], r["top_k"]): r for r in result.rows}
+    # At any alpha, more paths never hurt the objective.
+    for alpha in (0.0, 0.5, 2.0, 10.0):
+        assert (
+            rows[(alpha, 5)]["objective"] <= rows[(alpha, 1)]["objective"] + 1e-9
+        )
+    # Large alpha prefers smaller regions.
+    assert rows[(10.0, 5)]["nq"] <= rows[(0.0, 5)]["nq"]

@@ -1,0 +1,16 @@
+"""Fig. 16 — single-qubit suppression curves (Rx(pi/2) and I)."""
+
+from repro.experiments import fig16_single_qubit
+
+
+def test_fig16_single_qubit_suppression(benchmark, show):
+    result = benchmark.pedantic(
+        fig16_single_qubit.run, kwargs={"num_points": 9}, rounds=1, iterations=1
+    )
+    show(result)
+    summary = fig16_single_qubit.summarize(result)
+    # Paper ordering: pert < {dcg, optctrl} < gaussian (log-mean infidelity).
+    for gate in ("rx90", "id"):
+        assert summary[(gate, "pert")] < summary[(gate, "gaussian")]
+        assert summary[(gate, "dcg")] < summary[(gate, "gaussian")]
+        assert summary[(gate, "optctrl")] < summary[(gate, "gaussian")]

@@ -1,0 +1,19 @@
+"""Fig. 18 — suppression under ZZ crosstalk and leakage (DRAG)."""
+
+from repro.experiments import fig18_leakage
+
+
+def test_fig18_leakage(benchmark, show):
+    result = benchmark.pedantic(
+        fig18_leakage.run, kwargs={"num_points": 5}, rounds=1, iterations=1
+    )
+    show(result)
+    rows = {
+        (r["anharmonicity_mhz"], r["variant"], r["lambda_mhz"]): r["infidelity"]
+        for r in result.rows
+    }
+    for alpha in (-200.0, -300.0, -400.0):
+        # DRAG preserves ZZ suppression: pert+drag beats gaussian+drag.
+        assert rows[(alpha, "pert+drag", 2.0)] < rows[(alpha, "gaussian+drag", 2.0)]
+        # And fixes leakage: pert+drag beats bare pert at zero crosstalk.
+        assert rows[(alpha, "pert+drag", 0.0)] < rows[(alpha, "pert", 0.0)]

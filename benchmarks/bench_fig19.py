@@ -1,0 +1,23 @@
+"""Fig. 19 — two-qubit (Rzx) suppression on the 4-qubit chain."""
+
+from repro.experiments import fig19_two_qubit
+
+
+def test_fig19_two_qubit_suppression(benchmark, show):
+    result = benchmark.pedantic(
+        fig19_two_qubit.run,
+        kwargs={"num_points": 9, "grid_points": 4},
+        rounds=1,
+        iterations=1,
+    )
+    show(result)
+    at_1mhz = {
+        r["method"]: r["infidelity"]
+        for r in result.rows
+        if r["panel"] == "a:equal" and r["lambda12_mhz"] == 1.0
+    }
+    assert at_1mhz["pert"] < at_1mhz["gaussian"] / 100.0
+    assert at_1mhz["optctrl"] < at_1mhz["gaussian"] / 10.0
+    # Panel (b): suppression holds across asymmetric strength pairs.
+    grid_rows = [r for r in result.rows if r["panel"] == "b:grid"]
+    assert max(r["infidelity"] for r in grid_rows) < 1e-3

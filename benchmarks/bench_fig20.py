@@ -1,0 +1,31 @@
+"""Fig. 20 — overall fidelity improvements (the headline result).
+
+Paper claims: up to 81x (11x on average) improvement over Gau+ParSched;
+>0.9 fidelity on most benchmarks; similar results for OptCtrl and Pert.
+"""
+
+import numpy as np
+
+from repro.experiments import fig20_overall
+
+
+def test_fig20_overall_improvements(benchmark, show):
+    result = benchmark.pedantic(fig20_overall.run, rounds=1, iterations=1)
+    show(result)
+    best, mean = fig20_overall.max_and_mean_improvement(result)
+    show(
+        type(result)(
+            "fig20-headline",
+            "improvement summary",
+            rows=[{"max_improvement": best, "mean_improvement": mean}],
+        )
+    )
+    # Shape claims (paper: 81x max / 11x mean on the full 4-12 sweep).
+    assert best > 3.0
+    assert mean > 1.5
+    # Our configs reach > 0.9 fidelity on most benchmarks.
+    ours = np.array(result.column("pert+zzx"))
+    assert np.mean(ours > 0.9) >= 0.5
+    # Pulse-method insensitivity: OptCtrl and Pert land close together.
+    octl = np.array(result.column("optctrl+zzx"))
+    assert np.mean(np.abs(octl - ours)) < 0.12

@@ -1,0 +1,19 @@
+"""Fig. 21 — co-optimization vs pulses-only and scheduling-only."""
+
+from repro.experiments import fig21_coopt
+
+
+def test_fig21_co_optimization_synergy(benchmark, show):
+    result = benchmark.pedantic(fig21_coopt.run, rounds=1, iterations=1)
+    show(result)
+    # Synergy: the co-optimized config is never materially worse than
+    # either part alone, and strictly better on average.
+    import numpy as np
+
+    full = np.array(result.column("pert+zzx"))
+    pulses = np.array(result.column("pert+par"))
+    sched = np.array(result.column("gau+zzx"))
+    assert np.all(full >= pulses - 0.05)
+    assert np.all(full >= sched - 0.05)
+    assert full.mean() > pulses.mean()
+    assert full.mean() > sched.mean()

@@ -1,0 +1,24 @@
+"""Fig. 22 — contribution split between pulse optimization and scheduling.
+
+Paper averages: pulses 43.7%, scheduling 56.3%.
+"""
+
+import numpy as np
+
+from repro.experiments import fig22_breakdown
+
+
+def test_fig22_contribution_breakdown(benchmark, show):
+    result = benchmark.pedantic(fig22_breakdown.run, rounds=1, iterations=1)
+    show(result)
+    pulse_pct, sched_pct = fig22_breakdown.mean_contributions(result)
+    show(
+        type(result)(
+            "fig22-mean",
+            "mean contributions",
+            rows=[{"pulse_pct": pulse_pct, "scheduling_pct": sched_pct}],
+        )
+    )
+    # Both components contribute meaningfully (paper: roughly 44/56).
+    assert 10.0 < pulse_pct < 90.0
+    assert np.isclose(pulse_pct + sched_pct, 100.0)

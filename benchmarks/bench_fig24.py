@@ -1,0 +1,15 @@
+"""Fig. 24 — relative execution time ZZXSched / ParSched (< 2x typical)."""
+
+import numpy as np
+
+from repro.experiments import fig24_exec_time
+
+
+def test_fig24_execution_time(benchmark, show):
+    result = benchmark.pedantic(fig24_exec_time.run, rounds=1, iterations=1)
+    show(result)
+    ratios = np.array(result.column("relative"))
+    assert np.all(ratios >= 1.0)
+    # "typically increases the execution time by < 2x"
+    assert np.median(ratios) < 2.0
+    assert np.all(ratios < 3.0)

@@ -1,0 +1,18 @@
+"""Fig. 25 — #couplings to turn off on tunable-coupler devices.
+
+Paper claim: a 10-20x reduction over the baseline, slow growth with size.
+"""
+
+import numpy as np
+
+from repro.experiments import fig25_tunable
+
+
+def test_fig25_couplings_to_turn_off(benchmark, show):
+    result = benchmark.pedantic(fig25_tunable.run, rounds=1, iterations=1)
+    show(result)
+    imps = np.array(result.column("improvement"))
+    assert np.all(imps > 2.0)
+    assert np.median(imps) > 4.0
+    # Ours stays small in absolute terms.
+    assert np.median(result.column("zzxsched")) < 4.0

@@ -1,0 +1,17 @@
+"""Fig. 27 / Sec 7.4 — Ramsey effective-ZZ measurement.
+
+Paper claim: effective ZZ drops from ~200 kHz to < 11 kHz.
+"""
+
+from repro.experiments import ramsey
+
+
+def test_fig27_ramsey_effective_zz(benchmark, show):
+    result = benchmark.pedantic(ramsey.run, rounds=1, iterations=1)
+    show(result)
+    bare = [r["effective_zz_khz"] for r in result.rows if r["circuit"] == "A"]
+    compiled = [
+        r["effective_zz_khz"] for r in result.rows if r["circuit"] in ("B", "C")
+    ]
+    assert min(bare) > 150.0  # ~200 kHz per active coupling
+    assert max(compiled) < 11.0  # the paper's threshold

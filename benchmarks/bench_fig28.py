@@ -1,0 +1,16 @@
+"""Fig. 28 — optimized pulse waveforms are AWG-reasonable."""
+
+from repro.experiments import fig28_waveforms
+
+
+def test_fig28_waveforms(benchmark, show):
+    result = benchmark.pedantic(fig28_waveforms.run, rounds=1, iterations=1)
+    show(result)
+    for row in result.rows:
+        # Amplitudes within arbitrary-waveform-generator range (paper: tens
+        # of MHz) and the documented durations.
+        assert row["max_amp_x_mhz"] < 500.0
+        if row["method"] == "dcg":
+            assert row["duration_ns"] == 120.0
+        else:
+            assert row["duration_ns"] == 20.0

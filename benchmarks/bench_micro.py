@@ -1,0 +1,49 @@
+"""Microbenchmarks of the performance-critical substrate pieces."""
+
+import numpy as np
+
+from repro.circuits import compile_circuit
+from repro.circuits.library import qaoa
+from repro.device import grid, make_device
+from repro.graphs import alpha_optimal_suppression
+from repro.pulses import build_library
+from repro.qmath.states import zero_state
+from repro.runtime import execute_statevector
+from repro.scheduling import zzx_schedule
+from repro.sim.trotter import LayerDrive, TrotterEngine
+
+
+def test_trotter_layer_12q(benchmark):
+    """One 20 ns layer on the full 3x4 grid (the executor's hot path)."""
+    device = make_device(grid(3, 4), seed=7)
+    lib = build_library("pert")
+    engine = TrotterEngine(12, device.couplings(), dt=0.25)
+    ops = lib["rx90"].step_unitaries()
+    drives = [LayerDrive((q,), ops) for q in (0, 2, 5, 7, 8, 10)]
+    psi = zero_state(12)
+
+    benchmark(lambda: engine.evolve_layer(psi.copy(), 20.0, drives))
+
+
+def test_alpha_optimal_suppression_grid34(benchmark):
+    """Algorithm 1 on the paper's device with a gate constraint."""
+    topo = grid(3, 4)
+    benchmark(lambda: alpha_optimal_suppression(topo, gate_qubits=(5, 6)))
+
+
+def test_zzx_scheduling_qaoa6(benchmark):
+    """Algorithm 2 end to end on QAOA-6 (compile excluded)."""
+    topo = grid(3, 4)
+    circuit = compile_circuit(qaoa(6, seed=1), topo).circuit
+    benchmark(lambda: zzx_schedule(circuit, topo))
+
+
+def test_full_simulation_ising4(benchmark):
+    """Complete execute_statevector run of a small benchmark."""
+    device = make_device(grid(2, 3), seed=7)
+    lib = build_library("pert")
+    circuit = compile_circuit(qaoa(4, seed=1), device.topology).circuit
+    schedule = zzx_schedule(circuit, device.topology)
+
+    result = benchmark(lambda: execute_statevector(schedule, device, lib))
+    assert result.fidelity > 0.9

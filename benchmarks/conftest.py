@@ -1,0 +1,23 @@
+"""Benchmark harness configuration.
+
+Each bench regenerates one paper table/figure and prints the same rows the
+paper reports.  ``REPRO_FULL=1`` switches to the paper's complete 4-12 qubit
+sweep (minutes to hours); the default runs reduced sizes suitable for CI.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture()
+def show():
+    """Print experiment tables even under pytest output capture."""
+
+    def _show(result):
+        import sys
+
+        text = result.render() if hasattr(result, "render") else str(result)
+        sys.stderr.write("\n" + text + "\n")
+
+    return _show

@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Quickstart: suppress ZZ crosstalk for a QAOA circuit on a 3x4 grid.
+
+Compares the state-of-the-art baseline (Gaussian pulses + parallelism-
+maximizing scheduling) against the paper's co-optimization (Pert pulses +
+ZZXSched) at the Hamiltonian level.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.analysis import render_table
+from repro.circuits import compile_circuit
+from repro.circuits.library import BENCHMARKS
+from repro.device import grid, make_device
+from repro.pulses import build_library
+from repro.runtime import execute_statevector
+from repro.scheduling import par_schedule, zzx_schedule
+
+
+def main() -> None:
+    # The paper's evaluation device: a 3x4 grid with per-coupling ZZ
+    # crosstalk sampled from N(200 kHz, 50 kHz).
+    device = make_device(grid(3, 4), seed=7)
+
+    # Compile a 6-qubit QAOA MaxCut circuit to the IBMQ native gate set,
+    # routed onto the grid.
+    circuit = BENCHMARKS["QAOA"](6)
+    compiled = compile_circuit(circuit, device.topology)
+    print(
+        f"compiled QAOA-6: {len(compiled.circuit)} native gates "
+        f"({compiled.circuit.count('rzx90')} two-qubit)"
+    )
+
+    # Baseline: Gaussian pulses, ASAP scheduling.
+    baseline = execute_statevector(
+        par_schedule(compiled.circuit), device, build_library("gaussian")
+    )
+    # Ours: ZZ-suppressing Pert pulses + ZZ-aware scheduling.
+    ours = execute_statevector(
+        zzx_schedule(compiled.circuit, device.topology),
+        device,
+        build_library("pert"),
+    )
+
+    rows = [
+        {
+            "config": "Gau+ParSched (baseline)",
+            "fidelity": baseline.fidelity,
+            "layers": baseline.num_layers,
+            "time_ns": baseline.execution_time_ns,
+        },
+        {
+            "config": "Pert+ZZXSched (ours)",
+            "fidelity": ours.fidelity,
+            "layers": ours.num_layers,
+            "time_ns": ours.execution_time_ns,
+        },
+    ]
+    print(render_table(rows))
+    print(f"\nfidelity improvement: {ours.fidelity / baseline.fidelity:.1f}x")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,27 @@
+#!/usr/bin/env python3
+"""Rebuild the committed pulse cache (full optimization budget).
+
+Writes ``src/repro/pulses/data/pulse_cache.json``.  Run this after changing
+any optimizer defaults; tests and benchmarks load pulses from the cache so
+they stay fast and deterministic.
+"""
+
+from pathlib import Path
+import sys
+import time
+
+from repro.pulses.library import rebuild_cache
+
+ROOT = Path(__file__).resolve().parent.parent
+CACHE = ROOT / "src" / "repro" / "pulses" / "data" / "pulse_cache.json"
+
+
+def main() -> int:
+    start = time.time()
+    cache = rebuild_cache(CACHE)
+    print(f"wrote {len(cache)} pulses to {CACHE} in {time.time() - start:.0f}s")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,13 @@
+"""Analysis utilities: Ramsey fitting and table rendering."""
+
+from repro.analysis.fitting import (
+    effective_zz_khz,
+    fit_oscillation_frequency,
+)
+from repro.analysis.tables import render_table
+
+__all__ = [
+    "effective_zz_khz",
+    "fit_oscillation_frequency",
+    "render_table",
+]

@@ -1,0 +1,8 @@
+"""Device characterization: measuring ZZ crosstalk maps via Ramsey pairs."""
+
+from repro.characterization.zz_map import (
+    measure_coupling_zz,
+    measure_device_zz_map,
+)
+
+__all__ = ["measure_coupling_zz", "measure_device_zz_map"]

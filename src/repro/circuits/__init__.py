@@ -1,0 +1,39 @@
+"""Circuit IR, transpilation, routing, and benchmark circuits."""
+
+from repro.circuits.gates import (
+    Gate,
+    NATIVE_GATES,
+    PHYSICAL_NATIVE,
+    VIRTUAL_NATIVE,
+    gate_matrix,
+    known_gate,
+)
+from repro.circuits.circuit import Circuit
+from repro.circuits.dag import SchedulingFrontier
+from repro.circuits.transpile import decompose_1q, decompose_cx, transpile
+from repro.circuits.layout import snake_layout, trivial_layout
+from repro.circuits.routing import RoutedCircuit, route
+from repro.circuits.compile import CompiledCircuit, compile_circuit
+from repro.circuits.library import BENCHMARKS, PAPER_SIZES
+
+__all__ = [
+    "Gate",
+    "NATIVE_GATES",
+    "PHYSICAL_NATIVE",
+    "VIRTUAL_NATIVE",
+    "gate_matrix",
+    "known_gate",
+    "Circuit",
+    "SchedulingFrontier",
+    "decompose_1q",
+    "decompose_cx",
+    "transpile",
+    "snake_layout",
+    "trivial_layout",
+    "RoutedCircuit",
+    "route",
+    "CompiledCircuit",
+    "compile_circuit",
+    "BENCHMARKS",
+    "PAPER_SIZES",
+]

@@ -1,0 +1,167 @@
+"""Circuit container with a fluent builder interface."""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+import numpy as np
+
+from repro.circuits.gates import Gate, gate_matrix
+from repro.qmath.states import zero_state
+from repro.sim.statevector import apply_gate
+
+
+class Circuit:
+    """An ordered list of gates on ``num_qubits`` qubits."""
+
+    def __init__(self, num_qubits: int, gates: Iterable[Gate] = ()):
+        if num_qubits < 1:
+            raise ValueError("num_qubits must be >= 1")
+        self.num_qubits = num_qubits
+        self.gates: list[Gate] = []
+        for gate in gates:
+            self.append(gate)
+
+    # -- construction -----------------------------------------------------
+
+    def append(self, gate: Gate) -> "Circuit":
+        bad = [q for q in gate.qubits if q < 0 or q >= self.num_qubits]
+        if bad:
+            raise ValueError(f"gate {gate} addresses missing qubits {bad}")
+        self.gates.append(gate)
+        return self
+
+    def add(self, name: str, *qubits: int, params: Iterable[float] = ()) -> "Circuit":
+        return self.append(Gate(name, tuple(qubits), tuple(params)))
+
+    def h(self, q: int) -> "Circuit":
+        return self.add("h", q)
+
+    def x(self, q: int) -> "Circuit":
+        return self.add("x", q)
+
+    def y(self, q: int) -> "Circuit":
+        return self.add("y", q)
+
+    def z(self, q: int) -> "Circuit":
+        return self.add("z", q)
+
+    def s(self, q: int) -> "Circuit":
+        return self.add("s", q)
+
+    def t(self, q: int) -> "Circuit":
+        return self.add("t", q)
+
+    def rx(self, q: int, theta: float) -> "Circuit":
+        return self.add("rx", q, params=(theta,))
+
+    def ry(self, q: int, theta: float) -> "Circuit":
+        return self.add("ry", q, params=(theta,))
+
+    def rz(self, q: int, theta: float) -> "Circuit":
+        return self.add("rz", q, params=(theta,))
+
+    def u3(self, q: int, theta: float, phi: float, lam: float) -> "Circuit":
+        return self.add("u3", q, params=(theta, phi, lam))
+
+    def cx(self, control: int, target: int) -> "Circuit":
+        return self.add("cx", control, target)
+
+    def cz(self, a: int, b: int) -> "Circuit":
+        return self.add("cz", a, b)
+
+    def cp(self, a: int, b: int, theta: float) -> "Circuit":
+        return self.add("cp", a, b, params=(theta,))
+
+    def rzz(self, a: int, b: int, theta: float) -> "Circuit":
+        return self.add("rzz", a, b, params=(theta,))
+
+    def swap(self, a: int, b: int) -> "Circuit":
+        return self.add("swap", a, b)
+
+    def rx90(self, q: int) -> "Circuit":
+        return self.add("rx90", q)
+
+    def rzx90(self, control: int, target: int) -> "Circuit":
+        return self.add("rzx90", control, target)
+
+    def identity(self, q: int) -> "Circuit":
+        return self.add("id", q)
+
+    # -- inspection --------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.gates)
+
+    def __iter__(self) -> Iterator[Gate]:
+        return iter(self.gates)
+
+    def count(self, name: str) -> int:
+        return sum(1 for g in self.gates if g.name == name)
+
+    def two_qubit_gates(self) -> list[Gate]:
+        return [g for g in self.gates if g.num_qubits == 2]
+
+    def depth(self) -> int:
+        """Longest qubit-dependency chain (virtual gates count 0)."""
+        level = [0] * self.num_qubits
+        for gate in self.gates:
+            start = max(level[q] for q in gate.qubits)
+            cost = 0 if gate.is_virtual else 1
+            for q in gate.qubits:
+                level[q] = start + cost
+        return max(level, default=0)
+
+    # -- semantics ---------------------------------------------------------
+
+    def apply(self, state: np.ndarray) -> np.ndarray:
+        """Apply the ideal circuit to ``state``."""
+        psi = np.asarray(state, dtype=complex)
+        for gate in self.gates:
+            psi = apply_gate(psi, gate.matrix(), gate.qubits, self.num_qubits)
+        return psi
+
+    def output_state(self) -> np.ndarray:
+        """Ideal output from ``|0...0>``."""
+        return self.apply(zero_state(self.num_qubits))
+
+    def unitary(self) -> np.ndarray:
+        """Full circuit unitary (small circuits only)."""
+        dim = 2**self.num_qubits
+        total = np.eye(dim, dtype=complex)
+        for gate in self.gates:
+            from repro.qmath.tensor import embed_operator
+
+            total = embed_operator(gate.matrix(), gate.qubits, self.num_qubits) @ total
+        return total
+
+    def inverse(self) -> "Circuit":
+        """Exact inverse circuit (dagger of every gate, reversed)."""
+        inv = Circuit(self.num_qubits)
+        for gate in reversed(self.gates):
+            inv.append(_dagger(gate))
+        return inv
+
+    def copy(self) -> "Circuit":
+        return Circuit(self.num_qubits, list(self.gates))
+
+    def __repr__(self) -> str:
+        return f"Circuit(qubits={self.num_qubits}, gates={len(self.gates)})"
+
+
+_SELF_INVERSE = {"id", "x", "y", "z", "h", "cx", "cz", "swap"}
+_NEGATE_PARAM = {"rx", "ry", "rz", "cp", "rzz"}
+_DAGGER_NAME = {"s": "sdg", "sdg": "s", "t": "tdg", "tdg": "t"}
+
+
+def _dagger(gate: Gate) -> Gate:
+    if gate.name in _SELF_INVERSE:
+        return gate
+    if gate.name in _NEGATE_PARAM:
+        return Gate(gate.name, gate.qubits, tuple(-p for p in gate.params))
+    if gate.name in _DAGGER_NAME:
+        return Gate(_DAGGER_NAME[gate.name], gate.qubits)
+    if gate.name == "u3":
+        theta, phi, lam = gate.params
+        return Gate("u3", gate.qubits, (-theta, -lam, -phi))
+    raise ValueError(f"no inverse rule for gate {gate.name!r}")

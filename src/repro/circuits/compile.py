@@ -1,0 +1,45 @@
+"""End-to-end compilation: layout -> routing -> native transpilation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.circuits.circuit import Circuit
+from repro.circuits.layout import snake_layout, trivial_layout
+from repro.circuits.routing import RoutedCircuit, route
+from repro.circuits.transpile import transpile
+from repro.device.topology import Topology
+
+LAYOUTS = ("snake", "trivial")
+
+
+@dataclass
+class CompiledCircuit:
+    """A device-executable native circuit plus layout bookkeeping."""
+
+    circuit: Circuit
+    initial_layout: dict[int, int]
+    final_layout: dict[int, int]
+    source_num_qubits: int
+
+
+def compile_circuit(
+    circuit: Circuit,
+    topology: Topology,
+    layout: str = "snake",
+) -> CompiledCircuit:
+    """Compile ``circuit`` for ``topology`` into the native gate set."""
+    if layout == "snake":
+        placement = snake_layout(circuit.num_qubits, topology)
+    elif layout == "trivial":
+        placement = trivial_layout(circuit.num_qubits, topology)
+    else:
+        raise ValueError(f"unknown layout {layout!r}; expected one of {LAYOUTS}")
+    routed: RoutedCircuit = route(circuit, topology, placement)
+    native = transpile(routed.circuit)
+    return CompiledCircuit(
+        circuit=native,
+        initial_layout=routed.initial_layout,
+        final_layout=routed.final_layout,
+        source_num_qubits=circuit.num_qubits,
+    )

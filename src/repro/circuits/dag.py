@@ -1,0 +1,77 @@
+"""Scheduling frontier: the schedulable-gate-set iterator of Section 6.
+
+A gate is *schedulable* when all of its predecessors (earlier gates sharing
+a qubit) have been scheduled (footnote 2 of the paper).  The frontier keeps
+one FIFO per qubit; a gate is schedulable iff it heads the queue of every
+qubit it acts on.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Iterable
+
+from repro.circuits.circuit import Circuit
+from repro.circuits.gates import Gate
+
+
+class SchedulingFrontier:
+    """Incremental schedulable-set computation over a gate list."""
+
+    def __init__(self, circuit: Circuit):
+        self.gates: list[Gate] = list(circuit.gates)
+        self.num_qubits = circuit.num_qubits
+        self._queues: list[deque[int]] = [deque() for _ in range(self.num_qubits)]
+        for index, gate in enumerate(self.gates):
+            for q in gate.qubits:
+                self._queues[q].append(index)
+        self._remaining = len(self.gates)
+
+    @property
+    def exhausted(self) -> bool:
+        return self._remaining == 0
+
+    def schedulable(self) -> list[int]:
+        """Indices of currently schedulable gates, in circuit order."""
+        ready: list[int] = []
+        seen: set[int] = set()
+        for queue in self._queues:
+            if not queue:
+                continue
+            index = queue[0]
+            if index in seen:
+                continue
+            seen.add(index)
+            gate = self.gates[index]
+            if all(self._queues[q][0] == index for q in gate.qubits):
+                ready.append(index)
+        return sorted(ready)
+
+    def pop(self, indices: Iterable[int]) -> list[Gate]:
+        """Mark gates as scheduled; they must currently be schedulable."""
+        popped: list[Gate] = []
+        for index in sorted(indices):
+            gate = self.gates[index]
+            for q in gate.qubits:
+                if not self._queues[q] or self._queues[q][0] != index:
+                    raise ValueError(f"gate #{index} ({gate}) is not schedulable")
+            for q in gate.qubits:
+                self._queues[q].popleft()
+            popped.append(gate)
+            self._remaining -= 1
+        return popped
+
+    def pop_virtual(self) -> list[Gate]:
+        """Flush all schedulable virtual (rz) gates, repeatedly.
+
+        Virtual gates take zero time, so any run of them can be absorbed
+        before the next physical layer.
+        """
+        flushed: list[Gate] = []
+        while True:
+            virtual = [
+                i for i in self.schedulable() if self.gates[i].is_virtual
+            ]
+            if not virtual:
+                return flushed
+            flushed.extend(self.pop(virtual))

@@ -1,0 +1,53 @@
+"""Initial layout: logical-to-physical qubit placement."""
+
+from __future__ import annotations
+
+from repro.device.topology import Topology
+
+
+def trivial_layout(num_logical: int, topology: Topology) -> dict[int, int]:
+    """Logical qubit i on physical qubit i."""
+    if num_logical > topology.num_qubits:
+        raise ValueError(
+            f"circuit needs {num_logical} qubits, device has {topology.num_qubits}"
+        )
+    return {i: i for i in range(num_logical)}
+
+
+def snake_layout(num_logical: int, topology: Topology) -> dict[int, int]:
+    """Place logical qubits along a long path of the device.
+
+    A boustrophedon ("snake") path keeps logically adjacent qubits
+    physically adjacent, which suits the nearest-neighbor-heavy benchmark
+    circuits (QFT, Ising chains).  Built greedily: walk a DFS-longest path
+    from a minimum-degree corner.
+    """
+    if num_logical > topology.num_qubits:
+        raise ValueError(
+            f"circuit needs {num_logical} qubits, device has {topology.num_qubits}"
+        )
+    graph = topology.graph
+    start = min(graph.nodes, key=lambda q: (graph.degree(q), q))
+    path = [start]
+    visited = {start}
+    current = start
+    while len(path) < num_logical:
+        candidates = [n for n in sorted(graph.neighbors(current)) if n not in visited]
+        if not candidates:
+            # Dead end: jump to the unvisited qubit closest to the path tail.
+            remaining = [q for q in sorted(graph.nodes) if q not in visited]
+            candidates = [
+                min(remaining, key=lambda q: topology.distance(current, q))
+            ]
+        # Prefer neighbors of low remaining degree (hug the boundary).
+        nxt = min(
+            candidates,
+            key=lambda q: (
+                sum(1 for m in graph.neighbors(q) if m not in visited),
+                q,
+            ),
+        )
+        path.append(nxt)
+        visited.add(nxt)
+        current = nxt
+    return {i: q for i, q in enumerate(path)}

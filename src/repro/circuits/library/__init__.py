@@ -1,0 +1,44 @@
+"""The paper's benchmark circuits (Sec 7.3): HS, QFT, QPE, QAOA, Ising, GRC,
+plus QV (Fig. 25)."""
+
+from repro.circuits.library.hidden_shift import hidden_shift
+from repro.circuits.library.qft import qft
+from repro.circuits.library.qpe import qpe
+from repro.circuits.library.qaoa import qaoa
+from repro.circuits.library.ising import ising
+from repro.circuits.library.grc import google_random_circuit
+from repro.circuits.library.qv import quantum_volume
+
+#: name -> builder(num_qubits, seed) used by the evaluation harness.
+BENCHMARKS = {
+    "HS": lambda n, seed=0: hidden_shift(n, seed=seed),
+    "QFT": lambda n, seed=0: qft(n),
+    "QPE": lambda n, seed=0: qpe(n),
+    "QAOA": lambda n, seed=0: qaoa(n, seed=seed),
+    "Ising": lambda n, seed=0: ising(n),
+    "GRC": lambda n, seed=0: google_random_circuit(n, seed=seed),
+    "QV": lambda n, seed=0: quantum_volume(n, seed=seed),
+}
+
+#: The qubit counts evaluated per benchmark in Fig. 20 of the paper.
+PAPER_SIZES = {
+    "HS": (4, 6, 12),
+    "QFT": (4, 6, 9),
+    "QPE": (4, 6, 9),
+    "QAOA": (4, 6, 9, 12),
+    "Ising": (4, 6, 9, 12),
+    "GRC": (4, 6, 9, 12),
+    "QV": (4, 6, 9, 12),
+}
+
+__all__ = [
+    "BENCHMARKS",
+    "PAPER_SIZES",
+    "hidden_shift",
+    "qft",
+    "qpe",
+    "qaoa",
+    "ising",
+    "google_random_circuit",
+    "quantum_volume",
+]

@@ -1,0 +1,45 @@
+"""Google Random Circuits benchmark (Arute et al. [4]).
+
+Supremacy-style layers: a random single-qubit gate from
+{sqrt(X), sqrt(Y), sqrt(W)} on every qubit, then CZ entanglers on an
+alternating nearest-neighbor pattern along a line ordering.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.circuits.circuit import Circuit
+
+DEFAULT_DEPTH = 8
+_SQRT_GATES = ("sx", "sy", "sw")
+
+
+def _append_sqrt_gate(circuit: Circuit, q: int, which: str) -> None:
+    if which == "sx":
+        circuit.rx(q, np.pi / 2.0)
+    elif which == "sy":
+        circuit.ry(q, np.pi / 2.0)
+    else:  # sqrt(W), W = (X + Y)/sqrt(2)
+        circuit.u3(q, np.pi / 2.0, -3.0 * np.pi / 4.0, 3.0 * np.pi / 4.0)
+
+
+def google_random_circuit(
+    num_qubits: int, depth: int = DEFAULT_DEPTH, seed: int = 0
+) -> Circuit:
+    """Depth-``depth`` random circuit; no gate repeats on a qubit twice."""
+    if num_qubits < 2:
+        raise ValueError("GRC needs at least 2 qubits")
+    rng = np.random.default_rng(seed)
+    circuit = Circuit(num_qubits)
+    last_choice = [-1] * num_qubits
+    for layer in range(depth):
+        for q in range(num_qubits):
+            options = [i for i in range(3) if i != last_choice[q]]
+            choice = int(rng.choice(options))
+            last_choice[q] = choice
+            _append_sqrt_gate(circuit, q, _SQRT_GATES[choice])
+        start = layer % 2
+        for q in range(start, num_qubits - 1, 2):
+            circuit.cz(q, q + 1)
+    return circuit

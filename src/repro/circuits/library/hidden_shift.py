@@ -1,0 +1,55 @@
+"""Hidden Shift benchmark (Childs & van Dam [13]).
+
+Standard construction for Maiorana-McFarland bent functions
+``f(x) = SUM_i x_{2i} x_{2i+1}``: the circuit
+
+    H^n . O_{f(x+s)} . H^n . O_{f~} . H^n
+
+maps ``|0^n>`` to ``|s>``, revealing the hidden shift ``s``.  The oracles
+are realized with CZ gates between paired qubits, with X conjugation on the
+shifted bits.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.circuits.circuit import Circuit
+
+
+def hidden_shift(num_qubits: int, seed: int = 0, shift: tuple[int, ...] | None = None) -> Circuit:
+    """Hidden-shift circuit on an even number of qubits."""
+    if num_qubits < 2 or num_qubits % 2 != 0:
+        raise ValueError("hidden shift needs an even number of qubits >= 2")
+    if shift is None:
+        rng = np.random.default_rng(seed)
+        shift = tuple(int(b) for b in rng.integers(0, 2, num_qubits))
+    if len(shift) != num_qubits or any(b not in (0, 1) for b in shift):
+        raise ValueError(f"invalid shift {shift}")
+
+    circuit = Circuit(num_qubits)
+    for q in range(num_qubits):
+        circuit.h(q)
+    # Shifted oracle O_{f(x+s)}.
+    for q, bit in enumerate(shift):
+        if bit:
+            circuit.x(q)
+    for i in range(0, num_qubits, 2):
+        circuit.cz(i, i + 1)
+    for q, bit in enumerate(shift):
+        if bit:
+            circuit.x(q)
+    for q in range(num_qubits):
+        circuit.h(q)
+    # Dual oracle (the MM bent function is self-dual).
+    for i in range(0, num_qubits, 2):
+        circuit.cz(i, i + 1)
+    for q in range(num_qubits):
+        circuit.h(q)
+    return circuit
+
+
+def hidden_shift_answer(circuit_seed: int, num_qubits: int) -> tuple[int, ...]:
+    """The shift a noiseless run reveals, for output-state checks."""
+    rng = np.random.default_rng(circuit_seed)
+    return tuple(int(b) for b in rng.integers(0, 2, num_qubits))

@@ -1,0 +1,34 @@
+"""Transverse-field Ising model simulation benchmark (Barends et al. [7]).
+
+Trotterized evolution of a 1-D TFIM chain: alternating ``ZZ`` bond layers
+(even bonds, then odd bonds) and transverse ``Rx`` layers.
+"""
+
+from __future__ import annotations
+
+from repro.circuits.circuit import Circuit
+
+DEFAULT_STEPS = 2
+DEFAULT_J_DT = 0.5
+DEFAULT_H_DT = 0.4
+
+
+def ising(
+    num_qubits: int,
+    steps: int = DEFAULT_STEPS,
+    j_dt: float = DEFAULT_J_DT,
+    h_dt: float = DEFAULT_H_DT,
+) -> Circuit:
+    """``steps`` Trotter steps of TFIM dynamics on a chain."""
+    if num_qubits < 2:
+        raise ValueError("Ising chain needs at least 2 qubits")
+    circuit = Circuit(num_qubits)
+    for q in range(num_qubits):
+        circuit.h(q)
+    for _ in range(steps):
+        for start in (0, 1):  # even bonds then odd bonds
+            for q in range(start, num_qubits - 1, 2):
+                circuit.rzz(q, q + 1, 2.0 * j_dt)
+        for q in range(num_qubits):
+            circuit.rx(q, 2.0 * h_dt)
+    return circuit

@@ -1,0 +1,47 @@
+"""QAOA MaxCut benchmark (Farhi et al. [20]).
+
+Depth-1 QAOA on a random Erdos-Renyi graph: Hadamard wall, one ``ZZ`` cost
+layer per edge, one transverse mixing layer.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+
+from repro.circuits.circuit import Circuit
+
+DEFAULT_GAMMA = 0.7
+DEFAULT_BETA = 0.4
+
+
+def qaoa_graph(num_qubits: int, seed: int = 0) -> nx.Graph:
+    """A connected random problem graph with edge probability 0.5."""
+    rng = np.random.default_rng(seed)
+    while True:
+        graph = nx.gnp_random_graph(num_qubits, 0.5, seed=int(rng.integers(1 << 31)))
+        if num_qubits == 1 or nx.is_connected(graph):
+            return graph
+
+
+def qaoa(
+    num_qubits: int,
+    p: int = 1,
+    seed: int = 0,
+    gamma: float = DEFAULT_GAMMA,
+    beta: float = DEFAULT_BETA,
+) -> Circuit:
+    """p-round QAOA MaxCut circuit."""
+    if num_qubits < 2:
+        raise ValueError("QAOA needs at least 2 qubits")
+    graph = qaoa_graph(num_qubits, seed)
+    circuit = Circuit(num_qubits)
+    for q in range(num_qubits):
+        circuit.h(q)
+    for round_index in range(p):
+        scale = 1.0 + 0.1 * round_index
+        for u, v in sorted(graph.edges):
+            circuit.rzz(u, v, scale * gamma)
+        for q in range(num_qubits):
+            circuit.rx(q, 2.0 * scale * beta)
+    return circuit

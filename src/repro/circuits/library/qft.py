@@ -1,0 +1,30 @@
+"""Quantum Fourier Transform benchmark [51]."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.circuits.circuit import Circuit
+
+
+def qft(num_qubits: int, include_swaps: bool = True) -> Circuit:
+    """Textbook QFT: Hadamards + controlled phases (+ reversing swaps)."""
+    if num_qubits < 1:
+        raise ValueError("QFT needs at least one qubit")
+    circuit = Circuit(num_qubits)
+    for i in range(num_qubits):
+        circuit.h(i)
+        for j in range(i + 1, num_qubits):
+            circuit.cp(j, i, np.pi / (2 ** (j - i)))
+    if include_swaps:
+        for i in range(num_qubits // 2):
+            circuit.swap(i, num_qubits - 1 - i)
+    return circuit
+
+
+def qft_matrix(num_qubits: int) -> np.ndarray:
+    """The DFT matrix the circuit must implement (for verification)."""
+    dim = 2**num_qubits
+    omega = np.exp(2.0j * np.pi / dim)
+    j, k = np.meshgrid(np.arange(dim), np.arange(dim), indexing="ij")
+    return omega ** (j * k) / np.sqrt(dim)

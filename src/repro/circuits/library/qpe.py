@@ -1,0 +1,36 @@
+"""Quantum Phase Estimation benchmark [51].
+
+Estimates the eigenphase of ``U = P(2 pi phi)`` on the eigenstate ``|1>``
+using ``n - 1`` counting qubits and an inverse QFT.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.circuits.circuit import Circuit
+
+DEFAULT_PHASE = 1.0 / 3.0
+
+
+def qpe(num_qubits: int, phase: float = DEFAULT_PHASE) -> Circuit:
+    """QPE with ``num_qubits - 1`` counting qubits; target is the last qubit."""
+    if num_qubits < 2:
+        raise ValueError("QPE needs at least 2 qubits")
+    counting = num_qubits - 1
+    target = num_qubits - 1
+    circuit = Circuit(num_qubits)
+    circuit.x(target)  # prepare the |1> eigenstate
+    for q in range(counting):
+        circuit.h(q)
+    for q in range(counting):
+        power = 2 ** (counting - 1 - q)
+        circuit.cp(q, target, 2.0 * np.pi * phase * power)
+    # Inverse QFT on the counting register.
+    for i in range(counting // 2):
+        circuit.swap(i, counting - 1 - i)
+    for i in reversed(range(counting)):
+        for j in reversed(range(i + 1, counting)):
+            circuit.cp(j, i, -np.pi / (2 ** (j - i)))
+        circuit.h(i)
+    return circuit

@@ -1,0 +1,42 @@
+"""Quantum-Volume-style benchmark circuits (used in Fig. 25).
+
+Square circuits of depth ``num_qubits``: each layer applies a random qubit
+permutation (realized implicitly by pairing) and a random SU(4)-like block
+on every pair — here built as the standard 3-CX + single-qubit-rotation
+template, which exercises the same gate placement as true Haar SU(4)
+(Fig. 25's couplings-to-turn-off metric depends only on placement).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.circuits.circuit import Circuit
+
+
+def _random_su2(circuit: Circuit, q: int, rng: np.random.Generator) -> None:
+    theta, phi, lam = rng.uniform(-np.pi, np.pi, 3)
+    circuit.u3(q, theta, phi, lam)
+
+
+def quantum_volume(num_qubits: int, depth: int | None = None, seed: int = 0) -> Circuit:
+    """QV model circuit: ``depth`` rounds of paired pseudo-SU(4) blocks."""
+    if num_qubits < 2:
+        raise ValueError("QV needs at least 2 qubits")
+    depth = depth if depth is not None else num_qubits
+    rng = np.random.default_rng(seed)
+    circuit = Circuit(num_qubits)
+    for _ in range(depth):
+        order = list(rng.permutation(num_qubits))
+        for i in range(0, num_qubits - 1, 2):
+            a, b = int(order[i]), int(order[i + 1])
+            _random_su2(circuit, a, rng)
+            _random_su2(circuit, b, rng)
+            circuit.cx(a, b)
+            _random_su2(circuit, a, rng)
+            _random_su2(circuit, b, rng)
+            circuit.cx(b, a)
+            _random_su2(circuit, a, rng)
+            _random_su2(circuit, b, rng)
+            circuit.cx(a, b)
+    return circuit

@@ -1,0 +1,139 @@
+"""Transpilation to the IBMQ native gate set (paper Sec 7.1.2).
+
+Targets ``{Rz(theta), Rx(pi/2), Rzx(pi/2)}``:
+
+- any single-qubit gate becomes ``Rz . Rx90 . Rz . Rx90 . Rz`` (ZXZXZ), or
+  ``Rz . Rx90 . Rz`` when the rotation angle allows (e.g. Hadamard), or a
+  bare ``Rz`` for diagonal gates — virtual Z costs nothing [44];
+- ``CNOT`` becomes one ``Rzx(pi/2)`` plus single-qubit fixups [15];
+- ``cz`` / ``cp`` / ``rzz`` / ``swap`` are rewritten through ``cx`` first.
+
+All rewrites preserve the unitary up to global phase (tested).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.qmath.decompose import zxz_angles
+
+from repro.circuits.circuit import Circuit
+from repro.circuits.gates import Gate, gate_matrix
+
+_ANGLE_ATOL = 1e-9
+
+
+def _norm_angle(theta: float) -> float:
+    """Map to (-pi, pi] and snap tiny values to zero."""
+    theta = float((theta + np.pi) % (2.0 * np.pi) - np.pi)
+    if abs(theta) < _ANGLE_ATOL or abs(abs(theta) - 2.0 * np.pi) < _ANGLE_ATOL:
+        return 0.0
+    return theta
+
+
+def _rz_gates(qubit: int, theta: float) -> list[Gate]:
+    theta = _norm_angle(theta)
+    if theta == 0.0:
+        return []
+    return [Gate("rz", (qubit,), (theta,))]
+
+
+def decompose_1q(matrix: np.ndarray, qubit: int) -> list[Gate]:
+    """Native decomposition of an arbitrary 2x2 unitary (temporal order)."""
+    a, beta, c = zxz_angles(matrix)
+
+    if abs(_norm_angle(beta)) < 1e-9:
+        # Diagonal gate: a single virtual Rz.
+        return _rz_gates(qubit, a + c)
+    if abs(beta - np.pi / 2.0) < 1e-9:
+        # One physical pulse suffices (e.g. Hadamard).
+        return (
+            _rz_gates(qubit, a)
+            + [Gate("rx90", (qubit,))]
+            + _rz_gates(qubit, c)
+        )
+    # General case: Rx(beta) = Rz(-pi/2) Rx90 Rz(pi - beta) Rx90 Rz(-pi/2)
+    # up to global phase, giving the ZXZXZ form.
+    return (
+        _rz_gates(qubit, a - np.pi / 2.0)
+        + [Gate("rx90", (qubit,))]
+        + _rz_gates(qubit, np.pi - beta)
+        + [Gate("rx90", (qubit,))]
+        + _rz_gates(qubit, c - np.pi / 2.0)
+    )
+
+
+def decompose_cx(control: int, target: int) -> list[Gate]:
+    """``CNOT = e^{i phi} Rz_c(-pi/2) Rx_t(-pi/2) . Rzx(pi/2)``.
+
+    The trailing ``Rx(-pi/2)`` itself expands to ``Rz(pi) Rx90 Rz(pi)``.
+    """
+    return [
+        Gate("rzx90", (control, target)),
+        Gate("rz", (target,), (np.pi,)),
+        Gate("rx90", (target,)),
+        Gate("rz", (target,), (np.pi,)),
+        Gate("rz", (control,), (-np.pi / 2.0,)),
+    ]
+
+
+def _pre_expand(gate: Gate) -> list[Gate] | None:
+    """Rewrite multi-qubit gates through cx; None = no rewrite needed."""
+    if gate.name == "cz":
+        a, b = gate.qubits
+        return [Gate("h", (b,)), Gate("cx", (a, b)), Gate("h", (b,))]
+    if gate.name == "cp":
+        a, b = gate.qubits
+        (theta,) = gate.params
+        return [
+            Gate("rz", (a,), (theta / 2.0,)),
+            Gate("rz", (b,), (theta / 2.0,)),
+            Gate("cx", (a, b)),
+            Gate("rz", (b,), (-theta / 2.0,)),
+            Gate("cx", (a, b)),
+        ]
+    if gate.name == "rzz":
+        a, b = gate.qubits
+        (theta,) = gate.params
+        return [
+            Gate("cx", (a, b)),
+            Gate("rz", (b,), (theta,)),
+            Gate("cx", (a, b)),
+        ]
+    if gate.name == "swap":
+        a, b = gate.qubits
+        return [Gate("cx", (a, b)), Gate("cx", (b, a)), Gate("cx", (a, b))]
+    return None
+
+
+def transpile(circuit: Circuit) -> Circuit:
+    """Rewrite ``circuit`` into the native gate set."""
+    native = Circuit(circuit.num_qubits)
+    pending = list(circuit.gates)
+    while pending:
+        gate = pending.pop(0)
+        if gate.name in ("rx90", "rzx90"):
+            native.append(gate)
+            continue
+        if gate.name == "rz":
+            (theta,) = gate.params
+            for g in _rz_gates(gate.qubits[0], theta):
+                native.append(g)
+            continue
+        if gate.name == "id" and gate.num_qubits == 1:
+            # The bare identity is semantically empty pre-scheduling.
+            continue
+        rewritten = _pre_expand(gate)
+        if rewritten is not None:
+            pending = rewritten + pending
+            continue
+        if gate.name == "cx":
+            for g in decompose_cx(*gate.qubits):
+                native.append(g)
+            continue
+        if gate.num_qubits == 1:
+            for g in decompose_1q(gate_matrix(gate.name, gate.params), gate.qubits[0]):
+                native.append(g)
+            continue
+        raise ValueError(f"cannot transpile gate {gate}")
+    return native

@@ -1,0 +1,51 @@
+"""Command-line entry point: ``python -m repro <experiment-id>``.
+
+Runs one (or all) of the paper's experiments and prints its table.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments.registry import EXPERIMENTS, run_experiment
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiment",
+        description=(
+            "Reproduce tables/figures from 'Suppressing ZZ Crosstalk of "
+            "Quantum Computers through Pulse and Scheduling Co-Optimization' "
+            "(ASPLOS 2022)."
+        ),
+    )
+    parser.add_argument(
+        "experiment",
+        nargs="?",
+        default=None,
+        help=f"experiment id ({', '.join(sorted(EXPERIMENTS))} or 'all')",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list available experiments"
+    )
+    args = parser.parse_args(argv)
+
+    if args.list or args.experiment is None:
+        for key in sorted(EXPERIMENTS):
+            print(key)
+        return 0
+
+    targets = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for target in targets:
+        start = time.perf_counter()
+        result = run_experiment(target)
+        elapsed = time.perf_counter() - start
+        print(result.render())
+        print(f"[{target} took {elapsed:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

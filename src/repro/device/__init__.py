@@ -1,0 +1,21 @@
+"""Device models: topology, presets, crosstalk sampling."""
+
+from repro.device.topology import Topology, build_planar_dual, edge_key
+from repro.device.presets import grid, ibmq_vigo, line, ring, star
+from repro.device.crosstalk import sample_crosstalk, uniform_crosstalk
+from repro.device.device import Device, make_device
+
+__all__ = [
+    "Topology",
+    "build_planar_dual",
+    "edge_key",
+    "grid",
+    "ibmq_vigo",
+    "line",
+    "ring",
+    "star",
+    "sample_crosstalk",
+    "uniform_crosstalk",
+    "Device",
+    "make_device",
+]

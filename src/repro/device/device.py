@@ -1,0 +1,57 @@
+"""Device: topology + crosstalk map + (optional) decoherence parameters."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.device.crosstalk import sample_crosstalk
+from repro.device.topology import Topology, edge_key
+from repro.sim.density import DecoherenceModel
+
+
+@dataclass
+class Device:
+    """A superconducting device model for simulation and scheduling."""
+
+    topology: Topology
+    crosstalk: dict[tuple[int, int], float]
+    decoherence: DecoherenceModel | None = None
+    name: str = field(default="")
+
+    def __post_init__(self):
+        if not self.name:
+            self.name = self.topology.name
+        known = set(self.topology.edges)
+        given = {edge_key(u, v) for u, v in self.crosstalk}
+        if given != known:
+            missing = known - given
+            extra = given - known
+            raise ValueError(
+                f"crosstalk map mismatch: missing={sorted(missing)}, "
+                f"extra={sorted(extra)}"
+            )
+
+    @property
+    def num_qubits(self) -> int:
+        return self.topology.num_qubits
+
+    def couplings(self) -> list[tuple[int, int, float]]:
+        """``(i, j, lambda)`` triples for the simulator (rad/ns)."""
+        return [
+            (u, v, self.crosstalk[edge_key(u, v)]) for u, v in self.topology.edges
+        ]
+
+    def coupling_strength(self, u: int, v: int) -> float:
+        return self.crosstalk[edge_key(u, v)]
+
+
+def make_device(
+    topology: Topology,
+    mean_khz: float = 200.0,
+    std_khz: float = 50.0,
+    seed: int = 1234,
+    decoherence: DecoherenceModel | None = None,
+) -> Device:
+    """Device with crosstalk sampled per the paper's setup."""
+    strengths = sample_crosstalk(topology, mean_khz, std_khz, seed)
+    return Device(topology, strengths, decoherence)

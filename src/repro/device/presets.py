@@ -1,0 +1,48 @@
+"""Topology presets used in the paper's examples and evaluation."""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.device.topology import Topology
+
+
+def grid(rows: int, cols: int) -> Topology:
+    """``rows x cols`` grid — the paper's evaluation device is 3x4."""
+    if rows < 1 or cols < 1:
+        raise ValueError("grid dimensions must be positive")
+    graph = nx.Graph()
+    def index(r: int, c: int) -> int:
+        return r * cols + c
+    graph.add_nodes_from(range(rows * cols))
+    for r in range(rows):
+        for c in range(cols):
+            if c + 1 < cols:
+                graph.add_edge(index(r, c), index(r, c + 1))
+            if r + 1 < rows:
+                graph.add_edge(index(r, c), index(r + 1, c))
+    return Topology(graph, name=f"grid{rows}x{cols}")
+
+
+def line(num_qubits: int) -> Topology:
+    """A 1-D chain, e.g. the Q1-Q2-Q3 device of the Ramsey experiments."""
+    graph = nx.path_graph(num_qubits)
+    return Topology(graph, name=f"line{num_qubits}")
+
+
+def ring(num_qubits: int) -> Topology:
+    if num_qubits < 3:
+        raise ValueError("a ring needs at least 3 qubits")
+    return Topology(nx.cycle_graph(num_qubits), name=f"ring{num_qubits}")
+
+
+def ibmq_vigo() -> Topology:
+    """The 5-qubit IBMQ Vigo T-shaped topology (paper Fig. 1)."""
+    graph = nx.Graph([(0, 1), (1, 2), (1, 3), (3, 4)])
+    return Topology(graph, name="ibmq-vigo")
+
+
+def star(num_leaves: int) -> Topology:
+    """One hub qubit coupled to ``num_leaves`` leaves."""
+    graph = nx.star_graph(num_leaves)
+    return Topology(graph, name=f"star{num_leaves}")

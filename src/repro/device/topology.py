@@ -1,0 +1,126 @@
+"""Device topology: a planar graph of qubits and couplings.
+
+A :class:`Topology` wraps an undirected ``networkx`` graph whose nodes are
+qubit indices ``0..n-1`` and whose edges are couplings.  It lazily computes
+the structures the scheduling algorithms need: all-pairs distances, the
+planar dual multigraph (Section 3.2), bipartiteness, and degree statistics.
+"""
+
+from __future__ import annotations
+
+from functools import cached_property
+from collections.abc import Iterable
+
+import networkx as nx
+
+
+def edge_key(u: int, v: int) -> tuple[int, int]:
+    """Canonical (sorted) form of an undirected edge."""
+    return (u, v) if u <= v else (v, u)
+
+
+class Topology:
+    """Qubit-coupling graph with planar-dual machinery."""
+
+    def __init__(self, graph: nx.Graph, name: str = "device"):
+        if graph.number_of_nodes() == 0:
+            raise ValueError("topology must have at least one qubit")
+        relabeled = set(graph.nodes) != set(range(graph.number_of_nodes()))
+        if relabeled:
+            raise ValueError("qubits must be labelled 0..n-1")
+        self.graph = nx.Graph(graph)
+        self.name = name
+
+    @property
+    def num_qubits(self) -> int:
+        return self.graph.number_of_nodes()
+
+    @cached_property
+    def edges(self) -> tuple[tuple[int, int], ...]:
+        return tuple(sorted(edge_key(u, v) for u, v in self.graph.edges))
+
+    @property
+    def num_couplings(self) -> int:
+        return len(self.edges)
+
+    def neighbors(self, qubit: int) -> list[int]:
+        return sorted(self.graph.neighbors(qubit))
+
+    def has_edge(self, u: int, v: int) -> bool:
+        return self.graph.has_edge(u, v)
+
+    @cached_property
+    def max_degree(self) -> int:
+        return max(dict(self.graph.degree).values(), default=0)
+
+    @cached_property
+    def is_bipartite(self) -> bool:
+        return nx.is_bipartite(self.graph)
+
+    @cached_property
+    def is_planar(self) -> bool:
+        return nx.check_planarity(self.graph)[0]
+
+    @cached_property
+    def _distances(self) -> dict[int, dict[int, int]]:
+        return dict(nx.all_pairs_shortest_path_length(self.graph))
+
+    def distance(self, u: int, v: int) -> int:
+        """Shortest-path length between qubits (in couplings)."""
+        try:
+            return self._distances[u][v]
+        except KeyError:
+            raise ValueError(f"no path between qubits {u} and {v}") from None
+
+    def shortest_path(self, u: int, v: int) -> list[int]:
+        return nx.shortest_path(self.graph, u, v)
+
+    @cached_property
+    def dual(self) -> nx.MultiGraph:
+        """Planar dual multigraph.
+
+        Nodes are face ids (the outer face included); each primal edge
+        ``(u, v)`` becomes a dual edge keyed by ``edge_key(u, v)`` between
+        the two faces it borders (a self-loop for bridges).
+        """
+        return build_planar_dual(self.graph)
+
+    def subtopology(self, qubits: Iterable[int]) -> "Topology":
+        """Induced subgraph, relabelled to 0..k-1 preserving order."""
+        ordered = sorted(set(qubits))
+        mapping = {q: i for i, q in enumerate(ordered)}
+        sub = nx.relabel_nodes(self.graph.subgraph(ordered), mapping, copy=True)
+        sub.add_nodes_from(range(len(ordered)))
+        return Topology(sub, name=f"{self.name}[sub{len(ordered)}]")
+
+    def __repr__(self) -> str:
+        return (
+            f"Topology({self.name!r}, qubits={self.num_qubits}, "
+            f"couplings={self.num_couplings})"
+        )
+
+
+def build_planar_dual(graph: nx.Graph) -> nx.MultiGraph:
+    """Construct the planar dual of ``graph`` as a multigraph.
+
+    Each dual edge is keyed by the primal edge it crosses, so algorithms can
+    map dual structures (odd-vertex pairings) back to coupling sets.
+    """
+    is_planar, embedding = nx.check_planarity(graph)
+    if not is_planar:
+        raise ValueError("topology is not planar; the dual is undefined")
+    visited: set[tuple[int, int]] = set()
+    face_of: dict[tuple[int, int], int] = {}
+    face_count = 0
+    for u, v in embedding.edges:
+        if (u, v) in visited:
+            continue
+        nodes = embedding.traverse_face(u, v, mark_half_edges=visited)
+        for a, b in zip(nodes, nodes[1:] + nodes[:1]):
+            face_of[(a, b)] = face_count
+        face_count += 1
+    dual = nx.MultiGraph()
+    dual.add_nodes_from(range(max(face_count, 1)))
+    for a, b in graph.edges:
+        dual.add_edge(face_of[(a, b)], face_of[(b, a)], key=edge_key(a, b))
+    return dual

@@ -1,0 +1,23 @@
+"""Reproductions of every table and figure in the paper's evaluation."""
+
+from repro.experiments.common import (
+    CONFIGS,
+    BenchmarkCase,
+    default_cases,
+    improvement,
+    library,
+    paper_device,
+    run_config,
+)
+from repro.experiments.result import ExperimentResult
+
+__all__ = [
+    "CONFIGS",
+    "BenchmarkCase",
+    "default_cases",
+    "improvement",
+    "library",
+    "paper_device",
+    "run_config",
+    "ExperimentResult",
+]

@@ -1,0 +1,130 @@
+"""Shared harness for the quantum-computing-benchmark experiments (Figs 20-25).
+
+A *config* pairs a pulse method with a scheduler, e.g. the paper's baseline
+``gau+par`` (Gaussian pulses, parallelism-maximizing scheduling) and our
+``pert+zzx``.  The harness compiles each benchmark once per device, schedules
+it under each config and simulates at the Hamiltonian level.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from functools import lru_cache
+
+import numpy as np
+
+from repro.circuits.compile import CompiledCircuit, compile_circuit
+from repro.circuits.library import BENCHMARKS, PAPER_SIZES
+from repro.device.device import Device, make_device
+from repro.device.presets import grid
+from repro.pulses.library import PulseLibrary, build_library
+from repro.runtime.executor import ExecutionResult, execute_density, execute_statevector
+from repro.scheduling.layer import Schedule
+from repro.scheduling.parsched import par_schedule
+from repro.scheduling.zzxsched import ZZXConfig, zzx_schedule
+from repro.sim.density import DecoherenceModel
+
+#: config name -> (pulse method, scheduler)
+CONFIGS = {
+    "gau+par": ("gaussian", "par"),
+    "optctrl+zzx": ("optctrl", "zzx"),
+    "pert+zzx": ("pert", "zzx"),
+    "pert+par": ("pert", "par"),
+    "gau+zzx": ("gaussian", "zzx"),
+}
+
+DEFAULT_SEED = 7
+
+
+def full_mode() -> bool:
+    """True when REPRO_FULL=1: run the paper's complete 4-12 qubit sweep."""
+    return os.environ.get("REPRO_FULL", "0") == "1"
+
+
+def benchmark_sizes(name: str) -> tuple[int, ...]:
+    """Sizes to evaluate: the paper's list, or its first two in fast mode."""
+    sizes = PAPER_SIZES[name]
+    return sizes if full_mode() else sizes[:2]
+
+
+@lru_cache(maxsize=None)
+def paper_device(seed: int = DEFAULT_SEED) -> Device:
+    """The paper's evaluation device: a 3x4 grid with sampled crosstalk."""
+    return make_device(grid(3, 4), seed=seed)
+
+
+@lru_cache(maxsize=8)
+def library(method: str) -> PulseLibrary:
+    return build_library(method)
+
+
+@dataclass(frozen=True)
+class BenchmarkCase:
+    """One (benchmark, size) evaluation point."""
+
+    name: str
+    num_qubits: int
+    seed: int = 0
+
+    @property
+    def label(self) -> str:
+        return f"{self.name}-{self.num_qubits}"
+
+    def build(self) -> CompiledCircuit:
+        circuit = BENCHMARKS[self.name](self.num_qubits, seed=self.seed)
+        return compile_circuit(circuit, paper_device().topology)
+
+
+def default_cases(
+    benchmarks: tuple[str, ...] = ("HS", "QFT", "QPE", "QAOA", "Ising", "GRC"),
+) -> list[BenchmarkCase]:
+    """The Fig. 20 case grid (reduced sizes unless REPRO_FULL=1)."""
+    cases = []
+    for name in benchmarks:
+        for size in benchmark_sizes(name):
+            cases.append(BenchmarkCase(name, size))
+    return cases
+
+
+@lru_cache(maxsize=None)
+def _compiled(case: BenchmarkCase) -> CompiledCircuit:
+    return case.build()
+
+
+def schedule_for(case: BenchmarkCase, scheduler: str) -> Schedule:
+    compiled = _compiled(case)
+    device = paper_device()
+    if scheduler == "par":
+        return par_schedule(compiled.circuit)
+    if scheduler == "zzx":
+        return zzx_schedule(compiled.circuit, device.topology)
+    raise ValueError(f"unknown scheduler {scheduler!r}")
+
+
+def run_config(
+    case: BenchmarkCase,
+    config: str,
+    decoherence: DecoherenceModel | None = None,
+) -> ExecutionResult:
+    """Simulate one (case, config) cell of the evaluation grid."""
+    method, scheduler = CONFIGS[config]
+    schedule = schedule_for(case, scheduler)
+    lib = library(method)
+    device = paper_device()
+    if decoherence is None:
+        return execute_statevector(schedule, device, lib)
+    return execute_density(schedule, device, lib, decoherence)
+
+
+def improvement(ours: float, baseline: float) -> float:
+    """Fidelity improvement factor, guarded against degenerate baselines."""
+    floor = 1e-6
+    return ours / max(baseline, floor)
+
+
+def geometric_mean(values) -> float:
+    values = np.asarray(list(values), dtype=float)
+    if len(values) == 0:
+        return float("nan")
+    return float(np.exp(np.mean(np.log(np.maximum(values, 1e-12)))))

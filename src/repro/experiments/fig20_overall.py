@@ -1,0 +1,55 @@
+"""Fig. 20: overall fidelity improvements under ZZ crosstalk.
+
+Benchmarks x {Gau+ParSched, OptCtrl+ZZXSched, Pert+ZZXSched} on the 3x4
+grid.  Expected shape: our configs reach >0.9 fidelity on most benchmarks;
+improvement over the baseline grows with qubit count, up to ~2 orders of
+magnitude; OptCtrl and Pert behave similarly (pulse-insensitivity claim).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import (
+    BenchmarkCase,
+    default_cases,
+    improvement,
+    run_config,
+)
+from repro.experiments.result import ExperimentResult
+
+CONFIG_ORDER = ("gau+par", "optctrl+zzx", "pert+zzx")
+
+
+def run(cases: list[BenchmarkCase] | None = None) -> ExperimentResult:
+    result = ExperimentResult(
+        "fig20",
+        "Overall fidelity improvements under ZZ crosstalk",
+        notes="improvement = F(pert+zzx) / F(gau+par)",
+    )
+    cases = cases if cases is not None else default_cases()
+    for case in cases:
+        fidelities: dict[str, float] = {}
+        times: dict[str, float] = {}
+        for config in CONFIG_ORDER:
+            out = run_config(case, config)
+            fidelities[config] = out.fidelity
+            times[config] = out.execution_time_ns
+        result.rows.append(
+            {
+                "benchmark": case.label,
+                "gau+par": fidelities["gau+par"],
+                "optctrl+zzx": fidelities["optctrl+zzx"],
+                "pert+zzx": fidelities["pert+zzx"],
+                "improvement": improvement(
+                    fidelities["pert+zzx"], fidelities["gau+par"]
+                ),
+            }
+        )
+    return result
+
+
+def max_and_mean_improvement(result: ExperimentResult) -> tuple[float, float]:
+    """The headline 'up to X, Y on average' numbers."""
+    import numpy as np
+
+    imps = result.column("improvement")
+    return float(max(imps)), float(np.mean(imps))

@@ -1,0 +1,27 @@
+"""Fig. 21: co-optimization vs each part alone.
+
+Pert+ParSched (pulses only) and Gau+ZZXSched (scheduling only) against the
+full Pert+ZZXSched.  Expected shape: co-optimization beats both parts on
+every benchmark (synergy claim).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import BenchmarkCase, default_cases, run_config
+from repro.experiments.result import ExperimentResult
+
+CONFIG_ORDER = ("pert+par", "gau+zzx", "pert+zzx")
+
+
+def run(cases: list[BenchmarkCase] | None = None) -> ExperimentResult:
+    result = ExperimentResult(
+        "fig21",
+        "Pulse-only and scheduling-only vs co-optimization",
+    )
+    cases = cases if cases is not None else default_cases()
+    for case in cases:
+        row: dict = {"benchmark": case.label}
+        for config in CONFIG_ORDER:
+            row[config] = run_config(case, config).fidelity
+        result.rows.append(row)
+    return result

@@ -1,0 +1,39 @@
+"""Fig. 24: execution time of ZZXSched relative to ParSched.
+
+Pure scheduling analysis — no simulation.  Expected shape: ZZXSched
+increases execution time by < 2x ("a limited sacrifice of parallelism").
+The ratio is pulse-independent for equal-duration pulse sets, as the paper
+notes ("results are irrelevant of pulses used").
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import (
+    BenchmarkCase,
+    default_cases,
+    library,
+    schedule_for,
+)
+from repro.experiments.result import ExperimentResult
+from repro.scheduling.analysis import execution_time
+
+
+def run(cases: list[BenchmarkCase] | None = None) -> ExperimentResult:
+    result = ExperimentResult(
+        "fig24",
+        "Relative execution time (ZZXSched / ParSched)",
+    )
+    cases = cases if cases is not None else default_cases()
+    lib = library("pert")  # uniform 20 ns pulses, as in the paper's plot
+    for case in cases:
+        par_time = execution_time(schedule_for(case, "par"), lib)
+        zzx_time = execution_time(schedule_for(case, "zzx"), lib)
+        result.rows.append(
+            {
+                "benchmark": case.label,
+                "parsched_ns": par_time,
+                "zzxsched_ns": zzx_time,
+                "relative": zzx_time / par_time if par_time else float("nan"),
+            }
+        )
+    return result

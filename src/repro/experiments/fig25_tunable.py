@@ -1,0 +1,44 @@
+"""Fig. 25: #couplings to turn off on tunable-coupler devices.
+
+Baseline (Gau+ParSched): every coupling incident to a gate qubit must be
+switched off to protect the gate.  Ours (ZZXSched): only couplings with
+unsuppressed crosstalk — the per-layer remaining-set.  Expected shape:
+a 10-20x reduction, and very slow growth with qubit count.  This figure
+includes the QV benchmarks.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import BenchmarkCase, benchmark_sizes, schedule_for
+from repro.experiments.common import paper_device
+from repro.experiments.result import ExperimentResult
+from repro.scheduling.analysis import couplings_to_turn_off
+
+DEFAULT_BENCHMARKS = ("HS", "QFT", "QPE", "QAOA", "Ising", "QV", "GRC")
+
+
+def run(benchmarks=DEFAULT_BENCHMARKS) -> ExperimentResult:
+    result = ExperimentResult(
+        "fig25",
+        "#Couplings to turn off per layer (tunable couplers)",
+        notes="mean over layers; improvement = baseline / ours",
+    )
+    topology = paper_device().topology
+    for name in benchmarks:
+        for size in benchmark_sizes(name):
+            case = BenchmarkCase(name, size)
+            baseline = couplings_to_turn_off(
+                schedule_for(case, "par"), topology, baseline=True
+            )
+            ours = couplings_to_turn_off(
+                schedule_for(case, "zzx"), topology, baseline=False
+            )
+            result.rows.append(
+                {
+                    "benchmark": case.label,
+                    "gau+par": baseline,
+                    "zzxsched": ours,
+                    "improvement": baseline / max(ours, 1e-9),
+                }
+            )
+    return result

@@ -1,0 +1,48 @@
+"""Fig. 28 / Appendix A: the optimized Rx(pi/2) waveforms.
+
+Reports amplitude and duration statistics of each method's pulse; the
+paper's claim is that amplitudes and durations are "reasonable" — within
+arbitrary-waveform-generator capabilities (tens of MHz, tens of ns).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.common import library
+from repro.experiments.result import ExperimentResult
+from repro.units import MHZ
+
+METHODS = ("optctrl", "pert", "dcg", "gaussian")
+
+
+def run() -> ExperimentResult:
+    result = ExperimentResult(
+        "fig28",
+        "Optimized Rx(pi/2) pulse waveforms (amplitudes in MHz)",
+    )
+    for method in METHODS:
+        pulse = library(method)["rx90"]
+        x = pulse.channel("x")
+        y = pulse.channel("y")
+        result.rows.append(
+            {
+                "method": method,
+                "duration_ns": pulse.duration,
+                "max_amp_x_mhz": float(np.max(np.abs(x))) / MHZ,
+                "max_amp_y_mhz": float(np.max(np.abs(y))) / MHZ,
+                "area_x": float(np.sum(x) * pulse.dt),
+                "num_steps": pulse.num_steps,
+            }
+        )
+    return result
+
+
+def waveform_samples(method: str, gate: str = "rx90") -> dict[str, np.ndarray]:
+    """Raw samples for plotting/inspection."""
+    pulse = library(method)[gate]
+    return {
+        "t_ns": (np.arange(pulse.num_steps) + 0.5) * pulse.dt,
+        "x_mhz": pulse.channel("x") / MHZ,
+        "y_mhz": pulse.channel("y") / MHZ,
+    }

@@ -1,0 +1,57 @@
+"""Shared pulse-level evaluation (Figs 16-19): joint evolutions of a pulse
+with explicit neighbor qubits under given crosstalk strengths."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.pulses.pulse import GatePulse
+from repro.qmath.fidelity import average_gate_fidelity
+from repro.qmath.paulis import ID2, SZ
+from repro.qmath.tensor import kron_all
+from repro.sim.propagate import propagate_with_zz
+
+INFIDELITY_FLOOR = 1e-8  # the paper truncates plots at 1e-8
+
+
+def one_qubit_joint_infidelity(pulse: GatePulse, strength: float) -> float:
+    """Infidelity of ``U(T)`` vs ``target (x) I`` on the driven+neighbor pair.
+
+    This is the Fig. 16 metric: the two-qubit system (1)-(2) with crosstalk
+    ``strength`` (rad/ns) on the coupling, pulse applied to qubit 1.
+    """
+    if pulse.num_qubits != 1:
+        raise ValueError("expected a single-qubit pulse")
+    hams = np.array([np.kron(h, ID2) for h in pulse.drive_hamiltonians()])
+    h_zz = strength * np.kron(SZ, SZ)
+    u = propagate_with_zz(hams, h_zz, pulse.dt)
+    target = np.kron(pulse.target, ID2)
+    return max(1.0 - average_gate_fidelity(u, target), INFIDELITY_FLOOR)
+
+
+def two_qubit_joint_infidelity(
+    pulse: GatePulse, strength_left: float, strength_right: float
+) -> float:
+    """Fig. 19 metric on the chain 1-(2)-(3)-4: spectators must see ``I(x)I``.
+
+    The pulse acts on the middle pair; crosstalk ``strength_left`` couples
+    1-2 and ``strength_right`` couples 3-4.  The intra-pair coupling is part
+    of the gate's own calibration (Sec 4.2) and is excluded, exactly as the
+    paper's Fig. 19 setup prescribes.
+    """
+    if pulse.num_qubits != 2:
+        raise ValueError("expected a two-qubit pulse")
+    hams = np.array(
+        [kron_all([ID2, h, ID2]) for h in pulse.drive_hamiltonians()]
+    )
+    static = strength_left * kron_all([SZ, SZ, ID2, ID2]) + strength_right * kron_all(
+        [ID2, ID2, SZ, SZ]
+    )
+    u = propagate_with_zz(hams, static, pulse.dt)
+    target = kron_all([ID2, pulse.target, ID2])
+    return max(1.0 - average_gate_fidelity(u, target), INFIDELITY_FLOOR)
+
+
+def default_strength_sweep_mhz(num_points: int = 9) -> np.ndarray:
+    """The paper's x-axis: lambda/2pi from 0 to 2 MHz."""
+    return np.linspace(0.0, 2.0, num_points)

@@ -1,0 +1,49 @@
+"""Registry of paper experiments: id -> runner."""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.experiments import (
+    compile_time,
+    fig16_single_qubit,
+    fig17_drive_noise,
+    fig18_leakage,
+    fig19_two_qubit,
+    fig20_overall,
+    fig21_coopt,
+    fig22_breakdown,
+    fig23_decoherence,
+    fig24_exec_time,
+    fig25_tunable,
+    fig28_waveforms,
+    ramsey,
+)
+from repro.experiments.result import ExperimentResult
+
+EXPERIMENTS: dict[str, Callable[[], ExperimentResult]] = {
+    "fig16": fig16_single_qubit.run,
+    "fig17": fig17_drive_noise.run,
+    "fig18": fig18_leakage.run,
+    "fig19": fig19_two_qubit.run,
+    "fig20": fig20_overall.run,
+    "fig21": fig21_coopt.run,
+    "fig22": fig22_breakdown.run,
+    "fig23": fig23_decoherence.run,
+    "fig24": fig24_exec_time.run,
+    "fig25": fig25_tunable.run,
+    "fig27": ramsey.run,
+    "fig28": fig28_waveforms.run,
+    "tab-compile": compile_time.run,
+}
+
+
+def run_experiment(experiment_id: str) -> ExperimentResult:
+    try:
+        runner = EXPERIMENTS[experiment_id]
+    except KeyError:
+        known = ", ".join(sorted(EXPERIMENTS))
+        raise ValueError(
+            f"unknown experiment {experiment_id!r}; known: {known}"
+        ) from None
+    return runner()

@@ -1,0 +1,35 @@
+"""Experiment result container shared by all figure reproductions."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.tables import render_table
+
+
+@dataclass
+class ExperimentResult:
+    """Rows reproducing one paper table/figure, with provenance."""
+
+    experiment_id: str
+    title: str
+    rows: list[dict] = field(default_factory=list)
+    notes: str = ""
+
+    def render(self, columns=None) -> str:
+        header = f"== {self.experiment_id}: {self.title} =="
+        table = render_table(self.rows, columns)
+        parts = [header, table]
+        if self.notes:
+            parts.append(self.notes)
+        return "\n".join(parts)
+
+    def column(self, name: str) -> list:
+        return [row[name] for row in self.rows]
+
+    def filtered(self, **criteria) -> list[dict]:
+        out = []
+        for row in self.rows:
+            if all(row.get(k) == v for k, v in criteria.items()):
+                out.append(row)
+        return out

@@ -1,0 +1,30 @@
+"""Graph algorithms: cuts, odd-vertex pairings, alpha-optimal suppression."""
+
+from repro.graphs.cuts import CutMetrics, UnionFind, cut_metrics, induce_cut
+from repro.graphs.pairing import (
+    match_odd_vertices,
+    odd_degree_vertices,
+    simple_projection,
+    top_k_paths,
+)
+from repro.graphs.suppression import (
+    DEFAULT_ALPHA,
+    DEFAULT_TOP_K,
+    SuppressionPlan,
+    alpha_optimal_suppression,
+)
+
+__all__ = [
+    "CutMetrics",
+    "UnionFind",
+    "cut_metrics",
+    "induce_cut",
+    "match_odd_vertices",
+    "odd_degree_vertices",
+    "simple_projection",
+    "top_k_paths",
+    "DEFAULT_ALPHA",
+    "DEFAULT_TOP_K",
+    "SuppressionPlan",
+    "alpha_optimal_suppression",
+]

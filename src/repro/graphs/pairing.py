@@ -1,0 +1,90 @@
+"""Odd-vertex pairing machinery on the planar dual (Section 5.1).
+
+Step 1 of Algorithm 1: match the odd-degree dual vertices so that the paths
+connecting matched pairs form a smallest odd-vertex pairing.  Weights
+``L - d(u, v)`` turn maximum-weight matching into shortest-total-length
+matching; top-k shortest paths (Yen's algorithm via networkx) provide the
+relaxation candidates of Step 2.
+"""
+
+from __future__ import annotations
+
+from itertools import islice
+
+import networkx as nx
+
+
+def odd_degree_vertices(multigraph: nx.MultiGraph) -> list:
+    """Vertices of odd degree (self-loops contribute 2, hence stay even)."""
+    return sorted(node for node, degree in multigraph.degree() if degree % 2 == 1)
+
+
+def simple_projection(multigraph: nx.MultiGraph) -> nx.Graph:
+    """Simple graph with, per vertex pair, the sorted list of parallel keys.
+
+    Self-loops are dropped — they never appear on simple paths.
+    """
+    simple = nx.Graph()
+    simple.add_nodes_from(multigraph.nodes)
+    for u, v, key in multigraph.edges(keys=True):
+        if u == v:
+            continue
+        if simple.has_edge(u, v):
+            simple[u][v]["keys"].append(key)
+        else:
+            simple.add_edge(u, v, keys=[key])
+    for u, v in simple.edges:
+        simple[u][v]["keys"].sort()
+    return simple
+
+
+def match_odd_vertices(multigraph: nx.MultiGraph) -> list[tuple]:
+    """Maximum-weight matching of odd-degree vertices (blossom, Step 1).
+
+    Edges exist only between vertices in the same connected component (each
+    component has an even number of odd vertices, so a perfect matching of
+    the odd set always exists).
+    """
+    odd = odd_degree_vertices(multigraph)
+    if not odd:
+        return []
+    simple = simple_projection(multigraph)
+    lengths = {}
+    for source in odd:
+        dist = nx.single_source_shortest_path_length(simple, source)
+        for target in odd:
+            if target != source and target in dist:
+                lengths[(source, target)] = dist[target]
+    if not lengths:
+        return []
+    longest = max(lengths.values())
+    complete = nx.Graph()
+    complete.add_nodes_from(odd)
+    for (u, v), d in lengths.items():
+        if u < v:
+            complete.add_edge(u, v, weight=longest + 1 - d)
+    matching = nx.max_weight_matching(complete, maxcardinality=True)
+    return sorted(tuple(sorted(pair)) for pair in matching)
+
+
+def top_k_paths(
+    simple: nx.Graph, source, target, k: int
+) -> list[list[tuple]]:
+    """Up to ``k`` shortest simple paths as lists of dual-edge keys.
+
+    Each path is converted from a vertex sequence to the primal-edge keys of
+    the dual edges it traverses; for parallel dual edges the smallest key is
+    chosen (any representative induces an equivalent cut).
+    """
+    paths: list[list[tuple]] = []
+    try:
+        generator = nx.shortest_simple_paths(simple, source, target)
+    except (nx.NetworkXNoPath, nx.NodeNotFound):
+        return paths
+    try:
+        for nodes in islice(generator, k):
+            keys = [simple[a][b]["keys"][0] for a, b in zip(nodes, nodes[1:])]
+            paths.append(keys)
+    except nx.NetworkXNoPath:
+        pass
+    return paths

@@ -1,0 +1,191 @@
+"""Algorithm 1: alpha-optimal suppression via odd-vertex pairings.
+
+Given the device topology, a set ``Q`` of qubits that must all receive
+pulses (the gate qubits of a layer, possibly empty), and the trade-off
+coefficient ``alpha``, find a cut ``(S, T)`` of the topology minimizing
+``alpha * NQ + NC`` subject to ``Q`` lying inside one partition.
+
+Pipeline (Sections 5.1-5.2):
+
+1. *Delete Edges*: remove the duals of ``E_Q`` (edges internal to ``Q``).
+2. *Vertex Matching*: max-weight matching of odd-degree dual vertices.
+3. *Path Relaxing*: greedily swap matched pairs' shortest paths for their
+   top-k alternatives while the objective improves.
+4. *Add Edges / Cut Inducing / Check*: add ``E_Q`` back to the pairing,
+   contract its primal edges, 2-color, and verify ``Q`` is monochromatic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Iterable
+
+from repro.device.topology import Topology, edge_key
+from repro.graphs.cuts import CutMetrics, cut_metrics, induce_cut
+from repro.graphs.pairing import match_odd_vertices, simple_projection, top_k_paths
+
+DEFAULT_ALPHA = 0.5
+DEFAULT_TOP_K = 3
+
+
+@dataclass(frozen=True)
+class SuppressionPlan:
+    """A cut of the topology with its suppression metrics.
+
+    ``coloring`` maps each qubit to 0/1; the scheduler decides which color
+    becomes the pulsed partition ``S`` (for constrained problems it must be
+    the color of the gate qubits).
+    """
+
+    coloring: dict[int, int]
+    metrics: CutMetrics
+    pairing_edges: frozenset[tuple[int, int]]
+
+    @property
+    def nq(self) -> int:
+        return self.metrics.nq
+
+    @property
+    def nc(self) -> int:
+        return self.metrics.nc
+
+    def objective(self, alpha: float) -> float:
+        return self.metrics.objective(alpha)
+
+    def partition(self, color: int) -> frozenset[int]:
+        return frozenset(q for q, c in self.coloring.items() if c == color)
+
+    def side_of(self, qubits: Iterable[int]) -> frozenset[int]:
+        """The partition containing ``qubits`` (which must be monochromatic)."""
+        colors = {self.coloring[q] for q in qubits}
+        if len(colors) != 1:
+            raise ValueError(f"qubits {sorted(qubits)} span both partitions")
+        return self.partition(colors.pop())
+
+    def is_monochromatic(self, qubits: Iterable[int]) -> bool:
+        colors = {self.coloring[q] for q in qubits}
+        return len(colors) <= 1
+
+
+def _trivial_plan(topology: Topology) -> SuppressionPlan:
+    """Everything in one partition: no suppression (the safe fallback)."""
+    coloring = {q: 0 for q in range(topology.num_qubits)}
+    return SuppressionPlan(
+        coloring=coloring,
+        metrics=cut_metrics(topology.graph, coloring),
+        pairing_edges=frozenset(topology.edges),
+    )
+
+
+def _evaluate(
+    topology: Topology,
+    path_edges: Iterable[tuple[int, int]],
+    gate_edges: frozenset[tuple[int, int]],
+    gate_qubits: frozenset[int],
+) -> SuppressionPlan | None:
+    """Add-Edges + Cut-Inducing + Check for one candidate pairing."""
+    contract = frozenset(path_edges) | gate_edges
+    coloring = induce_cut(topology.graph, contract)
+    if coloring is None:
+        return None
+    if gate_qubits and not _monochromatic(coloring, gate_qubits):
+        return None
+    return SuppressionPlan(
+        coloring=coloring,
+        metrics=cut_metrics(topology.graph, coloring),
+        pairing_edges=contract,
+    )
+
+
+def _monochromatic(coloring: dict[int, int], qubits: frozenset[int]) -> bool:
+    colors = {coloring[q] for q in qubits}
+    return len(colors) <= 1
+
+
+def alpha_optimal_suppression(
+    topology: Topology,
+    gate_qubits: Iterable[int] = (),
+    alpha: float = DEFAULT_ALPHA,
+    top_k: int = DEFAULT_TOP_K,
+) -> SuppressionPlan:
+    """Algorithm 1 of the paper; always returns a plan (fallback: no cut).
+
+    For bipartite topologies and empty ``gate_qubits`` this finds complete
+    suppression (``NC = 0``).
+    """
+    if alpha < 0:
+        raise ValueError("alpha must be non-negative")
+    gate_qubits = frozenset(gate_qubits)
+    unknown = [q for q in gate_qubits if q >= topology.num_qubits or q < 0]
+    if unknown:
+        raise ValueError(f"gate qubits out of range: {unknown}")
+    gate_edges = frozenset(
+        edge_key(u, v)
+        for u, v in topology.edges
+        if u in gate_qubits and v in gate_qubits
+    )
+
+    # Step "Delete Edges": remove duals of E_Q from the dual graph.
+    dual = topology.dual.copy()
+    dual_edge_of = {
+        key: (u, v) for u, v, key in topology.dual.edges(keys=True)
+    }
+    for key in gate_edges:
+        u, v = dual_edge_of[key]
+        dual.remove_edge(u, v, key=key)
+
+    # Step "Vertex Matching".
+    pairs = match_odd_vertices(dual)
+    simple = simple_projection(dual)
+    path_lists = [top_k_paths(simple, u, v, top_k) for u, v in pairs]
+    path_lists = [paths for paths in path_lists if paths]
+
+    def union_paths(indices: list[int]) -> frozenset[tuple[int, int]]:
+        edges: set[tuple[int, int]] = set()
+        for paths, idx in zip(path_lists, indices):
+            edges.update(paths[idx])
+        return frozenset(edges)
+
+    indices = [0] * len(path_lists)
+    best = _evaluate(topology, union_paths(indices), gate_edges, gate_qubits)
+    best_objective = best.objective(alpha) if best else float("inf")
+
+    # Step "Path Relaxing": greedy hill-climb over per-pair path indices.
+    improved = True
+    while improved:
+        improved = False
+        best_candidate: tuple[float, int, SuppressionPlan] | None = None
+        for i, paths in enumerate(path_lists):
+            if indices[i] + 1 >= len(paths):
+                continue
+            trial = list(indices)
+            trial[i] += 1
+            plan = _evaluate(topology, union_paths(trial), gate_edges, gate_qubits)
+            if plan is None:
+                continue
+            objective = plan.objective(alpha)
+            if best_candidate is None or objective < best_candidate[0]:
+                best_candidate = (objective, i, plan)
+        if best_candidate is not None and best_candidate[0] < best_objective:
+            best_objective, which, best = (
+                best_candidate[0],
+                best_candidate[1],
+                best_candidate[2],
+            )
+            indices[which] += 1
+            improved = True
+
+    if best is None:
+        # Try relaxing even without improvement pressure: scan all single
+        # advances until some candidate becomes valid.
+        for i, paths in enumerate(path_lists):
+            for idx in range(1, len(paths)):
+                trial = list(indices)
+                trial[i] = idx
+                plan = _evaluate(
+                    topology, union_paths(trial), gate_edges, gate_qubits
+                )
+                if plan is not None:
+                    return plan
+        return _trivial_plan(topology)
+    return best

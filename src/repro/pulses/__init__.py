@@ -1,0 +1,44 @@
+"""Pulse model, shapes, and ZZ-suppressing pulse optimization."""
+
+from repro.pulses.waveform import Waveform, times_midpoint
+from repro.pulses.shapes import (
+    constant,
+    fourier_basis,
+    fourier_waveform,
+    gaussian,
+)
+from repro.pulses.drag import drag_transform
+from repro.pulses.pulse import (
+    GatePulse,
+    ONE_QUBIT_CHANNELS,
+    TWO_QUBIT_CHANNELS,
+    one_qubit_pulse,
+    two_qubit_pulse,
+)
+from repro.pulses.library import (
+    METHODS,
+    PHYSICAL_GATES,
+    PulseLibrary,
+    build_library,
+    rebuild_cache,
+)
+
+__all__ = [
+    "Waveform",
+    "times_midpoint",
+    "constant",
+    "fourier_basis",
+    "fourier_waveform",
+    "gaussian",
+    "drag_transform",
+    "GatePulse",
+    "ONE_QUBIT_CHANNELS",
+    "TWO_QUBIT_CHANNELS",
+    "one_qubit_pulse",
+    "two_qubit_pulse",
+    "METHODS",
+    "PHYSICAL_GATES",
+    "PulseLibrary",
+    "build_library",
+    "rebuild_cache",
+]

@@ -1,0 +1,35 @@
+"""First-order DRAG correction (Motzoi et al. [45], Gambetta et al. [25]).
+
+DRAG modifies a pulse optimized for a two-level system so that it remains
+accurate on a weakly anharmonic multi-level transmon: each quadrature
+receives a correction proportional to the time derivative of the other,
+scaled by the inverse anharmonicity:
+
+    Omega_x' = Omega_x + beta * dOmega_y/dt / alpha
+    Omega_y' = Omega_y - beta * dOmega_x/dt / alpha
+
+``alpha`` is the (negative) anharmonicity in rad/ns and ``beta`` the DRAG
+coefficient (1.0 at lowest order).
+"""
+
+from __future__ import annotations
+
+from repro.pulses.waveform import Waveform
+
+
+def drag_transform(
+    omega_x: Waveform,
+    omega_y: Waveform,
+    alpha: float,
+    beta: float = 1.0,
+) -> tuple[Waveform, Waveform]:
+    """Return DRAG-corrected ``(omega_x', omega_y')``."""
+    if alpha == 0.0:
+        raise ValueError("anharmonicity must be non-zero for DRAG")
+    if abs(omega_x.dt - omega_y.dt) > 1e-12 or omega_x.num_steps != omega_y.num_steps:
+        raise ValueError("quadratures must share the same sample grid")
+    dx = omega_x.derivative()
+    dy = omega_y.derivative()
+    corrected_x = Waveform(omega_x.samples + beta * dy.samples / alpha, omega_x.dt)
+    corrected_y = Waveform(omega_y.samples - beta * dx.samples / alpha, omega_y.dt)
+    return corrected_x, corrected_y

@@ -1,0 +1,38 @@
+"""Hybrid pulse libraries: DD substitution for identity pulses (Sec 8).
+
+The paper's Related Work observes that dynamical decoupling can protect
+idle periods "by substituting DD pulses for the additional identity
+pulses" — the DCG echo identity being exactly such a DD sequence.  A hybrid
+library therefore plays one method's *gate* pulses and another method's
+*identity* pulses, e.g. fast Pert gates with robust DCG echoes on the
+supplemented qubits.
+
+Caveat (measurable with ``benchmarks/bench_ablation_identity.py``-style
+experiments): mixing pulse *durations* inside one layer degrades
+suppression — a 20 ns gate running beside a 40 ns echo leaves the gate's
+qubits idle and unprotected for the layer's second half.  DD substitution
+pays off when the identity durations match the gate durations (e.g.
+``pert`` gates + ``pert`` identities, or all-DCG layers), which is why the
+paper pairs DCG identities with DCG gates on its real device.
+"""
+
+from __future__ import annotations
+
+from repro.pulses.library import METHODS, PulseLibrary, build_library
+
+
+def build_hybrid_library(
+    gate_method: str,
+    identity_method: str,
+    *,
+    use_cache: bool = True,
+) -> PulseLibrary:
+    """Library with gates from ``gate_method``, identities from ``identity_method``."""
+    for method in (gate_method, identity_method):
+        if method not in METHODS:
+            raise ValueError(f"unknown method {method!r}; expected one of {METHODS}")
+    gates = build_library(gate_method, use_cache=use_cache)
+    identities = build_library(identity_method, use_cache=use_cache)
+    pulses = dict(gates.pulses)
+    pulses["id"] = identities["id"]
+    return PulseLibrary(f"{gate_method}+{identity_method}-id", pulses)

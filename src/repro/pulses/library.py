@@ -1,0 +1,231 @@
+"""PulseLibrary: the per-method collection of native-gate pulses.
+
+The native gate set (Sec 7.1.2) is ``{Rz(theta), Rx(pi/2), Rzx(pi/2)}`` plus
+the identity gate ``I = Rx(2 pi)`` used by the scheduler.  ``Rz`` is virtual
+(software frame change) and has no pulse.  A :class:`PulseLibrary` holds one
+pulse per physical native gate, built by one of the four methods.
+
+Optimized coefficient sets are cached as JSON (committed under
+``repro/pulses/data/pulse_cache.json``) so that tests and benchmarks don't
+re-run the optimizers; ``build_library(..., use_cache=False)`` forces a
+fresh optimization.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from importlib import resources
+from pathlib import Path
+
+import numpy as np
+
+from repro.pulses.optimizers.dcg import dcg_identity, dcg_rx90
+from repro.pulses.optimizers.gaussian import (
+    gaussian_identity,
+    gaussian_rx90,
+    gaussian_rzx90,
+)
+from repro.pulses.optimizers.optctrl import optctrl_optimize_1q, optctrl_optimize_2q
+from repro.pulses.optimizers.pert import pert_optimize_1q, pert_optimize_2q
+from repro.pulses.pulse import (
+    GatePulse,
+    ONE_QUBIT_CHANNELS,
+    TWO_QUBIT_CHANNELS,
+    one_qubit_pulse,
+    two_qubit_pulse,
+)
+from repro.pulses.waveform import Waveform
+from repro.qmath.unitaries import rx, rzx
+
+METHODS = ("gaussian", "optctrl", "pert", "dcg")
+PHYSICAL_GATES = ("rx90", "id", "rzx90")
+_CACHE_RESOURCE = "pulse_cache.json"
+
+
+@dataclass
+class PulseLibrary:
+    """Pulses for the physical native gates, all built by one method."""
+
+    method: str
+    pulses: dict[str, GatePulse]
+
+    def __getitem__(self, gate_name: str) -> GatePulse:
+        try:
+            return self.pulses[gate_name]
+        except KeyError:
+            raise KeyError(
+                f"no pulse for gate {gate_name!r} in {self.method} library"
+            ) from None
+
+    def __contains__(self, gate_name: str) -> bool:
+        return gate_name in self.pulses
+
+    def gate_duration(self, gate_name: str) -> float:
+        """Duration in ns (0 for virtual gates)."""
+        if gate_name == "rz":
+            return 0.0
+        return self[gate_name].duration
+
+
+def _pulse_to_record(pulse: GatePulse) -> dict:
+    return {
+        "name": pulse.name,
+        "method": pulse.method,
+        "num_qubits": pulse.num_qubits,
+        "dt": pulse.dt,
+        "controls": {
+            label: list(map(float, wf.samples)) for label, wf in pulse.controls.items()
+        },
+    }
+
+
+def _pulse_from_record(record: dict, target: np.ndarray) -> GatePulse:
+    dt = float(record["dt"])
+    controls = {
+        label: Waveform(np.asarray(samples, dtype=float), dt)
+        for label, samples in record["controls"].items()
+    }
+    if record["num_qubits"] == 1:
+        for label in ONE_QUBIT_CHANNELS:
+            controls.setdefault(label, Waveform.zeros(len(next(iter(controls.values())).samples), dt))
+        return one_qubit_pulse(record["name"], record["method"], controls["x"], controls["y"], target)
+    for label in TWO_QUBIT_CHANNELS:
+        controls.setdefault(label, Waveform.zeros(len(next(iter(controls.values())).samples), dt))
+    return two_qubit_pulse(record["name"], record["method"], controls, target)
+
+
+def _gate_target(gate_name: str) -> np.ndarray:
+    if gate_name == "rx90":
+        return rx(np.pi / 2.0)
+    if gate_name == "id":
+        return np.eye(2, dtype=complex)
+    if gate_name == "rzx90":
+        return rzx(np.pi / 2.0)
+    raise ValueError(f"unknown physical gate {gate_name!r}")
+
+
+def _default_cache_path() -> Path | None:
+    try:
+        root = resources.files("repro.pulses") / "data" / _CACHE_RESOURCE
+        return Path(str(root))
+    except (ModuleNotFoundError, FileNotFoundError):
+        return None
+
+
+def load_cache(path: Path | None = None) -> dict:
+    """Load the JSON pulse cache; empty dict if missing."""
+    path = path or _default_cache_path()
+    if path is None or not Path(path).exists():
+        return {}
+    with open(path) as fh:
+        return json.load(fh)
+
+
+def save_cache(cache: dict, path: Path) -> None:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w") as fh:
+        json.dump(cache, fh, indent=1)
+
+
+def _optimize(method: str, gate_name: str, fast: bool) -> GatePulse:
+    maxiter = 150 if fast else 1500
+    restarts = 1 if fast else 3
+    target = _gate_target(gate_name)
+    if method == "pert":
+        if gate_name == "rx90":
+            pulse, _ = pert_optimize_1q(
+                target, "rx90", rotation_hint=np.pi / 2.0,
+                maxiter=maxiter, restarts=restarts,
+            )
+        elif gate_name == "id":
+            pulse, _ = pert_optimize_1q(
+                target, "id", rotation_hint=2.0 * np.pi,
+                maxiter=maxiter, restarts=restarts,
+            )
+        else:
+            pulse, _ = pert_optimize_2q(
+                target, "rzx90", coupling_area=np.pi / 4.0,
+                maxiter=maxiter, restarts=max(1, restarts - 1),
+            )
+        return pulse
+    if method == "optctrl":
+        if gate_name == "rx90":
+            pulse, _ = optctrl_optimize_1q(
+                target, "rx90", rotation_hint=np.pi / 2.0,
+                maxiter=maxiter, restarts=restarts,
+            )
+        elif gate_name == "id":
+            pulse, _ = optctrl_optimize_1q(
+                target, "id", rotation_hint=2.0 * np.pi,
+                maxiter=maxiter, restarts=restarts,
+            )
+        else:
+            # The 16-dim joint objective needs amplitude headroom to reach
+            # deep suppression; 2-qubit pulses are not bound by the Fig. 28
+            # single-qubit waveform envelope.
+            pulse, _ = optctrl_optimize_2q(
+                target, "rzx90", coupling_area=np.pi / 4.0,
+                max_amplitude=0.3, maxiter=max(300, maxiter),
+                restarts=max(1, restarts),
+            )
+        return pulse
+    raise ValueError(f"method {method!r} is not an optimizing method")
+
+
+def build_library(
+    method: str,
+    *,
+    use_cache: bool = True,
+    cache_path: Path | None = None,
+    fast: bool = False,
+) -> PulseLibrary:
+    """Build (or load) the pulse library for ``method``.
+
+    ``fast=True`` uses reduced optimizer budgets — handy in tests, not for
+    measurements.
+    """
+    if method not in METHODS:
+        raise ValueError(f"unknown method {method!r}; expected one of {METHODS}")
+    if method == "gaussian":
+        return PulseLibrary(
+            "gaussian",
+            {
+                "rx90": gaussian_rx90(),
+                "id": gaussian_identity(),
+                "rzx90": gaussian_rzx90(),
+            },
+        )
+    if method == "dcg":
+        # DCG has no practical two-qubit sequence (Sec 7.2.2); fall back to
+        # the Gaussian Rzx pulse, exactly as the paper omits DCG for 2Q.
+        return PulseLibrary(
+            "dcg",
+            {
+                "rx90": dcg_rx90(),
+                "id": dcg_identity(),
+                "rzx90": gaussian_rzx90(),
+            },
+        )
+    cache = load_cache(cache_path) if use_cache else {}
+    pulses: dict[str, GatePulse] = {}
+    for gate_name in PHYSICAL_GATES:
+        key = f"{method}/{gate_name}"
+        record = cache.get(key)
+        if record is not None:
+            pulses[gate_name] = _pulse_from_record(record, _gate_target(gate_name))
+        else:
+            pulses[gate_name] = _optimize(method, gate_name, fast)
+    return PulseLibrary(method, pulses)
+
+
+def rebuild_cache(path: Path, methods=("optctrl", "pert")) -> dict:
+    """Re-run all optimizations at full budget and store them at ``path``."""
+    cache: dict = {}
+    for method in methods:
+        library = build_library(method, use_cache=False, fast=False)
+        for gate_name, pulse in library.pulses.items():
+            cache[f"{method}/{gate_name}"] = _pulse_to_record(pulse)
+    save_cache(cache, path)
+    return cache

@@ -1,0 +1,38 @@
+"""Pulse optimization methods (Section 7.1.1 of the paper).
+
+- :mod:`repro.pulses.optimizers.gaussian` — unoptimized Gaussian reference.
+- :mod:`repro.pulses.optimizers.optctrl` — quantum optimal control (OptCtrl).
+- :mod:`repro.pulses.optimizers.pert` — the paper's perturbative objective.
+- :mod:`repro.pulses.optimizers.dcg` — dynamically corrected gates.
+- :mod:`repro.pulses.optimizers.engine` — shared piecewise-constant
+  propagation + analytic gradients used by OptCtrl and Pert.
+"""
+
+from repro.pulses.optimizers.engine import (
+    ControlProblem,
+    FidelityScenario,
+    OptimizationResult,
+)
+from repro.pulses.optimizers.gaussian import (
+    gaussian_identity,
+    gaussian_rx90,
+    gaussian_rzx90,
+)
+from repro.pulses.optimizers.dcg import dcg_identity, dcg_rx90
+from repro.pulses.optimizers.optctrl import optctrl_optimize_1q, optctrl_optimize_2q
+from repro.pulses.optimizers.pert import pert_optimize_1q, pert_optimize_2q
+
+__all__ = [
+    "ControlProblem",
+    "FidelityScenario",
+    "OptimizationResult",
+    "gaussian_identity",
+    "gaussian_rx90",
+    "gaussian_rzx90",
+    "dcg_identity",
+    "dcg_rx90",
+    "optctrl_optimize_1q",
+    "optctrl_optimize_2q",
+    "pert_optimize_1q",
+    "pert_optimize_2q",
+]

@@ -1,0 +1,57 @@
+"""Dynamically corrected gates (DCG), Khodjasteh & Viola [35, 36].
+
+DCG composes existing Gaussian primitives into self-correcting sequences
+instead of optimizing waveforms from scratch.  Following the paper's
+Appendix A:
+
+- ``Rx(pi/2)``: 120 ns —
+  ``[pi (20ns)] [pi/2 (20ns)] [-pi/2 (20ns)] [pi (20ns)] [pi/2 (40ns)]``
+- ``I``: 40 ns — ``[pi (20ns)] [pi (20ns)]`` (a continuous echo; the second
+  pi pulse refocuses the ZZ phase accumulated during the first).
+
+The price is duration: the long sequences accumulate more crosstalk during
+execution than the 20 ns OptCtrl/Pert pulses, which is why DCG sits between
+Gaussian and Pert in Fig. 16.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.pulses.pulse import GatePulse, one_qubit_pulse
+from repro.pulses.shapes import gaussian
+from repro.pulses.waveform import Waveform
+from repro.qmath.unitaries import rx
+
+DEFAULT_DT = 0.25
+SEGMENT_NS = 20.0
+
+
+def _segment(theta: float, duration: float, dt: float) -> Waveform:
+    """One Gaussian sub-pulse rotating by ``theta`` (sign allowed)."""
+    sign = 1.0 if theta >= 0 else -1.0
+    wf = gaussian(duration, dt, area=abs(theta) / 2.0)
+    return wf.scaled(sign)
+
+
+def dcg_rx90(dt: float = DEFAULT_DT) -> GatePulse:
+    """The 120 ns DCG sequence for ``Rx(pi/2)`` (Fig. 28c)."""
+    parts = [
+        _segment(np.pi, SEGMENT_NS, dt),
+        _segment(np.pi / 2.0, SEGMENT_NS, dt),
+        _segment(-np.pi / 2.0, SEGMENT_NS, dt),
+        _segment(np.pi, SEGMENT_NS, dt),
+        _segment(np.pi / 2.0, 2.0 * SEGMENT_NS, dt),
+    ]
+    wx = parts[0]
+    for part in parts[1:]:
+        wx = wx.concatenated(part)
+    wy = Waveform.zeros(wx.num_steps, dt)
+    return one_qubit_pulse("rx90", "dcg", wx, wy, rx(np.pi / 2.0))
+
+
+def dcg_identity(dt: float = DEFAULT_DT) -> GatePulse:
+    """The 40 ns DCG echo identity: two back-to-back Gaussian pi pulses."""
+    wx = _segment(np.pi, SEGMENT_NS, dt).concatenated(_segment(np.pi, SEGMENT_NS, dt))
+    wy = Waveform.zeros(wx.num_steps, dt)
+    return one_qubit_pulse("id", "dcg", wx, wy, np.eye(2, dtype=complex))

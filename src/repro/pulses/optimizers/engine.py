@@ -1,0 +1,275 @@
+"""Shared optimization engine: piecewise-constant propagation + gradients.
+
+Controls are parameterized by the paper's Fourier basis (Appendix A): the
+amplitude of channel ``c`` at step ``k`` is ``SUM_m theta[c, m] B[m, k]``.
+Losses are weighted sums over *scenarios*; a scenario fixes a system
+dimension, a static Hamiltonian (e.g. a training crosstalk strength), one
+generator per channel and a target unitary.
+
+Gradients are exact (to machine precision): the derivative of each step
+propagator ``U_k = exp(-i H_k dt)`` with respect to a control amplitude is
+computed with the Daleckii-Krein formula through the eigendecomposition of
+``H_k``,
+
+    dU[E] = Q (F o (Q^dag E Q)) Q^dag,
+    F_mn = (f(l_m) - f(l_n)) / (l_m - l_n),   f(l) = exp(-i l dt),
+
+so L-BFGS-B can converge the losses to ~1e-12 without line-search failures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from collections.abc import Sequence
+
+import numpy as np
+from scipy.optimize import minimize
+
+from repro.pulses.shapes import fourier_basis
+
+
+@dataclass(frozen=True)
+class FidelityScenario:
+    """One term of an OptCtrl-style loss: ``weight * (1 - F_avg(U(T), target))``."""
+
+    generators: tuple[np.ndarray, ...]
+    static: np.ndarray
+    target: np.ndarray
+    weight: float
+
+
+@dataclass
+class OptimizationResult:
+    """Outcome of a pulse optimization."""
+
+    theta: np.ndarray
+    loss: float
+    num_iterations: int
+    converged: bool
+    history: list[float] = field(default_factory=list)
+
+
+class ForwardPass:
+    """Propagation of one parameter set, retaining what gradients need."""
+
+    def __init__(
+        self,
+        amplitudes: np.ndarray,
+        generators: Sequence[np.ndarray],
+        static: np.ndarray,
+        dt: float,
+    ):
+        self.dt = dt
+        self.generators = list(generators)
+        num_steps = amplitudes.shape[1]
+        dim = static.shape[0]
+        self.dim = dim
+        self.num_steps = num_steps
+        self.evals: list[np.ndarray] = []
+        self.evecs: list[np.ndarray] = []
+        self.steps: list[np.ndarray] = []
+        #: cumulative[k] = U_k ... U_1; cumulative[-1] is U(T).
+        self.cumulative: list[np.ndarray] = []
+        total = np.eye(dim, dtype=complex)
+        for k in range(num_steps):
+            h = static.copy()
+            for c, gen in enumerate(generators):
+                h = h + amplitudes[c, k] * gen
+            evals, evecs = np.linalg.eigh(h)
+            u_k = (evecs * np.exp(-1.0j * evals * dt)) @ evecs.conj().T
+            total = u_k @ total
+            self.evals.append(evals)
+            self.evecs.append(evecs)
+            self.steps.append(u_k)
+            self.cumulative.append(total)
+
+    @property
+    def final(self) -> np.ndarray:
+        return self.cumulative[-1]
+
+    def cumulative_before(self, k: int) -> np.ndarray:
+        """``C_{k-1}`` (identity for k = 0)."""
+        if k == 0:
+            return np.eye(self.dim, dtype=complex)
+        return self.cumulative[k - 1]
+
+    def step_derivative(self, k: int, generator: np.ndarray) -> np.ndarray:
+        """Exact ``dU_k / d amplitude`` for a perturbation ``generator``."""
+        evals = self.evals[k]
+        q = self.evecs[k]
+        phases = np.exp(-1.0j * evals * self.dt)
+        diff_l = evals[:, None] - evals[None, :]
+        diff_f = phases[:, None] - phases[None, :]
+        with np.errstate(invalid="ignore", divide="ignore"):
+            loewner = np.where(
+                np.abs(diff_l) > 1e-12,
+                diff_f / np.where(np.abs(diff_l) > 1e-12, diff_l, 1.0),
+                -1.0j * self.dt * phases[:, None],
+            )
+        e = q.conj().T @ generator @ q
+        return q @ (loewner * e) @ q.conj().T
+
+    def propagator_gradient_factor(self, k: int, generator: np.ndarray) -> np.ndarray:
+        """``G_{c,k} = C_k^dag dU_k C_{k-1}`` — so ``dC_j = C_j G`` for j >= k."""
+        du = self.step_derivative(k, generator)
+        return self.cumulative[k].conj().T @ du @ self.cumulative_before(k)
+
+
+def fidelity_loss_and_grad(
+    scenario: FidelityScenario, amplitudes: np.ndarray, dt: float
+) -> tuple[float, np.ndarray]:
+    """``1 - F_avg`` of the scenario and its exact amplitude gradient."""
+    fp = ForwardPass(amplitudes, scenario.generators, scenario.static, dt)
+    v = scenario.target
+    d = v.shape[0]
+    w = v.conj().T @ fp.final
+    tr0 = np.trace(w)
+    fidelity = (abs(tr0) ** 2 + d) / (d * (d + 1))
+    loss = 1.0 - fidelity
+
+    grad = np.zeros_like(amplitudes)
+    for k in range(fp.num_steps):
+        # Tr(V^dag dC_N) = Tr(V^dag C_N G) = Tr(W G) for each channel.
+        for c, gen in enumerate(scenario.generators):
+            g = fp.propagator_gradient_factor(k, gen)
+            dtr = np.trace(w @ g)
+            grad[c, k] = -(2.0 / (d * (d + 1))) * float(
+                np.real(np.conj(tr0) * dtr)
+            )
+    return float(loss), grad
+
+
+def pert_loss_and_grad(
+    amplitudes: np.ndarray,
+    generators: Sequence[np.ndarray],
+    xtalk_ops: Sequence[np.ndarray],
+    target: np.ndarray,
+    gate_weight: float,
+    dt: float,
+) -> tuple[float, np.ndarray]:
+    """Pert objective: ``SUM_i ||M_i||_F^2 / T^2 + gate_weight * (1 - F_avg)``.
+
+    ``M_i = INT_0^T U^dag(t) A_i U(t) dt`` is the first-order toggled-frame
+    integral for crosstalk operator ``A_i``; driving it to zero cancels the
+    first order of ZZ crosstalk to every neighbor simultaneously.
+    """
+    dim = target.shape[0]
+    static = np.zeros((dim, dim), dtype=complex)
+    fp = ForwardPass(amplitudes, generators, static, dt)
+    num_channels, num_steps = amplitudes.shape
+    duration = num_steps * dt
+
+    d = dim
+    w = target.conj().T @ fp.final
+    tr0 = np.trace(w)
+    fidelity = (abs(tr0) ** 2 + d) / (d * (d + 1))
+    loss = gate_weight * (1.0 - fidelity)
+
+    # Exact per-step, per-channel gradient factors G_{c,k} (dC_j = C_j G).
+    factors = [
+        [fp.propagator_gradient_factor(k, gen) for gen in generators]
+        for k in range(num_steps)
+    ]
+
+    grad = np.zeros_like(amplitudes)
+    for k in range(num_steps):
+        for c in range(num_channels):
+            dtr = np.trace(w @ factors[k][c])
+            grad[c, k] += -gate_weight * (2.0 / (d * (d + 1))) * float(
+                np.real(np.conj(tr0) * dtr)
+            )
+
+    # Crosstalk-integral part.  M = SUM_k C_k^dag A C_k dt; for j <= k,
+    # dC_k = C_k G_j, hence dM/dOmega_{c,j} = G_j^dag S_j + S_j G_j with
+    # S_j the suffix sum of the integrand.
+    norm = duration**2
+    for a_op in xtalk_ops:
+        integrand = [c_k.conj().T @ a_op @ c_k * dt for c_k in fp.cumulative]
+        m = np.sum(integrand, axis=0)
+        loss += float(np.real(np.trace(m.conj().T @ m))) / norm
+        suffixes: list[np.ndarray] = [np.zeros((dim, dim), complex)] * num_steps
+        suffix = np.zeros((dim, dim), dtype=complex)
+        for j in range(num_steps - 1, -1, -1):
+            suffix = suffix + integrand[j]
+            suffixes[j] = suffix
+        m_dag = m.conj().T
+        for j in range(num_steps):
+            s_j = suffixes[j]
+            for c in range(num_channels):
+                g = factors[j][c]
+                dm = g.conj().T @ s_j + s_j @ g
+                grad[c, j] += 2.0 * float(np.real(np.trace(m_dag @ dm))) / norm
+    return float(loss), grad
+
+
+class ControlProblem:
+    """Fourier-parameterized control problem over a fixed time grid."""
+
+    def __init__(
+        self,
+        duration: float,
+        dt: float,
+        num_coeffs: int,
+        num_channels: int,
+        max_amplitude: float | None = None,
+    ):
+        self.duration = duration
+        self.dt = dt
+        self.num_steps = max(1, int(round(duration / dt)))
+        self.num_coeffs = num_coeffs
+        self.num_channels = num_channels
+        self.max_amplitude = max_amplitude
+        self.basis = fourier_basis(num_coeffs, self.num_steps, dt)
+
+    @property
+    def num_params(self) -> int:
+        return self.num_channels * self.num_coeffs
+
+    def amplitudes(self, theta: np.ndarray) -> np.ndarray:
+        """Map parameters to per-channel sample arrays ``(n_ch, n_steps)``."""
+        coeffs = np.asarray(theta, dtype=float).reshape(
+            self.num_channels, self.num_coeffs
+        )
+        return coeffs @ self.basis
+
+    def grad_to_theta(self, grad_amps: np.ndarray) -> np.ndarray:
+        """Chain rule from amplitude-space gradients to parameter space."""
+        return (grad_amps @ self.basis.T).reshape(-1)
+
+    def bounds(self) -> list[tuple[float, float]] | None:
+        if self.max_amplitude is None:
+            return None
+        b = float(self.max_amplitude)
+        return [(-b, b)] * self.num_params
+
+    def minimize(
+        self,
+        loss_and_grad,
+        theta0: np.ndarray,
+        maxiter: int = 300,
+        ftol: float = 1e-16,
+        gtol: float = 1e-14,
+    ) -> OptimizationResult:
+        """Run L-BFGS-B from ``theta0`` on a (value, grad) callable."""
+        history: list[float] = []
+
+        def objective(theta: np.ndarray):
+            value, grad = loss_and_grad(theta)
+            history.append(value)
+            return value, grad
+
+        result = minimize(
+            objective,
+            np.asarray(theta0, dtype=float),
+            jac=True,
+            method="L-BFGS-B",
+            bounds=self.bounds(),
+            options={"maxiter": maxiter, "ftol": ftol, "gtol": gtol},
+        )
+        return OptimizationResult(
+            theta=np.asarray(result.x),
+            loss=float(result.fun),
+            num_iterations=int(result.nit),
+            converged=bool(result.success),
+            history=history,
+        )

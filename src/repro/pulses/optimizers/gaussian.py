@@ -1,0 +1,53 @@
+"""Gaussian reference pulses (not optimized for ZZ crosstalk).
+
+Gaussian pulses are the paper's baseline: representative of practical
+systems and suppressing nothing.  A rotation by ``theta`` about X requires
+pulse area ``INT Omega dt = theta / 2`` under the drive convention
+``H = Omega_x sigma_x``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.pulses.pulse import GatePulse, one_qubit_pulse, two_qubit_pulse
+from repro.pulses.shapes import gaussian
+from repro.pulses.waveform import Waveform
+from repro.qmath.unitaries import rx, rzx
+
+DEFAULT_DURATION = 20.0
+DEFAULT_DT = 0.25
+
+
+def gaussian_rotation(
+    theta: float,
+    name: str,
+    duration: float = DEFAULT_DURATION,
+    dt: float = DEFAULT_DT,
+) -> GatePulse:
+    """Gaussian X-rotation by ``theta``."""
+    wx = gaussian(duration, dt, area=theta / 2.0)
+    wy = Waveform.zeros(wx.num_steps, dt)
+    return one_qubit_pulse(name, "gaussian", wx, wy, rx(theta))
+
+
+def gaussian_rx90(duration: float = DEFAULT_DURATION, dt: float = DEFAULT_DT) -> GatePulse:
+    """The native ``Rx(pi/2)`` as a single Gaussian pulse."""
+    return gaussian_rotation(np.pi / 2.0, "rx90", duration, dt)
+
+
+def gaussian_identity(
+    duration: float = DEFAULT_DURATION, dt: float = DEFAULT_DT
+) -> GatePulse:
+    """Identity as a full ``Rx(2 pi)`` Gaussian rotation (paper Sec 7.1.2)."""
+    return gaussian_rotation(2.0 * np.pi, "id", duration, dt)
+
+
+def gaussian_rzx90(
+    duration: float = DEFAULT_DURATION, dt: float = DEFAULT_DT
+) -> GatePulse:
+    """``Rzx(pi/2)`` driven by a Gaussian on the ZX coupling channel."""
+    wzx = gaussian(duration, dt, area=np.pi / 4.0)
+    zeros = Waveform.zeros(wzx.num_steps, dt)
+    controls = {"x0": zeros, "y0": zeros, "x1": zeros, "y1": zeros, "zx": wzx}
+    return two_qubit_pulse("rzx90", "gaussian", controls, rzx(np.pi / 2.0))

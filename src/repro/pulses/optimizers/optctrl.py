@@ -1,0 +1,209 @@
+"""OptCtrl: quantum optimal control with ZZ-suppressing objectives (Sec 4).
+
+The loss is the paper's
+
+    L = - mean_lambda F_avg(U(T; lambda), U_gate (x) I_neighbors)
+        - w * F_avg(U_ctrl(T), U_gate)
+
+expressed here as a minimized infidelity sum.  To suppress a *range* of
+crosstalk strengths the fidelity term is averaged over a training grid of
+``lambda`` values (the paper: "we average the loss function values obtained
+at many different strengths").
+
+Following Section 4, pulses are optimized on *basic regions* only: a
+single-qubit gate trains against one aggregated neighbor (a 2-qubit system,
+since all cross-region couplings act through the driven qubit's sigma_z);
+a two-qubit gate trains on a 4-qubit chain ``n1 - a - b - n2``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.pulses.optimizers.engine import (
+    ControlProblem,
+    FidelityScenario,
+    OptimizationResult,
+    fidelity_loss_and_grad,
+)
+from repro.pulses.optimizers.pert import spread_initial_coeffs
+from repro.pulses.pulse import GatePulse, one_qubit_pulse, two_qubit_pulse
+from repro.pulses.waveform import Waveform
+from repro.qmath.paulis import ID2, SX, SY, SZ
+from repro.qmath.tensor import kron_all
+from repro.units import MHZ
+
+DEFAULT_DURATION = 20.0
+DEFAULT_DT = 0.25
+DEFAULT_NUM_COEFFS = 5
+#: Per-coefficient bound keeping peaks near the paper's Fig. 28 range.
+DEFAULT_MAX_AMPLITUDE = 0.15
+#: Training crosstalk strengths (rad/ns): spread across the evaluated range.
+DEFAULT_TRAIN_STRENGTHS = (0.25 * MHZ, 0.75 * MHZ, 1.5 * MHZ)
+DEFAULT_GATE_WEIGHT = 2.0
+#: Practical optimal-control convergence tolerance.  Fidelity-based losses
+#: are conventionally run to ~1e-9 relative improvement; this reproduces the
+#: paper's observation that OptCtrl plateaus around 1e-4..1e-6 infidelity
+#: while Pert (which targets the crosstalk term directly) goes deeper.
+DEFAULT_FTOL = 1e-9
+
+
+def _scenario_loss(scenarios, problem: ControlProblem):
+    def loss_and_grad(theta: np.ndarray):
+        amps = problem.amplitudes(theta)
+        total = 0.0
+        grad = np.zeros_like(amps)
+        for scenario in scenarios:
+            value, grad_amps = fidelity_loss_and_grad(scenario, amps, problem.dt)
+            total += scenario.weight * value
+            grad += scenario.weight * grad_amps
+        return total, problem.grad_to_theta(grad)
+
+    return loss_and_grad
+
+
+def optctrl_optimize_1q(
+    target: np.ndarray,
+    name: str,
+    *,
+    rotation_hint: float,
+    duration: float = DEFAULT_DURATION,
+    dt: float = DEFAULT_DT,
+    num_coeffs: int = DEFAULT_NUM_COEFFS,
+    max_amplitude: float = DEFAULT_MAX_AMPLITUDE,
+    train_strengths=DEFAULT_TRAIN_STRENGTHS,
+    gate_weight: float = DEFAULT_GATE_WEIGHT,
+    maxiter: int = 600,
+    restarts: int = 2,
+    seed: int = 23,
+    ftol: float = DEFAULT_FTOL,
+) -> tuple[GatePulse, OptimizationResult]:
+    """OptCtrl optimization of a single-qubit gate with one training neighbor."""
+    problem = ControlProblem(duration, dt, num_coeffs, 2, max_amplitude)
+    gen_joint = (np.kron(SX, ID2), np.kron(SY, ID2))
+    zz = np.kron(SZ, SZ)
+    eye2 = np.eye(2, dtype=complex)
+    scenarios = [
+        FidelityScenario(
+            generators=gen_joint,
+            static=lam * zz,
+            target=np.kron(target, eye2),
+            weight=1.0 / len(train_strengths),
+        )
+        for lam in train_strengths
+    ]
+    scenarios.append(
+        FidelityScenario(
+            generators=(SX, SY),
+            static=np.zeros((2, 2), dtype=complex),
+            target=target,
+            weight=gate_weight,
+        )
+    )
+    loss_and_grad = _scenario_loss(scenarios, problem)
+
+    rng = np.random.default_rng(seed)
+    best: OptimizationResult | None = None
+    for restart in range(max(1, restarts)):
+        winding = restart % 3
+        theta0 = np.zeros(problem.num_params)
+        theta0[:num_coeffs] = spread_initial_coeffs(
+            (rotation_hint + 2.0 * np.pi * winding) / duration,
+            num_coeffs,
+            max_amplitude,
+            rng,
+        )
+        result = problem.minimize(loss_and_grad, theta0, maxiter=maxiter, ftol=ftol)
+        if best is None or result.loss < best.loss:
+            best = result
+    assert best is not None
+    amps = problem.amplitudes(best.theta)
+    pulse = one_qubit_pulse(
+        name, "optctrl", Waveform(amps[0], dt), Waveform(amps[1], dt), target
+    )
+    return pulse, best
+
+
+def optctrl_optimize_2q(
+    target: np.ndarray,
+    name: str,
+    *,
+    coupling_area: float,
+    duration: float = DEFAULT_DURATION,
+    dt: float = DEFAULT_DT,
+    num_coeffs: int = DEFAULT_NUM_COEFFS,
+    max_amplitude: float = DEFAULT_MAX_AMPLITUDE,
+    train_strengths=DEFAULT_TRAIN_STRENGTHS,
+    gate_weight: float = DEFAULT_GATE_WEIGHT,
+    maxiter: int = 400,
+    restarts: int = 1,
+    seed: int = 29,
+    ftol: float = DEFAULT_FTOL,
+) -> tuple[GatePulse, OptimizationResult]:
+    """OptCtrl optimization of a ZX two-qubit gate on the n1-a-b-n2 chain."""
+    channels = ("x0", "y0", "x1", "y1", "zx")
+    problem = ControlProblem(duration, dt, num_coeffs, len(channels), max_amplitude)
+
+    # Joint 4-qubit system, tensor order (n1, a, b, n2).
+    gen_joint = (
+        kron_all([ID2, SX, ID2, ID2]),
+        kron_all([ID2, SY, ID2, ID2]),
+        kron_all([ID2, ID2, SX, ID2]),
+        kron_all([ID2, ID2, SY, ID2]),
+        kron_all([ID2, SZ, SX, ID2]),
+    )
+    xtalk_static = kron_all([SZ, SZ, ID2, ID2]) + kron_all([ID2, ID2, SZ, SZ])
+    eye2 = np.eye(2, dtype=complex)
+    joint_target = kron_all([eye2, target, eye2])
+    scenarios = [
+        FidelityScenario(
+            generators=gen_joint,
+            static=lam * xtalk_static,
+            target=joint_target,
+            weight=1.0 / len(train_strengths),
+        )
+        for lam in train_strengths
+    ]
+    gen_gate = (
+        np.kron(SX, ID2),
+        np.kron(SY, ID2),
+        np.kron(ID2, SX),
+        np.kron(ID2, SY),
+        np.kron(SZ, SX),
+    )
+    scenarios.append(
+        FidelityScenario(
+            generators=gen_gate,
+            static=np.zeros((4, 4), dtype=complex),
+            target=target,
+            weight=gate_weight,
+        )
+    )
+    loss_and_grad = _scenario_loss(scenarios, problem)
+    # Warm-start stage: converge the cheap 4x4 gate-only objective first so
+    # the expensive 16-dim joint optimization starts from a working gate.
+    gate_only = _scenario_loss([scenarios[-1]], problem)
+
+    rng = np.random.default_rng(seed)
+    best: OptimizationResult | None = None
+    zx_index = channels.index("zx")
+    for restart in range(max(1, restarts)):
+        winding = restart % 3
+        theta0 = 0.02 * rng.standard_normal(problem.num_params)
+        theta0[zx_index * num_coeffs : (zx_index + 1) * num_coeffs] = (
+            spread_initial_coeffs(
+                2.0 * (coupling_area + np.pi * winding) / duration,
+                num_coeffs,
+                max_amplitude,
+                rng,
+            )
+        )
+        warm = problem.minimize(gate_only, theta0, maxiter=maxiter, ftol=1e-14)
+        result = problem.minimize(loss_and_grad, warm.theta, maxiter=maxiter, ftol=ftol)
+        if best is None or result.loss < best.loss:
+            best = result
+    assert best is not None
+    amps = problem.amplitudes(best.theta)
+    controls = {label: Waveform(amps[i], dt) for i, label in enumerate(channels)}
+    pulse = two_qubit_pulse(name, "optctrl", controls, target)
+    return pulse, best

@@ -1,0 +1,198 @@
+"""Gate pulses: the bound collection of control waveforms for one native gate.
+
+A :class:`GatePulse` carries everything the simulator needs to play a gate:
+the per-channel waveforms, the sample period, and the ideal target unitary.
+Channel labels follow the paper's Hamiltonians (Figs. 6-7):
+
+- single-qubit gates: ``"x"``, ``"y"``  (``Omega_x sigma_x + Omega_y sigma_y``)
+- two-qubit gates: ``"x0"``, ``"y0"``, ``"x1"``, ``"y1"`` (local drives) and
+  ``"zx"`` (the ``sigma_z (x) sigma_x`` coupling drive used for Rzx).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.qmath.paulis import ID2, SX, SY, SZ
+from repro.pulses.drag import drag_transform
+from repro.pulses.waveform import Waveform
+from repro.sim.noise import DriveNoise
+
+ONE_QUBIT_CHANNELS = ("x", "y")
+TWO_QUBIT_CHANNELS = ("x0", "y0", "x1", "y1", "zx")
+
+_XI = np.kron(SX, ID2)
+_YI = np.kron(SY, ID2)
+_IX = np.kron(ID2, SX)
+_IY = np.kron(ID2, SY)
+_ZI = np.kron(SZ, ID2)
+_IZ = np.kron(ID2, SZ)
+_ZX = np.kron(SZ, SX)
+
+#: channel label -> (generator matrix, qubit index the noise detuning acts on)
+_GENERATORS_2Q = {
+    "x0": _XI,
+    "y0": _YI,
+    "x1": _IX,
+    "y1": _IY,
+    "zx": _ZX,
+}
+
+
+def _su2_steps(
+    omega_x: np.ndarray, omega_y: np.ndarray, omega_z: np.ndarray, dt: float
+) -> np.ndarray:
+    """Vectorized exact ``exp(-i (x X + y Y + z Z) dt)`` per step."""
+    norm = np.sqrt(omega_x**2 + omega_y**2 + omega_z**2)
+    angle = norm * dt
+    c = np.cos(angle)
+    s = np.sin(angle)
+    with np.errstate(invalid="ignore", divide="ignore"):
+        scale = np.where(norm > 0.0, s / np.where(norm > 0.0, norm, 1.0), 0.0)
+    sx = scale * omega_x
+    sy = scale * omega_y
+    sz = scale * omega_z
+    out = np.empty((len(omega_x), 2, 2), dtype=complex)
+    out[:, 0, 0] = c - 1.0j * sz
+    out[:, 0, 1] = -1.0j * sx - sy
+    out[:, 1, 0] = -1.0j * sx + sy
+    out[:, 1, 1] = c + 1.0j * sz
+    return out
+
+
+@dataclass
+class GatePulse:
+    """Control pulses implementing one native gate.
+
+    ``controls`` maps channel labels to waveforms on a shared grid;
+    ``target`` is the ideal unitary the pulse implements.
+    """
+
+    name: str
+    method: str
+    num_qubits: int
+    controls: dict[str, Waveform]
+    target: np.ndarray
+    _step_cache: dict = field(default_factory=dict, repr=False, compare=False)
+
+    def __post_init__(self):
+        expected = ONE_QUBIT_CHANNELS if self.num_qubits == 1 else TWO_QUBIT_CHANNELS
+        unknown = set(self.controls) - set(expected)
+        if unknown:
+            raise ValueError(f"unknown channels for {self.num_qubits}q pulse: {unknown}")
+        grids = {(w.num_steps, round(w.dt, 12)) for w in self.controls.values()}
+        if len(grids) > 1:
+            raise ValueError("all control waveforms must share one sample grid")
+        dim = 2**self.num_qubits
+        if self.target.shape != (dim, dim):
+            raise ValueError("target dimension does not match num_qubits")
+
+    @property
+    def dt(self) -> float:
+        return next(iter(self.controls.values())).dt
+
+    @property
+    def num_steps(self) -> int:
+        return next(iter(self.controls.values())).num_steps
+
+    @property
+    def duration(self) -> float:
+        return self.num_steps * self.dt
+
+    def channel(self, label: str) -> np.ndarray:
+        """Samples of one channel (zeros if the channel is absent)."""
+        wf = self.controls.get(label)
+        if wf is None:
+            return np.zeros(self.num_steps)
+        return wf.samples
+
+    def drive_hamiltonians(self, noise: DriveNoise | None = None) -> np.ndarray:
+        """Per-step drive Hamiltonians ``(n_steps, d, d)`` including noise."""
+        noise = noise or DriveNoise()
+        scale = 1.0 + noise.amplitude_fraction
+        delta = noise.detuning_rad_ns
+        n = self.num_steps
+        if self.num_qubits == 1:
+            hams = np.zeros((n, 2, 2), dtype=complex)
+            hams += delta * SZ
+            hams += (scale * self.channel("x"))[:, None, None] * SX
+            hams += (scale * self.channel("y"))[:, None, None] * SY
+            return hams
+        hams = np.zeros((n, 4, 4), dtype=complex)
+        hams += delta * (_ZI + _IZ)
+        for label, generator in _GENERATORS_2Q.items():
+            samples = self.channel(label)
+            if np.any(samples):
+                hams += (scale * samples)[:, None, None] * generator
+        return hams
+
+    def step_unitaries(self, noise: DriveNoise | None = None) -> np.ndarray:
+        """Exact per-step propagators of the drive Hamiltonian (cached)."""
+        key = (
+            (noise.detuning_mhz, noise.amplitude_fraction)
+            if noise is not None
+            else (0.0, 0.0)
+        )
+        cached = self._step_cache.get(key)
+        if cached is not None:
+            return cached
+        noise = noise or DriveNoise()
+        if self.num_qubits == 1:
+            scale = 1.0 + noise.amplitude_fraction
+            ops = _su2_steps(
+                scale * self.channel("x"),
+                scale * self.channel("y"),
+                np.full(self.num_steps, noise.detuning_rad_ns),
+                self.dt,
+            )
+        else:
+            from repro.sim.propagate import step_unitaries
+
+            ops = step_unitaries(self.drive_hamiltonians(noise), self.dt)
+        self._step_cache[key] = ops
+        return ops
+
+    def control_unitary(self, noise: DriveNoise | None = None) -> np.ndarray:
+        """``U_ctrl(T)`` — total propagator of the drive alone."""
+        ops = self.step_unitaries(noise)
+        dim = ops.shape[-1]
+        total = np.eye(dim, dtype=complex)
+        for op in ops:
+            total = op @ total
+        return total
+
+    def with_drag(self, alpha: float, beta: float = 1.0) -> "GatePulse":
+        """DRAG-corrected copy (single-qubit pulses only)."""
+        if self.num_qubits != 1:
+            raise ValueError("DRAG correction applies to single-qubit pulses")
+        wx = self.controls.get("x", Waveform.zeros(self.num_steps, self.dt))
+        wy = self.controls.get("y", Waveform.zeros(self.num_steps, self.dt))
+        cx, cy = drag_transform(wx, wy, alpha, beta)
+        return GatePulse(
+            name=self.name,
+            method=f"{self.method}+drag",
+            num_qubits=1,
+            controls={"x": cx, "y": cy},
+            target=self.target,
+        )
+
+
+def one_qubit_pulse(
+    name: str,
+    method: str,
+    omega_x: Waveform,
+    omega_y: Waveform,
+    target: np.ndarray,
+) -> GatePulse:
+    return GatePulse(name, method, 1, {"x": omega_x, "y": omega_y}, target)
+
+
+def two_qubit_pulse(
+    name: str,
+    method: str,
+    controls: dict[str, Waveform],
+    target: np.ndarray,
+) -> GatePulse:
+    return GatePulse(name, method, 2, dict(controls), target)

@@ -1,0 +1,69 @@
+"""Analytic pulse shapes: Gaussian primitives and the paper's Fourier form.
+
+Appendix A of the paper selects the smooth, band-limited Fourier form
+
+    Omega(A, t) = SUM_{j=1..N} A_j / 2 * (1 + cos(2 pi j t / T - pi))
+
+whose every basis function vanishes at ``t = 0`` and ``t = T``.  Gaussian
+pulses (the practical-system reference) are truncated at the interval edges
+and rescaled to the requested pulse area.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.pulses.waveform import Waveform, times_midpoint
+
+#: Number of Fourier coefficients used by the paper (Appendix A).
+DEFAULT_NUM_COEFFS = 5
+
+
+def gaussian(
+    duration: float,
+    dt: float,
+    area: float,
+    sigma_fraction: float = 0.25,
+) -> Waveform:
+    """Truncated Gaussian with ``INT Omega dt = area``.
+
+    ``sigma = sigma_fraction * duration``; the waveform is offset so it
+    reaches exactly zero at the interval edges (standard "lifted Gaussian").
+    """
+    num_steps = max(1, int(round(duration / dt)))
+    t = times_midpoint(num_steps, dt)
+    sigma = sigma_fraction * duration
+    center = duration / 2.0
+    raw = np.exp(-((t - center) ** 2) / (2.0 * sigma**2))
+    edge = np.exp(-(center**2) / (2.0 * sigma**2))
+    lifted = np.clip(raw - edge, 0.0, None)
+    total = float(np.sum(lifted) * dt)
+    if total <= 0:
+        raise ValueError("degenerate Gaussian: increase duration or sigma")
+    return Waveform(lifted * (area / total), dt)
+
+
+def fourier_basis(num_coeffs: int, num_steps: int, dt: float) -> np.ndarray:
+    """Matrix ``B[j, k]`` of the paper's Fourier basis sampled on the grid.
+
+    ``Omega(A, t_k) = SUM_j A_j B[j, k]`` with
+    ``B[j, k] = (1 + cos(2 pi (j+1) t_k / T - pi)) / 2``.
+    """
+    duration = num_steps * dt
+    t = times_midpoint(num_steps, dt)
+    js = np.arange(1, num_coeffs + 1)[:, None]
+    return 0.5 * (1.0 + np.cos(2.0 * np.pi * js * t[None, :] / duration - np.pi))
+
+
+def fourier_waveform(coeffs: np.ndarray, duration: float, dt: float) -> Waveform:
+    """Waveform from Fourier coefficients (paper Appendix A form)."""
+    coeffs = np.asarray(coeffs, dtype=float)
+    num_steps = max(1, int(round(duration / dt)))
+    basis = fourier_basis(len(coeffs), num_steps, dt)
+    return Waveform(coeffs @ basis, dt)
+
+
+def constant(duration: float, dt: float, amplitude: float) -> Waveform:
+    """Flat-top waveform (mostly useful in tests)."""
+    num_steps = max(1, int(round(duration / dt)))
+    return Waveform(np.full(num_steps, amplitude), dt)

@@ -1,0 +1,43 @@
+"""Spectral analysis of control waveforms.
+
+Appendix A selects the Fourier form because it is "smooth, of narrow
+bandwidth and friendly to arbitrary waveform generators".  These helpers
+quantify that: the occupied bandwidth of a waveform and the fraction of
+spectral power below a cutoff.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.pulses.waveform import Waveform
+
+
+def power_spectrum(waveform: Waveform) -> tuple[np.ndarray, np.ndarray]:
+    """One-sided power spectrum; frequencies in GHz (= cycles/ns)."""
+    samples = waveform.samples
+    spectrum = np.abs(np.fft.rfft(samples)) ** 2
+    freqs = np.fft.rfftfreq(len(samples), waveform.dt)
+    return freqs, spectrum
+
+
+def occupied_bandwidth(waveform: Waveform, fraction: float = 0.99) -> float:
+    """Smallest frequency (GHz) below which ``fraction`` of power lies."""
+    if not 0.0 < fraction <= 1.0:
+        raise ValueError("fraction must be in (0, 1]")
+    freqs, spectrum = power_spectrum(waveform)
+    total = float(np.sum(spectrum))
+    if total == 0.0:
+        return 0.0
+    cumulative = np.cumsum(spectrum) / total
+    index = int(np.searchsorted(cumulative, fraction))
+    return float(freqs[min(index, len(freqs) - 1)])
+
+
+def power_below(waveform: Waveform, cutoff_ghz: float) -> float:
+    """Fraction of spectral power at frequencies <= ``cutoff_ghz``."""
+    freqs, spectrum = power_spectrum(waveform)
+    total = float(np.sum(spectrum))
+    if total == 0.0:
+        return 1.0
+    return float(np.sum(spectrum[freqs <= cutoff_ghz]) / total)

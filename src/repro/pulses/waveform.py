@@ -1,0 +1,69 @@
+"""Sampled control waveforms.
+
+A :class:`Waveform` holds the piecewise-constant samples of one control
+quadrature (rad/ns) on a uniform grid; samples are taken at segment
+midpoints.  Waveforms are immutable value objects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Waveform:
+    """Piecewise-constant waveform: ``samples[k]`` holds on ``[k*dt, (k+1)*dt)``."""
+
+    samples: np.ndarray
+    dt: float
+
+    def __post_init__(self):
+        object.__setattr__(
+            self, "samples", np.array(self.samples, dtype=float, copy=True)
+        )
+        self.samples.setflags(write=False)
+        if self.dt <= 0:
+            raise ValueError("dt must be positive")
+        if self.samples.ndim != 1:
+            raise ValueError("samples must be one-dimensional")
+
+    @property
+    def num_steps(self) -> int:
+        return len(self.samples)
+
+    @property
+    def duration(self) -> float:
+        return self.num_steps * self.dt
+
+    @property
+    def area(self) -> float:
+        """``INT Omega(t) dt`` — the rotation angle is ``2 * area``."""
+        return float(np.sum(self.samples) * self.dt)
+
+    @property
+    def max_amplitude(self) -> float:
+        return float(np.max(np.abs(self.samples))) if self.num_steps else 0.0
+
+    def scaled(self, factor: float) -> "Waveform":
+        return Waveform(self.samples * factor, self.dt)
+
+    def concatenated(self, other: "Waveform") -> "Waveform":
+        if abs(other.dt - self.dt) > 1e-12:
+            raise ValueError("cannot concatenate waveforms with different dt")
+        return Waveform(np.concatenate([self.samples, other.samples]), self.dt)
+
+    def derivative(self) -> "Waveform":
+        """Central-difference time derivative (same grid)."""
+        grad = np.gradient(self.samples, self.dt)
+        return Waveform(grad, self.dt)
+
+    @staticmethod
+    def zeros(num_steps: int, dt: float) -> "Waveform":
+        return Waveform(np.zeros(num_steps), dt)
+
+
+def times_midpoint(num_steps: int, dt: float) -> np.ndarray:
+    """Midpoint sample times of a uniform grid."""
+    return (np.arange(num_steps) + 0.5) * dt

@@ -1,0 +1,81 @@
+"""Quantum math substrate: operators, states, fidelities, decompositions.
+
+This subpackage contains the dense linear-algebra primitives every other part
+of the library builds on.  All operators are plain ``numpy`` arrays of dtype
+``complex128``; qubit 0 is the *leftmost* tensor factor (big-endian), matching
+the usual textbook convention ``|q0 q1 ... qn-1>``.
+"""
+
+from repro.qmath.paulis import (
+    ID2,
+    SX,
+    SY,
+    SZ,
+    pauli_string,
+    sigma_minus,
+    sigma_plus,
+)
+from repro.qmath.tensor import embed_operator, kron_all, zz_diagonal
+from repro.qmath.states import (
+    basis_state,
+    computational_basis_index,
+    plus_state,
+    random_state,
+    zero_state,
+)
+from repro.qmath.unitaries import (
+    CNOT,
+    HADAMARD,
+    expm_hermitian,
+    rotation_1q,
+    rx,
+    ry,
+    rz,
+    rzx,
+    su2_from_bloch,
+)
+from repro.qmath.fidelity import (
+    average_gate_fidelity,
+    average_gate_fidelity_nonunitary,
+    process_fidelity,
+    state_fidelity,
+)
+from repro.qmath.decompose import (
+    euler_zxzxz,
+    global_phase_aligned,
+    remove_global_phase,
+)
+
+__all__ = [
+    "ID2",
+    "SX",
+    "SY",
+    "SZ",
+    "pauli_string",
+    "sigma_minus",
+    "sigma_plus",
+    "embed_operator",
+    "kron_all",
+    "zz_diagonal",
+    "basis_state",
+    "computational_basis_index",
+    "plus_state",
+    "random_state",
+    "zero_state",
+    "CNOT",
+    "HADAMARD",
+    "expm_hermitian",
+    "rotation_1q",
+    "rx",
+    "ry",
+    "rz",
+    "rzx",
+    "su2_from_bloch",
+    "average_gate_fidelity",
+    "average_gate_fidelity_nonunitary",
+    "process_fidelity",
+    "state_fidelity",
+    "euler_zxzxz",
+    "global_phase_aligned",
+    "remove_global_phase",
+]

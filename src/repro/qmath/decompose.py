@@ -1,0 +1,72 @@
+"""Single-qubit decomposition into the IBMQ native basis.
+
+Any ``U in U(2)`` can be written (up to global phase) as
+
+    U = Rz(c) . Rx(beta) . Rz(a)          (the ZXZ form)
+
+and, using ``Rx(beta) ~ Rz(-pi/2) Rx90 Rz(pi - beta) Rx90 Rz(-pi/2)``,
+
+    U = Rz(c') . Rx(pi/2) . Rz(b') . Rx(pi/2) . Rz(a')   (ZXZXZ)
+
+with ``a' = a - pi/2``, ``b' = pi - beta``, ``c' = c - pi/2``.  Since ``Rz``
+is a virtual, zero-duration frame change (McKay et al. [44]), every
+single-qubit gate costs exactly two physical ``Rx(pi/2)`` pulses.
+"""
+
+from __future__ import annotations
+
+import cmath
+
+import numpy as np
+
+
+def remove_global_phase(u: np.ndarray) -> np.ndarray:
+    """Rescale ``u`` so its largest first-column entry is real positive."""
+    col = u[:, 0]
+    idx = int(np.argmax(np.abs(col)))
+    phase = col[idx] / abs(col[idx])
+    return u / phase
+
+
+def global_phase_aligned(u: np.ndarray, v: np.ndarray) -> bool:
+    """True if ``u`` and ``v`` are equal up to a global phase (atol 1e-8)."""
+    overlap = np.trace(v.conj().T @ u)
+    d = u.shape[0]
+    return bool(abs(abs(overlap) - d) < 1e-8 * d)
+
+
+def zxz_angles(u: np.ndarray) -> tuple[float, float, float]:
+    """Angles ``(a, beta, c)`` with ``U ~ Rz(c) Rx(beta) Rz(a)``.
+
+    ``beta`` lies in ``[0, pi]``.  The expansion used:
+
+        su00 = cos(beta/2) e^{-i(a+c)/2}
+        su10 = -i sin(beta/2) e^{-i(a-c)/2}
+    """
+    u = np.asarray(u, dtype=complex)
+    det = np.linalg.det(u)
+    su = u / cmath.sqrt(det)
+    beta = 2.0 * np.arctan2(abs(su[1, 0]), abs(su[0, 0]))
+    if abs(su[0, 0]) < 1e-12:
+        apc, amc = 0.0, -2.0 * (cmath.phase(su[1, 0]) + np.pi / 2.0)
+    elif abs(su[1, 0]) < 1e-12:
+        apc, amc = -2.0 * cmath.phase(su[0, 0]), 0.0
+    else:
+        apc = -2.0 * cmath.phase(su[0, 0])
+        amc = -2.0 * (cmath.phase(su[1, 0]) + np.pi / 2.0)
+    a = (apc + amc) / 2.0
+    c = (apc - amc) / 2.0
+    return float(a), float(beta), float(c)
+
+
+def euler_zxzxz(u: np.ndarray) -> tuple[float, float, float]:
+    """Decompose ``u`` as ``Rz(c).Rx(pi/2).Rz(b).Rx(pi/2).Rz(a)``.
+
+    Returns ``(a, b, c)`` — application order: ``Rz(a)`` acts first.
+    """
+    a, beta, c = zxz_angles(u)
+    return (
+        float(a - np.pi / 2.0),
+        float(np.pi - beta),
+        float(c - np.pi / 2.0),
+    )

@@ -1,0 +1,59 @@
+"""Fidelity measures used throughout the paper's evaluation.
+
+The central metric is Nielsen's average gate fidelity [50]:
+
+    F_avg(U, V) = (|Tr(V^dag U)|^2 + d) / (d (d + 1))
+
+For evolutions with leakage, the computational-subspace block ``E = P U P``
+is no longer unitary and the generalized formula
+
+    F_avg(E) = (Tr(E^dag E) + |Tr(E)|^2) / (d (d + 1))
+
+applies, where ``E`` is expressed relative to the target (i.e. pass
+``V^dag @ E``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def state_fidelity(a: np.ndarray, b: np.ndarray) -> float:
+    """Fidelity between two pure states, ``|<a|b>|^2``."""
+    return float(abs(np.vdot(a, b)) ** 2)
+
+
+def state_fidelity_dm(rho: np.ndarray, psi: np.ndarray) -> float:
+    """Fidelity ``<psi| rho |psi>`` of a density matrix against a pure state."""
+    return float(np.real(np.vdot(psi, rho @ psi)))
+
+
+def process_fidelity(u: np.ndarray, v: np.ndarray) -> float:
+    """``|Tr(V^dag U)|^2 / d^2`` — entanglement fidelity of unitaries."""
+    d = u.shape[0]
+    return float(abs(np.trace(v.conj().T @ u)) ** 2) / d**2
+
+
+def average_gate_fidelity(u: np.ndarray, v: np.ndarray) -> float:
+    """Average gate fidelity between unitaries ``u`` (actual) and ``v`` (target)."""
+    d = u.shape[0]
+    overlap = abs(np.trace(v.conj().T @ u)) ** 2
+    return float((overlap + d) / (d * (d + 1)))
+
+
+def average_gate_fidelity_nonunitary(e: np.ndarray) -> float:
+    """Average gate fidelity of a (possibly leaky) block ``e`` vs identity.
+
+    ``e`` should already be expressed in the target frame, i.e.
+    ``e = V^dag @ P U(T) P`` where ``P`` projects onto the computational
+    subspace.  Reduces to :func:`average_gate_fidelity` when ``e`` is unitary.
+    """
+    d = e.shape[0]
+    trace_ee = np.real(np.trace(e.conj().T @ e))
+    overlap = abs(np.trace(e)) ** 2
+    return float((trace_ee + overlap) / (d * (d + 1)))
+
+
+def infidelity(u: np.ndarray, v: np.ndarray, floor: float = 1e-8) -> float:
+    """``max(1 - F_avg, floor)`` — the paper truncates plots at 1e-8."""
+    return max(1.0 - average_gate_fidelity(u, v), floor)

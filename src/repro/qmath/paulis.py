@@ -1,0 +1,39 @@
+"""Pauli matrices and Pauli-string constructors."""
+
+from __future__ import annotations
+
+import numpy as np
+
+ID2 = np.eye(2, dtype=complex)
+SX = np.array([[0.0, 1.0], [1.0, 0.0]], dtype=complex)
+SY = np.array([[0.0, -1.0j], [1.0j, 0.0]], dtype=complex)
+SZ = np.array([[1.0, 0.0], [0.0, -1.0]], dtype=complex)
+
+_PAULI_BY_LABEL = {"I": ID2, "X": SX, "Y": SY, "Z": SZ}
+
+
+def sigma_plus() -> np.ndarray:
+    """Raising operator ``|0><1|`` (maps ``|1>`` to ``|0>``)."""
+    return np.array([[0.0, 1.0], [0.0, 0.0]], dtype=complex)
+
+
+def sigma_minus() -> np.ndarray:
+    """Lowering operator ``|1><0|``."""
+    return np.array([[0.0, 0.0], [1.0, 0.0]], dtype=complex)
+
+
+def pauli_string(label: str) -> np.ndarray:
+    """Return the tensor product described by ``label``, e.g. ``"IZX"``.
+
+    The first character acts on qubit 0 (leftmost tensor factor).
+    """
+    if not label:
+        raise ValueError("Pauli label must be non-empty")
+    result = np.array([[1.0 + 0.0j]])
+    for char in label:
+        try:
+            factor = _PAULI_BY_LABEL[char]
+        except KeyError:
+            raise ValueError(f"unknown Pauli label character: {char!r}") from None
+        result = np.kron(result, factor)
+    return result

@@ -1,0 +1,46 @@
+"""Computational-basis states and simple state constructors."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+
+def zero_state(num_qubits: int) -> np.ndarray:
+    """``|0...0>`` on ``num_qubits`` qubits."""
+    if num_qubits < 1:
+        raise ValueError("num_qubits must be >= 1")
+    state = np.zeros(2**num_qubits, dtype=complex)
+    state[0] = 1.0
+    return state
+
+
+def computational_basis_index(bits: Sequence[int]) -> int:
+    """Index of ``|b0 b1 ... bn-1>`` with qubit 0 most significant."""
+    index = 0
+    for bit in bits:
+        if bit not in (0, 1):
+            raise ValueError(f"bits must be 0/1, got {bit}")
+        index = (index << 1) | bit
+    return index
+
+
+def basis_state(bits: Sequence[int]) -> np.ndarray:
+    """The computational basis state ``|b0 b1 ... bn-1>``."""
+    state = np.zeros(2 ** len(bits), dtype=complex)
+    state[computational_basis_index(bits)] = 1.0
+    return state
+
+
+def plus_state(num_qubits: int) -> np.ndarray:
+    """``|+>^n``, the uniform superposition."""
+    dim = 2**num_qubits
+    return np.full(dim, 1.0 / np.sqrt(dim), dtype=complex)
+
+
+def random_state(num_qubits: int, rng: np.random.Generator) -> np.ndarray:
+    """Haar-random pure state."""
+    dim = 2**num_qubits
+    vec = rng.normal(size=dim) + 1.0j * rng.normal(size=dim)
+    return vec / np.linalg.norm(vec)

@@ -1,0 +1,70 @@
+"""Tensor-product helpers: embedding local operators into larger registers."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+
+def kron_all(operators: Sequence[np.ndarray]) -> np.ndarray:
+    """Kronecker product of a sequence of matrices, left to right."""
+    if not operators:
+        raise ValueError("kron_all requires at least one operator")
+    result = np.asarray(operators[0], dtype=complex)
+    for op in operators[1:]:
+        result = np.kron(result, op)
+    return result
+
+
+def embed_operator(
+    op: np.ndarray, qubits: Sequence[int], num_qubits: int
+) -> np.ndarray:
+    """Embed ``op`` acting on ``qubits`` into a ``num_qubits`` register.
+
+    ``op`` must be a ``2**k x 2**k`` matrix where ``k == len(qubits)``; the
+    i-th tensor factor of ``op`` acts on ``qubits[i]``.  Qubit 0 is the
+    leftmost (most significant) factor of the register.
+    """
+    k = len(qubits)
+    if op.shape != (2**k, 2**k):
+        raise ValueError(
+            f"operator shape {op.shape} inconsistent with {k} target qubits"
+        )
+    if len(set(qubits)) != k:
+        raise ValueError(f"duplicate target qubits: {qubits}")
+    if any(q < 0 or q >= num_qubits for q in qubits):
+        raise ValueError(f"target qubits {qubits} out of range for n={num_qubits}")
+
+    dim = 2**num_qubits
+    rest = [q for q in range(num_qubits) if q not in qubits]
+    # kron(op, I_rest) has tensor factors ordered [qubits..., rest...] on
+    # both the output and input sides; permute back to register order.
+    big = np.kron(op, np.eye(2 ** len(rest), dtype=complex))
+    big = big.reshape((2,) * (2 * num_qubits))
+    order = list(qubits) + rest
+    inverse = [0] * num_qubits
+    for position, qubit in enumerate(order):
+        inverse[qubit] = position
+    perm = inverse + [num_qubits + axis for axis in inverse]
+    return big.transpose(perm).reshape(dim, dim)
+
+
+def zz_diagonal(
+    couplings: Sequence[tuple[int, int, float]], num_qubits: int
+) -> np.ndarray:
+    """Diagonal of ``sum_e lambda_e Z_i Z_j`` over the computational basis.
+
+    ``couplings`` is a sequence of ``(i, j, strength)`` triples.  Returns a
+    real vector of length ``2**num_qubits``.  This is the always-on ZZ
+    crosstalk Hamiltonian of a device, which is diagonal and therefore cheap
+    to exponentiate.
+    """
+    dim = 2**num_qubits
+    indices = np.arange(dim)
+    diag = np.zeros(dim)
+    for i, j, strength in couplings:
+        z_i = 1.0 - 2.0 * ((indices >> (num_qubits - 1 - i)) & 1)
+        z_j = 1.0 - 2.0 * ((indices >> (num_qubits - 1 - j)) & 1)
+        diag += strength * z_i * z_j
+    return diag

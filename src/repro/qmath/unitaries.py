@@ -1,0 +1,91 @@
+"""Standard gate matrices and fast matrix exponentials for Hermitian H."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.qmath.paulis import ID2, SX, SY, SZ
+
+HADAMARD = np.array([[1.0, 1.0], [1.0, -1.0]], dtype=complex) / np.sqrt(2.0)
+CNOT = np.array(
+    [
+        [1, 0, 0, 0],
+        [0, 1, 0, 0],
+        [0, 0, 0, 1],
+        [0, 0, 1, 0],
+    ],
+    dtype=complex,
+)
+SWAP = np.array(
+    [
+        [1, 0, 0, 0],
+        [0, 0, 1, 0],
+        [0, 1, 0, 0],
+        [0, 0, 0, 1],
+    ],
+    dtype=complex,
+)
+CZ = np.diag([1.0, 1.0, 1.0, -1.0]).astype(complex)
+
+
+def rx(theta: float) -> np.ndarray:
+    """``exp(-i theta/2 X)``."""
+    c, s = np.cos(theta / 2.0), np.sin(theta / 2.0)
+    return np.array([[c, -1.0j * s], [-1.0j * s, c]], dtype=complex)
+
+
+def ry(theta: float) -> np.ndarray:
+    """``exp(-i theta/2 Y)``."""
+    c, s = np.cos(theta / 2.0), np.sin(theta / 2.0)
+    return np.array([[c, -s], [s, c]], dtype=complex)
+
+
+def rz(theta: float) -> np.ndarray:
+    """``exp(-i theta/2 Z)``."""
+    phase = np.exp(-0.5j * theta)
+    return np.array([[phase, 0.0], [0.0, np.conj(phase)]], dtype=complex)
+
+
+def rzx(theta: float) -> np.ndarray:
+    """``exp(-i theta/2 Z(x)X)`` — the cross-resonance entangling rotation."""
+    c, s = np.cos(theta / 2.0), np.sin(theta / 2.0)
+    zx = np.kron(SZ, SX)
+    return c * np.eye(4, dtype=complex) - 1.0j * s * zx
+
+
+def rotation_1q(omega_x: float, omega_y: float, dt: float) -> np.ndarray:
+    """Exact ``exp(-i (omega_x X + omega_y Y) dt)`` via the SU(2) formula.
+
+    This is the single-step propagator of the paper's drive Hamiltonian
+    ``H = Omega_x sigma_x + Omega_y sigma_y`` held constant for ``dt``.
+    """
+    norm = np.hypot(omega_x, omega_y)
+    angle = norm * dt
+    if norm == 0.0:
+        return ID2.copy()
+    nx, ny = omega_x / norm, omega_y / norm
+    c, s = np.cos(angle), np.sin(angle)
+    return c * ID2 - 1.0j * s * (nx * SX + ny * SY)
+
+
+def su2_from_bloch(theta: float, axis: tuple[float, float, float]) -> np.ndarray:
+    """Rotation by ``theta`` about a (normalized) Bloch axis."""
+    nx, ny, nz = axis
+    norm = np.sqrt(nx * nx + ny * ny + nz * nz)
+    if norm == 0.0:
+        raise ValueError("rotation axis must be non-zero")
+    nx, ny, nz = nx / norm, ny / norm, nz / norm
+    c, s = np.cos(theta / 2.0), np.sin(theta / 2.0)
+    return c * ID2 - 1.0j * s * (nx * SX + ny * SY + nz * SZ)
+
+
+def expm_hermitian(h: np.ndarray, t: float = 1.0) -> np.ndarray:
+    """``exp(-i H t)`` for Hermitian ``H`` via eigendecomposition.
+
+    Much faster than ``scipy.linalg.expm`` for the small (<= 32 x 32) dense
+    Hamiltonians used by the pulse optimizers, and exactly unitary up to
+    floating point.
+    """
+    evals, evecs = np.linalg.eigh(h)
+    phases = np.exp(-1.0j * evals * t)
+    return (evecs * phases) @ evecs.conj().T

@@ -1,0 +1,21 @@
+"""Execution runtime: pulse binding and Hamiltonian-level simulation."""
+
+from repro.runtime.binding import drives_for_layer, virtual_matrix
+from repro.runtime.executor import (
+    DEFAULT_DT,
+    ExecutionResult,
+    execute_density,
+    execute_statevector,
+)
+from repro.runtime.ideal import ideal_circuit_state, ideal_schedule_state
+
+__all__ = [
+    "drives_for_layer",
+    "virtual_matrix",
+    "DEFAULT_DT",
+    "ExecutionResult",
+    "execute_density",
+    "execute_statevector",
+    "ideal_circuit_state",
+    "ideal_schedule_state",
+]

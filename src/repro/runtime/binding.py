@@ -1,0 +1,39 @@
+"""Gate-to-pulse translation: build the Trotter engine drives for a layer."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.circuits.gates import Gate
+from repro.pulses.library import PulseLibrary
+from repro.qmath.unitaries import rz
+from repro.scheduling.layer import Layer
+from repro.sim.noise import DriveNoise
+from repro.sim.trotter import LayerDrive
+
+
+def drives_for_layer(
+    layer: Layer,
+    library: PulseLibrary,
+    engine_dt: float,
+    noise: DriveNoise | None = None,
+) -> list[LayerDrive]:
+    """One :class:`LayerDrive` per physical gate of the layer."""
+    drives: list[LayerDrive] = []
+    for gate in layer.physical_gates:
+        pulse = library[gate.name]
+        if abs(pulse.dt - engine_dt) > 1e-12:
+            raise ValueError(
+                f"pulse dt {pulse.dt} does not match engine dt {engine_dt}; "
+                "rebuild the library with a matching sample period"
+            )
+        drives.append(LayerDrive(tuple(gate.qubits), pulse.step_unitaries(noise)))
+    return drives
+
+
+def virtual_matrix(gate: Gate) -> np.ndarray:
+    """The exact unitary of a virtual (rz) gate."""
+    if gate.name != "rz":
+        raise ValueError(f"not a virtual gate: {gate}")
+    (theta,) = gate.params
+    return rz(theta)

@@ -1,0 +1,28 @@
+"""Ideal (noise-free) reference states for fidelity evaluation."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.circuits.circuit import Circuit
+from repro.qmath.states import zero_state
+from repro.scheduling.layer import Schedule
+from repro.sim.statevector import apply_gate
+
+
+def ideal_schedule_state(schedule: Schedule) -> np.ndarray:
+    """Output of the schedule with perfect gates and no crosstalk.
+
+    Identity gates are exact no-ops; every other gate applies its target
+    matrix.  Because scheduling preserves the circuit's dependency order,
+    this equals the ideal output of the compiled circuit.
+    """
+    psi = zero_state(schedule.num_qubits)
+    for gate in schedule.all_gates():
+        psi = apply_gate(psi, gate.matrix(), gate.qubits, schedule.num_qubits)
+    return psi
+
+
+def ideal_circuit_state(circuit: Circuit) -> np.ndarray:
+    """Ideal output state of a circuit from ``|0...0>``."""
+    return circuit.output_state()

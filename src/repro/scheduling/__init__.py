@@ -1,0 +1,31 @@
+"""Scheduling: ParSched baseline and the paper's ZZXSched (Algorithm 2)."""
+
+from repro.scheduling.layer import Layer, Schedule
+from repro.scheduling.requirement import SuppressionRequirement
+from repro.scheduling.parsched import par_schedule
+from repro.scheduling.zzxsched import IDENTITY_POLICIES, ZZXConfig, zzx_schedule
+from repro.scheduling.distance import gate_distance, gate_group_distance
+from repro.scheduling.analysis import (
+    ScheduleReport,
+    couplings_to_turn_off,
+    execution_time,
+    layer_duration,
+    layer_suppression_metrics,
+)
+
+__all__ = [
+    "Layer",
+    "Schedule",
+    "SuppressionRequirement",
+    "par_schedule",
+    "IDENTITY_POLICIES",
+    "ZZXConfig",
+    "zzx_schedule",
+    "gate_distance",
+    "gate_group_distance",
+    "ScheduleReport",
+    "couplings_to_turn_off",
+    "execution_time",
+    "layer_duration",
+    "layer_suppression_metrics",
+]

@@ -1,0 +1,26 @@
+"""Gate distance metrics (Definitions 6.1 and 6.2).
+
+``D(a, b) = SUM_{i,j} d(a_i, b_j)`` over the four endpoint pairs of two
+two-qubit gates; the distance of a gate to a group is the minimum over the
+group's members.  The paper's observation: executing closer gates together
+worsens suppression, so ZZXSched separates the closest pairs.
+"""
+
+from __future__ import annotations
+
+from repro.circuits.gates import Gate
+from repro.device.topology import Topology
+
+
+def gate_distance(topology: Topology, a: Gate, b: Gate) -> int:
+    """Definition 6.1."""
+    return sum(
+        topology.distance(qa, qb) for qa in a.qubits for qb in b.qubits
+    )
+
+
+def gate_group_distance(topology: Topology, gate: Gate, group: list[Gate]) -> int:
+    """Definition 6.2."""
+    if not group:
+        raise ValueError("distance to an empty group is undefined")
+    return min(gate_distance(topology, gate, member) for member in group)

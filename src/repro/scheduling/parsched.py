@@ -1,0 +1,30 @@
+"""ParSched: the parallelism-maximizing baseline scheduler.
+
+This is the state of the art used by Qiskit and Quil compilers [49]: every
+schedulable gate executes as early as possible (ASAP), with no regard for
+crosstalk.  No identity gates are inserted.
+"""
+
+from __future__ import annotations
+
+from repro.circuits.circuit import Circuit
+from repro.circuits.dag import SchedulingFrontier
+from repro.scheduling.layer import Layer, Schedule
+
+
+def par_schedule(circuit: Circuit) -> Schedule:
+    """Greedy ASAP schedule: each layer takes the whole schedulable set."""
+    frontier = SchedulingFrontier(circuit)
+    schedule = Schedule(num_qubits=circuit.num_qubits, policy="parsched")
+    while not frontier.exhausted:
+        virtual = frontier.pop_virtual()
+        ready = frontier.schedulable()
+        if not ready:
+            schedule.trailing_virtual.extend(virtual)
+            break
+        gates = frontier.pop(ready)
+        layer = Layer(gates=gates, virtual=virtual)
+        layer.validate()
+        schedule.layers.append(layer)
+    schedule.trailing_virtual.extend(frontier.pop_virtual())
+    return schedule

@@ -1,0 +1,32 @@
+"""Suppression requirement ``R`` for ZZ-aware scheduling (Section 6).
+
+The paper's evaluation uses ``NQ < max_v degree(v)`` and ``NC <= |E| / 2``;
+a cut violating either is considered too weak and triggers the two-qubit
+grouping heuristic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.device.topology import Topology
+from repro.graphs.suppression import SuppressionPlan
+
+
+@dataclass(frozen=True)
+class SuppressionRequirement:
+    """Thresholds on the per-layer suppression metrics."""
+
+    max_nq_exclusive: int
+    max_nc_inclusive: float
+
+    def satisfied_by(self, plan: SuppressionPlan) -> bool:
+        return plan.nq < self.max_nq_exclusive and plan.nc <= self.max_nc_inclusive
+
+    @staticmethod
+    def from_topology(topology: Topology) -> "SuppressionRequirement":
+        """The paper's default: NQ < max degree, NC <= |E|/2."""
+        return SuppressionRequirement(
+            max_nq_exclusive=max(topology.max_degree, 2),
+            max_nc_inclusive=topology.num_couplings / 2.0,
+        )

@@ -1,0 +1,207 @@
+"""ZZXSched: the paper's ZZ-aware scheduler (Algorithm 2).
+
+Iterates over schedulable gate sets, making crosstalk suppression the first
+priority and parallelism the second:
+
+- *Case 1* (only single-qubit gates): run Algorithm 1 unconstrained — on
+  bipartite topologies that yields complete suppression — and schedule the
+  partition holding more gates, filling the rest of it with identities.
+- *Case 2* (two-qubit gates present): try to schedule all two-qubit gates
+  at once; if the resulting cut violates the suppression requirement ``R``,
+  split the two *closest* gates into separate groups and grow the groups
+  farthest-gate-first while ``R`` stays satisfied (Theorem 6.1 guarantees
+  the K closest gates land in K different layers).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.circuits.circuit import Circuit
+from repro.circuits.dag import SchedulingFrontier
+from repro.circuits.gates import Gate
+from repro.device.topology import Topology
+from repro.graphs.suppression import (
+    DEFAULT_ALPHA,
+    DEFAULT_TOP_K,
+    SuppressionPlan,
+    alpha_optimal_suppression,
+)
+from repro.scheduling.distance import gate_distance, gate_group_distance
+from repro.scheduling.layer import Layer, Schedule
+from repro.scheduling.requirement import SuppressionRequirement
+
+IDENTITY_POLICIES = ("not_pending", "all_free")
+
+
+@dataclass(frozen=True)
+class ZZXConfig:
+    """Tunables of Algorithm 2 (paper defaults)."""
+
+    alpha: float = DEFAULT_ALPHA
+    top_k: int = DEFAULT_TOP_K
+    #: Which pulse-free qubits of S receive identity gates.  "not_pending"
+    #: is the paper's literal Algorithm 2 (qubits of *any* schedulable gate
+    #: are skipped); "all_free" pulses every gate-free qubit of S.
+    identity_policy: str = "not_pending"
+
+    def __post_init__(self):
+        if self.identity_policy not in IDENTITY_POLICIES:
+            raise ValueError(
+                f"identity_policy must be one of {IDENTITY_POLICIES}"
+            )
+
+
+def zzx_schedule(
+    circuit: Circuit,
+    topology: Topology,
+    requirement: SuppressionRequirement | None = None,
+    config: ZZXConfig | None = None,
+) -> Schedule:
+    """Schedule ``circuit`` on ``topology`` with ZZ-aware layering."""
+    if circuit.num_qubits != topology.num_qubits:
+        raise ValueError(
+            "circuit must already be compiled to the device "
+            f"({circuit.num_qubits} vs {topology.num_qubits} qubits)"
+        )
+    requirement = requirement or SuppressionRequirement.from_topology(topology)
+    config = config or ZZXConfig()
+    frontier = SchedulingFrontier(circuit)
+    schedule = Schedule(num_qubits=circuit.num_qubits, policy="zzxsched")
+
+    while not frontier.exhausted:
+        virtual = frontier.pop_virtual()
+        ready = frontier.schedulable()
+        if not ready:
+            schedule.trailing_virtual.extend(virtual)
+            break
+        ready_gates = {i: frontier.gates[i] for i in ready}
+        two_qubit = {i: g for i, g in ready_gates.items() if g.num_qubits == 2}
+
+        if not two_qubit:
+            plan = alpha_optimal_suppression(
+                topology, (), alpha=config.alpha, top_k=config.top_k
+            )
+            pulsed = _majority_side(plan, ready_gates.values())
+        else:
+            plan, pulsed = _two_q_schedule(
+                topology, list(two_qubit.values()), requirement, config
+            )
+
+        chosen = [
+            i for i, g in ready_gates.items() if set(g.qubits) <= pulsed
+        ]
+        if not chosen:
+            # Defensive fallback (cannot occur with the fallback plans of
+            # Algorithm 1, which always cover the requested qubits).
+            chosen = [min(ready_gates)]
+            pulsed = frozenset(
+                q for q in range(topology.num_qubits)
+            )
+        gates = frontier.pop(chosen)
+        identity_qubits = _identity_qubits(
+            pulsed, gates, list(ready_gates.values()), config.identity_policy
+        )
+        layer = Layer(
+            gates=gates,
+            identities=[Gate("id", (q,)) for q in sorted(identity_qubits)],
+            virtual=virtual,
+            plan=plan,
+        )
+        layer.validate()
+        schedule.layers.append(layer)
+    schedule.trailing_virtual.extend(frontier.pop_virtual())
+    return schedule
+
+
+def _majority_side(plan: SuppressionPlan, gates) -> frozenset[int]:
+    """Case 1: the partition containing more schedulable gates."""
+    gate_qubits = [g.qubits[0] for g in gates]
+    count0 = sum(1 for q in gate_qubits if plan.coloring[q] == 0)
+    count1 = len(gate_qubits) - count0
+    return plan.partition(0) if count0 >= count1 else plan.partition(1)
+
+
+def _identity_qubits(
+    pulsed: frozenset[int],
+    scheduled: list[Gate],
+    all_ready: list[Gate],
+    policy: str,
+) -> frozenset[int]:
+    """Procedure Schedule, lines 10-13: supplement S with identity gates."""
+    if policy == "not_pending":
+        occupied = {q for g in all_ready for q in g.qubits}
+    else:  # "all_free"
+        occupied = {q for g in scheduled for q in g.qubits}
+    return frozenset(pulsed - occupied)
+
+
+def _two_q_schedule(
+    topology: Topology,
+    gates2: list[Gate],
+    requirement: SuppressionRequirement,
+    config: ZZXConfig,
+) -> tuple[SuppressionPlan, frozenset[int]]:
+    """Procedure TwoQSchedule (Algorithm 2, lines 15-28)."""
+
+    def plan_for(gate_set: list[Gate]) -> SuppressionPlan:
+        qubits = {q for g in gate_set for q in g.qubits}
+        return alpha_optimal_suppression(
+            topology, qubits, alpha=config.alpha, top_k=config.top_k
+        )
+
+    def side_for(plan: SuppressionPlan, gate_set: list[Gate]) -> frozenset[int]:
+        qubits = {q for g in gate_set for q in g.qubits}
+        if plan.is_monochromatic(qubits):
+            return plan.side_of(qubits)
+        # Fallback-plan case: all qubits share one partition anyway.
+        return plan.partition(plan.coloring[next(iter(qubits))])
+
+    plan = plan_for(gates2)
+    qubits_all = {q for g in gates2 for q in g.qubits}
+    if plan.is_monochromatic(qubits_all) and requirement.satisfied_by(plan):
+        return plan, side_for(plan, gates2)
+    if len(gates2) == 1:
+        # A single gate cannot be split further; schedule it regardless.
+        return plan, side_for(plan, gates2)
+
+    # Heuristic grouping: separate the two closest gates...
+    closest = min(
+        (
+            (gate_distance(topology, a, b), i, j)
+            for i, a in enumerate(gates2)
+            for j, b in enumerate(gates2)
+            if i < j
+        ),
+        key=lambda item: item[0],
+    )
+    _, ia, ib = closest
+    group_a = [gates2[ia]]
+    group_b = [gates2[ib]]
+    pool = [g for k, g in enumerate(gates2) if k not in (ia, ib)]
+
+    # ... then grow groups farthest-gate-first while R stays satisfied.
+    while pool:
+        best = max(
+            (
+                (gate_group_distance(topology, g, group), g, group)
+                for g in pool
+                for group in (group_a, group_b)
+            ),
+            key=lambda item: item[0],
+        )
+        _, gate, group = best
+        candidate = group + [gate]
+        plan_candidate = plan_for(candidate)
+        qubits = {q for g in candidate for q in g.qubits}
+        if plan_candidate.is_monochromatic(qubits) and requirement.satisfied_by(
+            plan_candidate
+        ):
+            group.append(gate)
+            pool.remove(gate)
+        else:
+            break
+
+    chosen = group_a if len(group_a) >= len(group_b) else group_b
+    plan = plan_for(chosen)
+    return plan, side_for(plan, chosen)

@@ -1,0 +1,42 @@
+"""Hamiltonian-level quantum simulation substrate.
+
+The paper evaluates its approach with Hamiltonian-level simulation (QuTiP in
+the original).  This subpackage provides the equivalent machinery:
+
+- :mod:`repro.sim.propagate` — exact piecewise-constant propagation for the
+  small (2-16 dimensional) systems used during pulse optimization.
+- :mod:`repro.sim.statevector` — cache-friendly local-operator application on
+  statevectors.
+- :mod:`repro.sim.trotter` — a Strang-split Trotter engine that evolves a
+  full device (drives + always-on ZZ) layer by layer.
+- :mod:`repro.sim.density` — density-matrix evolution with T1/T2 channels.
+- :mod:`repro.sim.multilevel` — an n-level transmon model for leakage studies.
+- :mod:`repro.sim.noise` — drive-noise (detuning / amplitude) models.
+"""
+
+from repro.sim.propagate import propagate_piecewise, propagate_with_zz
+from repro.sim.statevector import apply_diagonal_phase, apply_gate
+from repro.sim.trotter import TrotterEngine
+from repro.sim.density import (
+    amplitude_damping_kraus,
+    apply_channel,
+    DecoherenceModel,
+    phase_damping_kraus,
+)
+from repro.sim.noise import DriveNoise
+from repro.sim.trajectories import TrajectoryResult, execute_trajectories
+
+__all__ = [
+    "propagate_piecewise",
+    "propagate_with_zz",
+    "apply_diagonal_phase",
+    "apply_gate",
+    "TrotterEngine",
+    "amplitude_damping_kraus",
+    "apply_channel",
+    "DecoherenceModel",
+    "phase_damping_kraus",
+    "DriveNoise",
+    "TrajectoryResult",
+    "execute_trajectories",
+]

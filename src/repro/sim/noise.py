@@ -1,0 +1,37 @@
+"""Drive-noise models: carrier frequency detuning and amplitude fluctuation.
+
+These are the two typical kinds of drive noise the paper evaluates in
+Fig. 17.  A detuning ``df`` (MHz) of the carrier relative to the qubit adds a
+``2 pi df / 2 * sigma_z`` term (rad/ns, after unit conversion) to the drive
+Hamiltonian in the rotating frame; amplitude fluctuation scales both
+quadratures by ``1 + epsilon``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+MHZ_TO_RAD_NS = 2.0 * np.pi * 1e-3
+
+
+@dataclass(frozen=True)
+class DriveNoise:
+    """Deterministic worst-case drive-noise configuration.
+
+    ``detuning_mhz``: carrier detuning |f_actual - f_desired| in MHz.
+    ``amplitude_fraction``: relative amplitude error, e.g. 0.001 for 0.1%.
+    """
+
+    detuning_mhz: float = 0.0
+    amplitude_fraction: float = 0.0
+
+    @property
+    def detuning_rad_ns(self) -> float:
+        """sigma_z prefactor (rad/ns) contributed by the detuning."""
+        return 0.5 * self.detuning_mhz * MHZ_TO_RAD_NS
+
+    def scale_amplitudes(self, omega: np.ndarray) -> np.ndarray:
+        """Apply the (worst-case, coherent) amplitude error to a waveform."""
+        return omega * (1.0 + self.amplitude_fraction)

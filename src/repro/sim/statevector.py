@@ -1,0 +1,74 @@
+"""Local-operator application on statevectors (and batched columns).
+
+Qubit 0 is the most significant bit of the basis index (big-endian), matching
+:mod:`repro.qmath`.  These kernels are the hot path of the Trotter engine:
+they avoid building full ``2^n x 2^n`` matrices by reshaping the state.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+
+def apply_gate(
+    state: np.ndarray, op: np.ndarray, qubits: Sequence[int], num_qubits: int
+) -> np.ndarray:
+    """Apply a ``2^k x 2^k`` operator on ``qubits`` to ``state`` (1-D).
+
+    Returns a new array; does not modify ``state`` in place.
+    """
+    k = len(qubits)
+    if op.shape != (2**k, 2**k):
+        raise ValueError(f"operator shape {op.shape} does not match {k} qubits")
+    psi = state.reshape((2,) * num_qubits)
+    axes = list(qubits)
+    # Move target axes to the front, contract, and move them back.
+    psi = np.moveaxis(psi, axes, range(k))
+    shape = psi.shape
+    psi = op @ psi.reshape(2**k, -1)
+    psi = psi.reshape(shape)
+    psi = np.moveaxis(psi, range(k), axes)
+    return psi.reshape(-1)
+
+
+def apply_1q_inplace(
+    state: np.ndarray, op: np.ndarray, qubit: int, num_qubits: int
+) -> np.ndarray:
+    """Fast single-qubit apply; may reuse buffers.  Returns the new state."""
+    left = 2**qubit
+    right = 2 ** (num_qubits - qubit - 1)
+    psi = state.reshape(left, 2, right)
+    a = psi[:, 0, :]
+    b = psi[:, 1, :]
+    new_a = op[0, 0] * a + op[0, 1] * b
+    new_b = op[1, 0] * a + op[1, 1] * b
+    psi[:, 0, :] = new_a
+    psi[:, 1, :] = new_b
+    return state
+
+
+def apply_diagonal_phase(state: np.ndarray, phases: np.ndarray) -> np.ndarray:
+    """Multiply elementwise by precomputed phases (in place), return state."""
+    state *= phases
+    return state
+
+
+def apply_gate_matrix(
+    matrix: np.ndarray, op: np.ndarray, qubits: Sequence[int], num_qubits: int
+) -> np.ndarray:
+    """Apply a local operator to every column of ``matrix`` (dim x m).
+
+    Used to build full layer unitaries for density-matrix simulation by
+    evolving the identity matrix column by column.
+    """
+    dim, m = matrix.shape
+    k = len(qubits)
+    tensor = matrix.reshape((2,) * num_qubits + (m,))
+    tensor = np.moveaxis(tensor, list(qubits), range(k))
+    shape = tensor.shape
+    tensor = op @ tensor.reshape(2**k, -1)
+    tensor = tensor.reshape(shape)
+    tensor = np.moveaxis(tensor, range(k), list(qubits))
+    return tensor.reshape(dim, m)

@@ -1,0 +1,43 @@
+"""Unit conventions and conversions.
+
+The library works in units where ``hbar = 1``, time is measured in
+nanoseconds and Hamiltonian coefficients in rad/ns.  The paper quotes
+crosstalk strengths as ``lambda / 2 pi`` in MHz or kHz; use these helpers to
+convert.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+TWO_PI = 2.0 * np.pi
+
+#: rad/ns per MHz of (lambda / 2 pi)
+MHZ = TWO_PI * 1e-3
+#: rad/ns per kHz of (lambda / 2 pi)
+KHZ = TWO_PI * 1e-6
+#: rad/ns per GHz of (lambda / 2 pi)
+GHZ = TWO_PI
+
+#: nanoseconds per microsecond
+US = 1e3
+
+
+def mhz_to_rad_ns(value_mhz: float) -> float:
+    """Convert ``lambda/2pi`` in MHz to an angular strength in rad/ns."""
+    return value_mhz * MHZ
+
+
+def rad_ns_to_mhz(value: float) -> float:
+    """Inverse of :func:`mhz_to_rad_ns`."""
+    return value / MHZ
+
+
+def khz_to_rad_ns(value_khz: float) -> float:
+    """Convert ``lambda/2pi`` in kHz to rad/ns."""
+    return value_khz * KHZ
+
+
+def rad_ns_to_khz(value: float) -> float:
+    """Inverse of :func:`khz_to_rad_ns`."""
+    return value / KHZ

@@ -1,0 +1,59 @@
+"""Shared fixtures: topologies, devices, and cached pulse libraries."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.device import grid, line, make_device
+from repro.pulses import build_library
+
+
+@pytest.fixture(scope="session")
+def grid23():
+    return grid(2, 3)
+
+
+@pytest.fixture(scope="session")
+def grid34():
+    return grid(3, 4)
+
+
+@pytest.fixture(scope="session")
+def line3():
+    return line(3)
+
+
+@pytest.fixture(scope="session")
+def device6(grid23):
+    return make_device(grid23, seed=7)
+
+
+@pytest.fixture(scope="session")
+def device12(grid34):
+    return make_device(grid34, seed=7)
+
+
+@pytest.fixture(scope="session")
+def lib_gaussian():
+    return build_library("gaussian")
+
+
+@pytest.fixture(scope="session")
+def lib_dcg():
+    return build_library("dcg")
+
+
+@pytest.fixture(scope="session")
+def lib_pert():
+    return build_library("pert")
+
+
+@pytest.fixture(scope="session")
+def lib_optctrl():
+    return build_library("optctrl")
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(12345)

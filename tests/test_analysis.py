@@ -1,0 +1,61 @@
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    effective_zz_khz,
+    fit_oscillation_frequency,
+    render_table,
+)
+
+
+class TestFrequencyFitting:
+    def test_exact_cosine(self):
+        t = np.arange(0, 5000, 40.0)
+        f_true = 1.1e-3  # cycles per ns
+        p = 0.5 * (1 + np.cos(2 * np.pi * f_true * t + 0.3))
+        assert np.isclose(fit_oscillation_frequency(t, p), f_true, rtol=1e-6)
+
+    def test_with_noise(self, rng):
+        t = np.arange(0, 8000, 40.0)
+        f_true = 0.9e-3
+        p = 0.5 * (1 + np.cos(2 * np.pi * f_true * t)) + 0.01 * rng.normal(
+            size=len(t)
+        )
+        assert np.isclose(fit_oscillation_frequency(t, p), f_true, rtol=1e-3)
+
+    def test_two_close_frequencies_distinguished(self):
+        t = np.arange(0, 10000, 40.0)
+        f0, f1 = 1.0e-3, 1.2e-3  # differ by 200 kHz
+        p0 = 0.5 * (1 + np.cos(2 * np.pi * f0 * t))
+        p1 = 0.5 * (1 + np.cos(2 * np.pi * f1 * t))
+        zz = effective_zz_khz(t, p0, p1)
+        assert np.isclose(zz, 200.0, rtol=1e-3)
+
+    def test_identical_fringes_give_zero(self):
+        t = np.arange(0, 5000, 40.0)
+        p = 0.5 * (1 + np.cos(2 * np.pi * 1e-3 * t))
+        assert effective_zz_khz(t, p, p) < 1e-6
+
+    def test_too_few_samples_rejected(self):
+        with pytest.raises(ValueError):
+            fit_oscillation_frequency(np.arange(4), np.ones(4))
+
+
+class TestRenderTable:
+    def test_empty(self):
+        assert render_table([]) == "(no rows)"
+
+    def test_columns_aligned(self):
+        rows = [{"a": 1, "b": "xy"}, {"a": 22, "b": "z"}]
+        text = render_table(rows)
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a")
+
+    def test_float_formatting(self):
+        text = render_table([{"v": 0.123456789}], floatfmt=".2f")
+        assert "0.12" in text
+
+    def test_column_selection(self):
+        text = render_table([{"a": 1, "b": 2}], columns=["b"])
+        assert "a" not in text.splitlines()[0]

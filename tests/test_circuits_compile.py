@@ -1,0 +1,179 @@
+import numpy as np
+import pytest
+
+from repro.circuits import (
+    Circuit,
+    compile_circuit,
+    decompose_1q,
+    route,
+    snake_layout,
+    transpile,
+    trivial_layout,
+)
+from repro.circuits.gates import NATIVE_GATES
+from repro.device import grid, line
+from repro.qmath.decompose import global_phase_aligned
+from repro.qmath.tensor import embed_operator
+from repro.qmath.unitaries import SWAP
+
+
+def permutation_unitary(initial, final, n):
+    """Unitary mapping the initial layout to the final layout."""
+    perm = np.eye(2**n, dtype=complex)
+    # Build via swap network: find where each logical sits.
+    current = dict(initial)
+    result = np.eye(2**n, dtype=complex)
+    for logical in sorted(initial):
+        want = final[logical]
+        have = current[logical]
+        if want != have:
+            swap_full = embed_operator(SWAP, [want, have], n)
+            result = swap_full @ result
+            for k, v in current.items():
+                if v == want:
+                    current[k] = have
+            current[logical] = want
+    return result
+
+
+class TestTranspile:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_circuit_equivalence(self, seed):
+        rng = np.random.default_rng(seed)
+        c = Circuit(3)
+        for _ in range(12):
+            kind = rng.integers(0, 5)
+            q = int(rng.integers(0, 3))
+            q2 = int((q + 1 + rng.integers(0, 2)) % 3)
+            if kind == 0:
+                c.h(q)
+            elif kind == 1:
+                c.u3(q, *rng.uniform(-3, 3, 3))
+            elif kind == 2:
+                c.cx(q, q2)
+            elif kind == 3:
+                c.rzz(q, q2, float(rng.uniform(-2, 2)))
+            else:
+                c.cp(q, q2, float(rng.uniform(-2, 2)))
+        native = transpile(c)
+        assert global_phase_aligned(native.unitary(), c.unitary())
+
+    def test_only_native_gates_emitted(self):
+        c = Circuit(2).h(0).cx(0, 1).t(1).swap(0, 1)
+        native = transpile(c)
+        assert all(g.name in NATIVE_GATES for g in native.gates)
+
+    def test_hadamard_single_pulse(self):
+        native = transpile(Circuit(1).h(0))
+        assert native.count("rx90") == 1
+
+    def test_diagonal_gate_free(self):
+        native = transpile(Circuit(1).t(0).s(0).rz(0, 0.4))
+        assert native.count("rx90") == 0
+
+    def test_cx_costs_one_rzx(self):
+        native = transpile(Circuit(2).cx(0, 1))
+        assert native.count("rzx90") == 1
+
+    def test_rz_zero_angle_dropped(self):
+        native = transpile(Circuit(1).rz(0, 0.0))
+        assert len(native) == 0
+
+    def test_decompose_1q_identity(self):
+        gates = decompose_1q(np.eye(2, dtype=complex), 0)
+        assert gates == []
+
+
+class TestLayout:
+    def test_trivial(self):
+        layout = trivial_layout(4, grid(2, 3))
+        assert layout == {0: 0, 1: 1, 2: 2, 3: 3}
+
+    def test_trivial_too_big(self):
+        with pytest.raises(ValueError):
+            trivial_layout(7, grid(2, 3))
+
+    def test_snake_adjacent_pairs(self):
+        topo = grid(3, 4)
+        layout = snake_layout(12, topo)
+        # Consecutive logical qubits should mostly be physically adjacent.
+        adjacent = sum(
+            1
+            for i in range(11)
+            if topo.has_edge(layout[i], layout[i + 1])
+        )
+        assert adjacent >= 9
+
+    def test_snake_injective(self):
+        layout = snake_layout(6, grid(2, 3))
+        assert len(set(layout.values())) == 6
+
+
+class TestRouting:
+    def test_adjacent_gates_untouched(self):
+        topo = line(3)
+        c = Circuit(3).cx(0, 1).cx(1, 2)
+        routed = route(c, topo, trivial_layout(3, topo))
+        assert routed.circuit.count("swap") == 0
+
+    def test_distant_gate_gets_swaps(self):
+        topo = line(4)
+        c = Circuit(4).cx(0, 3)
+        routed = route(c, topo, trivial_layout(4, topo))
+        assert routed.circuit.count("swap") == 2
+
+    def test_all_two_qubit_gates_adjacent_after_routing(self):
+        topo = grid(3, 4)
+        from repro.circuits.library import qft
+
+        routed = route(qft(8), topo, snake_layout(8, topo))
+        for g in routed.circuit.two_qubit_gates():
+            if g.name != "swap":
+                assert topo.has_edge(*g.qubits)
+            else:
+                assert topo.has_edge(*g.qubits)
+
+    def test_semantics_preserved_up_to_final_layout(self):
+        topo = line(3)
+        c = Circuit(3).h(0).cx(0, 2).cx(1, 2)
+        routed = route(c, topo, trivial_layout(3, topo))
+        # Undo the layout permutation and compare unitaries.
+        perm = permutation_unitary(
+            routed.final_layout, routed.initial_layout, 3
+        )
+        assert global_phase_aligned(perm @ routed.circuit.unitary(), c.unitary())
+
+    def test_duplicate_placement_rejected(self):
+        topo = line(3)
+        with pytest.raises(ValueError):
+            route(Circuit(2).cx(0, 1), topo, {0: 1, 1: 1})
+
+
+class TestCompile:
+    def test_output_native_and_adjacent(self):
+        topo = grid(2, 3)
+        from repro.circuits.library import qaoa
+
+        compiled = compile_circuit(qaoa(5, seed=1), topo)
+        assert all(g.name in NATIVE_GATES for g in compiled.circuit.gates)
+        for g in compiled.circuit.two_qubit_gates():
+            assert topo.has_edge(*g.qubits)
+
+    def test_small_circuit_semantics(self):
+        topo = line(3)
+        c = Circuit(3).h(0).cx(0, 1).cx(1, 2)
+        compiled = compile_circuit(c, topo, layout="trivial")
+        perm = permutation_unitary(
+            compiled.final_layout, compiled.initial_layout, 3
+        )
+        assert global_phase_aligned(
+            perm @ compiled.circuit.unitary(), c.unitary()
+        )
+
+    def test_unknown_layout_rejected(self):
+        with pytest.raises(ValueError):
+            compile_circuit(Circuit(2).h(0), grid(2, 2), layout="fancy")
+
+    def test_circuit_padded_to_device_size(self):
+        compiled = compile_circuit(Circuit(2).cx(0, 1), grid(2, 3))
+        assert compiled.circuit.num_qubits == 6

@@ -1,0 +1,149 @@
+import numpy as np
+import pytest
+
+from repro.circuits import Circuit, Gate, SchedulingFrontier, gate_matrix, known_gate
+from repro.qmath.decompose import global_phase_aligned
+from repro.qmath.states import basis_state, zero_state
+from repro.qmath.unitaries import CNOT, HADAMARD
+
+
+class TestGate:
+    def test_basic_properties(self):
+        g = Gate("cx", (0, 1))
+        assert g.num_qubits == 2
+        assert not g.is_virtual
+        assert g.is_native is False
+
+    def test_rz_is_virtual_native(self):
+        g = Gate("rz", (0,), (0.5,))
+        assert g.is_virtual and g.is_native
+
+    def test_duplicate_qubits_rejected(self):
+        with pytest.raises(ValueError):
+            Gate("cx", (1, 1))
+
+    def test_matrix_lookup(self):
+        assert np.allclose(Gate("h", (0,)).matrix(), HADAMARD)
+
+    def test_parametric_matrix(self):
+        from repro.qmath.unitaries import rz
+
+        assert np.allclose(Gate("rz", (2,), (0.7,)).matrix(), rz(0.7))
+
+    def test_unknown_gate_matrix_raises(self):
+        with pytest.raises(ValueError):
+            gate_matrix("frobnicate")
+
+    def test_fixed_gate_rejects_params(self):
+        with pytest.raises(ValueError):
+            gate_matrix("h", (0.3,))
+
+    def test_known_gate(self):
+        assert known_gate("cx") and known_gate("rzz") and not known_gate("xyz")
+
+    def test_rzz_matrix_diagonal(self):
+        m = gate_matrix("rzz", (0.8,))
+        assert np.allclose(m, np.diag(np.diag(m)))
+
+
+class TestCircuit:
+    def test_builder_chaining(self):
+        c = Circuit(2).h(0).cx(0, 1)
+        assert len(c) == 2
+
+    def test_bell_state(self):
+        c = Circuit(2).h(0).cx(0, 1)
+        psi = c.output_state()
+        expected = (basis_state([0, 0]) + basis_state([1, 1])) / np.sqrt(2)
+        assert np.allclose(psi, expected)
+
+    def test_apply_matches_unitary(self, rng):
+        c = Circuit(3).h(0).cx(0, 1).t(2).cz(1, 2).rx(0, 0.7)
+        psi = zero_state(3)
+        assert np.allclose(c.apply(psi), c.unitary() @ psi)
+
+    def test_out_of_range_qubit_rejected(self):
+        with pytest.raises(ValueError):
+            Circuit(2).h(5)
+
+    def test_depth_ignores_virtual(self):
+        c = Circuit(1)
+        c.rz(0, 0.3).rz(0, 0.4)
+        assert c.depth() == 0
+        c.rx90(0)
+        assert c.depth() == 1
+
+    def test_depth_parallel_gates(self):
+        c = Circuit(2).h(0).h(1)
+        assert c.depth() == 1
+
+    def test_count(self):
+        c = Circuit(2).h(0).h(1).cx(0, 1)
+        assert c.count("h") == 2
+        assert c.count("cx") == 1
+
+    def test_inverse_roundtrip(self):
+        c = Circuit(2).h(0).t(0).cx(0, 1).rzz(0, 1, 0.4).s(1)
+        total = c.copy()
+        for g in c.inverse().gates:
+            total.append(g)
+        assert global_phase_aligned(total.unitary(), np.eye(4, dtype=complex))
+
+    def test_inverse_u3(self):
+        c = Circuit(1).u3(0, 0.3, 1.1, -0.6)
+        product = c.unitary() @ c.inverse().unitary()
+        assert global_phase_aligned(product, np.eye(2, dtype=complex))
+
+    def test_two_qubit_gates_listing(self):
+        c = Circuit(3).h(0).cx(0, 1).cz(1, 2)
+        assert len(c.two_qubit_gates()) == 2
+
+
+class TestSchedulingFrontier:
+    def test_initial_schedulable(self):
+        c = Circuit(2).h(0).h(1).cx(0, 1)
+        frontier = SchedulingFrontier(c)
+        assert frontier.schedulable() == [0, 1]
+
+    def test_dependency_blocks(self):
+        c = Circuit(2).h(0).cx(0, 1)
+        frontier = SchedulingFrontier(c)
+        assert frontier.schedulable() == [0]
+
+    def test_pop_advances(self):
+        c = Circuit(2).h(0).cx(0, 1)
+        frontier = SchedulingFrontier(c)
+        frontier.pop([0])
+        assert frontier.schedulable() == [1]
+
+    def test_pop_unschedulable_raises(self):
+        c = Circuit(2).h(0).cx(0, 1)
+        frontier = SchedulingFrontier(c)
+        with pytest.raises(ValueError):
+            frontier.pop([1])
+
+    def test_pop_virtual_flushes_runs(self):
+        c = Circuit(1)
+        c.rz(0, 0.1).rz(0, 0.2).rx90(0).rz(0, 0.3)
+        frontier = SchedulingFrontier(c)
+        flushed = frontier.pop_virtual()
+        assert len(flushed) == 2
+        assert frontier.schedulable() == [2]
+
+    def test_exhausted(self):
+        c = Circuit(1).h(0)
+        frontier = SchedulingFrontier(c)
+        assert not frontier.exhausted
+        frontier.pop([0])
+        assert frontier.exhausted
+
+    def test_all_gates_eventually_schedulable(self):
+        c = Circuit(3).h(0).cx(0, 1).cx(1, 2).h(2).cx(0, 2)
+        frontier = SchedulingFrontier(c)
+        seen = 0
+        while not frontier.exhausted:
+            ready = frontier.schedulable()
+            assert ready
+            frontier.pop(ready)
+            seen += len(ready)
+        assert seen == len(c)

@@ -1,0 +1,153 @@
+import numpy as np
+import pytest
+
+from repro.circuits.library import (
+    BENCHMARKS,
+    PAPER_SIZES,
+    google_random_circuit,
+    hidden_shift,
+    ising,
+    qaoa,
+    qft,
+    qpe,
+    quantum_volume,
+)
+from repro.circuits.library.hidden_shift import hidden_shift_answer
+from repro.circuits.library.qft import qft_matrix
+from repro.qmath.decompose import global_phase_aligned
+from repro.qmath.states import basis_state
+
+
+class TestQFT:
+    @pytest.mark.parametrize("n", [1, 2, 3, 4])
+    def test_matches_dft_matrix(self, n):
+        assert global_phase_aligned(qft(n).unitary(), qft_matrix(n))
+
+    def test_without_swaps_is_bit_reversed(self):
+        n = 3
+        u = qft(n, include_swaps=False).unitary()
+        full = qft_matrix(n)
+        # Reversing output bits must recover the DFT.
+        perm = np.zeros((8, 8), dtype=complex)
+        for i in range(8):
+            rev = int(format(i, "03b")[::-1], 2)
+            perm[rev, i] = 1.0
+        assert global_phase_aligned(perm @ u, full)
+
+    def test_gate_count_quadratic(self):
+        assert qft(6).count("cp") == 15
+
+
+class TestHiddenShift:
+    @pytest.mark.parametrize("n", [2, 4, 6])
+    def test_reveals_shift(self, n):
+        shift = tuple(int(b) for b in np.random.default_rng(3).integers(0, 2, n))
+        c = hidden_shift(n, shift=shift)
+        psi = c.output_state()
+        expected = basis_state(list(shift))
+        assert abs(np.vdot(expected, psi)) ** 2 > 1.0 - 1e-9
+
+    def test_seeded_shift_matches_helper(self):
+        n, seed = 4, 11
+        c = hidden_shift(n, seed=seed)
+        psi = c.output_state()
+        expected = basis_state(list(hidden_shift_answer(seed, n)))
+        assert abs(np.vdot(expected, psi)) ** 2 > 1.0 - 1e-9
+
+    def test_odd_size_rejected(self):
+        with pytest.raises(ValueError):
+            hidden_shift(5)
+
+
+class TestQPE:
+    def test_exact_phase_recovered(self):
+        # phi = 1/4 is exactly representable with 2 counting qubits.
+        c = qpe(3, phase=0.25)
+        psi = c.output_state()
+        # counting register should read binary 01 (0.25 = 0.01b), target in |1>.
+        expected = basis_state([0, 1, 1])
+        assert abs(np.vdot(expected, psi)) ** 2 > 1.0 - 1e-9
+
+    def test_inexact_phase_peaks_nearby(self):
+        c = qpe(4, phase=1.0 / 3.0)
+        psi = c.output_state()
+        probs = np.abs(psi) ** 2
+        best = int(np.argmax(probs))
+        # 1/3 ~ 0.0101b; with 3 counting qubits best estimate is 011 (3/8).
+        assert probs[best] > 0.25
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            qpe(1)
+
+
+class TestQAOA:
+    def test_structure(self):
+        c = qaoa(5, seed=1)
+        assert c.count("h") == 5
+        assert c.count("rx") == 5
+        assert c.count("rzz") >= 4  # connected graph on 5 vertices
+
+    def test_seed_determinism(self):
+        a = qaoa(5, seed=3)
+        b = qaoa(5, seed=3)
+        assert [g.name for g in a.gates] == [g.name for g in b.gates]
+
+    def test_rounds_scale_gates(self):
+        assert len(qaoa(4, p=2, seed=1)) > len(qaoa(4, p=1, seed=1))
+
+
+class TestIsing:
+    def test_structure(self):
+        c = ising(5, steps=2)
+        assert c.count("rzz") == 2 * 4
+        assert c.count("rx") == 2 * 5
+
+    def test_chain_locality(self):
+        for g in ising(6).two_qubit_gates():
+            assert abs(g.qubits[0] - g.qubits[1]) == 1
+
+
+class TestGRC:
+    def test_depth_layers(self):
+        c = google_random_circuit(4, depth=6, seed=1)
+        assert c.count("cz") > 0
+
+    def test_no_repeated_sqrt_gate(self):
+        # The Google scheme never repeats the same sqrt gate on a qubit.
+        c = google_random_circuit(3, depth=10, seed=2)
+        last: dict[int, tuple] = {}
+        for g in c.gates:
+            if g.num_qubits == 1:
+                key = (g.name, g.params)
+                assert last.get(g.qubits[0]) != key
+                last[g.qubits[0]] = key
+
+    def test_determinism(self):
+        a = google_random_circuit(4, seed=9)
+        b = google_random_circuit(4, seed=9)
+        assert [repr(g) for g in a.gates] == [repr(g) for g in b.gates]
+
+
+class TestQV:
+    def test_structure(self):
+        c = quantum_volume(4, seed=1)
+        assert c.count("cx") == 3 * 2 * 4  # 3 cx per pair, 2 pairs, 4 layers
+
+    def test_custom_depth(self):
+        c = quantum_volume(4, depth=2, seed=1)
+        assert c.count("cx") == 3 * 2 * 2
+
+
+class TestRegistry:
+    def test_all_benchmarks_build(self):
+        for name, builder in BENCHMARKS.items():
+            c = builder(4, seed=0)
+            assert c.num_qubits == 4
+            assert len(c) > 0
+
+    def test_paper_sizes_present(self):
+        assert PAPER_SIZES["HS"] == (4, 6, 12)
+        assert PAPER_SIZES["QFT"] == (4, 6, 9)
+        for name in BENCHMARKS:
+            assert name in PAPER_SIZES

@@ -1,0 +1,159 @@
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.device import (
+    Device,
+    Topology,
+    build_planar_dual,
+    edge_key,
+    grid,
+    ibmq_vigo,
+    line,
+    make_device,
+    ring,
+    sample_crosstalk,
+    star,
+    uniform_crosstalk,
+)
+from repro.units import KHZ
+
+
+class TestTopology:
+    def test_grid_counts(self):
+        topo = grid(3, 4)
+        assert topo.num_qubits == 12
+        assert topo.num_couplings == 17  # 3*3 horizontal + 2*4 vertical
+
+    def test_line_counts(self):
+        topo = line(5)
+        assert topo.num_qubits == 5
+        assert topo.num_couplings == 4
+
+    def test_vigo_shape(self):
+        topo = ibmq_vigo()
+        assert topo.num_qubits == 5
+        assert topo.max_degree == 3
+
+    def test_ring_not_bipartite_when_odd(self):
+        assert not ring(5).is_bipartite
+        assert ring(6).is_bipartite
+
+    def test_grid_bipartite(self):
+        assert grid(3, 4).is_bipartite
+
+    def test_distance_grid(self):
+        topo = grid(3, 4)
+        assert topo.distance(0, 0) == 0
+        assert topo.distance(0, 11) == 5  # corner to corner
+
+    def test_distance_disconnected_raises(self):
+        graph = nx.Graph()
+        graph.add_nodes_from(range(3))
+        graph.add_edge(0, 1)
+        topo = Topology(graph)
+        with pytest.raises(ValueError):
+            topo.distance(0, 2)
+
+    def test_neighbors_sorted(self):
+        topo = grid(2, 2)
+        assert topo.neighbors(0) == [1, 2]
+
+    def test_bad_labels_rejected(self):
+        graph = nx.Graph([(1, 2)])  # missing node 0
+        with pytest.raises(ValueError):
+            Topology(graph)
+
+    def test_subtopology_relabels(self):
+        topo = grid(2, 3)
+        sub = topo.subtopology([1, 2, 4, 5])
+        assert sub.num_qubits == 4
+        assert sub.has_edge(0, 1)  # old (1, 2)
+
+    def test_edge_key_canonical(self):
+        assert edge_key(3, 1) == (1, 3)
+        assert edge_key(1, 3) == (1, 3)
+
+
+class TestPlanarDual:
+    def test_grid_face_count(self):
+        # Euler: f = e - v + 2 = 17 - 12 + 2 = 7 (6 inner + outer).
+        dual = grid(3, 4).dual
+        assert dual.number_of_nodes() == 7
+
+    def test_dual_edge_count_matches_primal(self):
+        topo = grid(3, 4)
+        assert topo.dual.number_of_edges() == topo.num_couplings
+
+    def test_dual_keys_are_primal_edges(self):
+        topo = grid(2, 2)
+        keys = {key for _, _, key in topo.dual.edges(keys=True)}
+        assert keys == set(topo.edges)
+
+    def test_line_dual_single_face(self):
+        # A tree has one face; every edge is a self-loop in the dual.
+        dual = line(4).dual
+        assert dual.number_of_nodes() == 1
+        assert dual.number_of_edges() == 3
+
+    def test_even_number_of_odd_vertices(self):
+        for topo in (grid(2, 3), grid(3, 4), ibmq_vigo(), ring(6), star(4)):
+            odd = [n for n, d in topo.dual.degree() if d % 2 == 1]
+            assert len(odd) % 2 == 0
+
+    def test_nonplanar_raises(self):
+        graph = nx.complete_graph(5)  # K5 is not planar
+        with pytest.raises(ValueError):
+            build_planar_dual(graph)
+
+
+class TestCrosstalk:
+    def test_sample_covers_all_edges(self):
+        topo = grid(2, 3)
+        strengths = sample_crosstalk(topo, seed=1)
+        assert set(strengths) == set(topo.edges)
+
+    def test_sample_positive(self):
+        strengths = sample_crosstalk(grid(3, 4), seed=2)
+        assert all(v > 0 for v in strengths.values())
+
+    def test_sample_reproducible(self):
+        a = sample_crosstalk(grid(2, 3), seed=3)
+        b = sample_crosstalk(grid(2, 3), seed=3)
+        assert a == b
+
+    def test_sample_distribution(self):
+        strengths = sample_crosstalk(grid(10, 10), seed=4)
+        khz = np.array(list(strengths.values())) / KHZ
+        assert 180.0 < np.mean(khz) < 220.0
+        assert 30.0 < np.std(khz) < 70.0
+
+    def test_uniform(self):
+        strengths = uniform_crosstalk(line(3), 100.0)
+        assert np.allclose(list(strengths.values()), 100.0 * KHZ)
+
+
+class TestDevice:
+    def test_make_device(self):
+        device = make_device(grid(2, 3), seed=7)
+        assert device.num_qubits == 6
+        assert len(device.couplings()) == 7
+
+    def test_coupling_strength_lookup(self):
+        device = make_device(line(3), seed=7)
+        assert device.coupling_strength(0, 1) == device.coupling_strength(1, 0)
+
+    def test_mismatched_crosstalk_rejected(self):
+        topo = line(3)
+        with pytest.raises(ValueError):
+            Device(topo, {(0, 1): 1.0})  # missing (1, 2)
+
+    def test_extra_crosstalk_rejected(self):
+        topo = line(3)
+        bad = {(0, 1): 1.0, (1, 2): 1.0, (0, 2): 1.0}
+        with pytest.raises(ValueError):
+            Device(topo, bad)
+
+    def test_default_name_from_topology(self):
+        device = make_device(grid(2, 2), seed=1)
+        assert device.name == "grid2x2"

@@ -1,0 +1,176 @@
+"""Experiment-harness tests: small configurations of every figure module."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import fig16_single_qubit, fig17_drive_noise
+from repro.experiments import fig18_leakage, fig19_two_qubit
+from repro.experiments import fig20_overall, fig21_coopt, fig22_breakdown
+from repro.experiments import fig24_exec_time, fig25_tunable, fig28_waveforms
+from repro.experiments import compile_time
+from repro.experiments.common import (
+    BenchmarkCase,
+    CONFIGS,
+    improvement,
+    run_config,
+)
+from repro.experiments.registry import EXPERIMENTS, run_experiment
+from repro.experiments.result import ExperimentResult
+
+SMALL_CASES = [BenchmarkCase("QAOA", 4), BenchmarkCase("Ising", 4)]
+
+
+class TestFig16:
+    def test_ordering_at_moderate_strength(self):
+        result = fig16_single_qubit.run(num_points=3)
+        rows_1mhz = [r for r in result.rows if r["lambda_mhz"] == 1.0]
+        by_method = {
+            (r["gate"], r["method"]): r["infidelity"] for r in rows_1mhz
+        }
+        for gate in ("rx90", "id"):
+            assert by_method[(gate, "pert")] < by_method[(gate, "gaussian")]
+            assert by_method[(gate, "dcg")] < by_method[(gate, "gaussian")]
+
+    def test_zero_strength_hits_floor_for_exact_pulses(self):
+        result = fig16_single_qubit.run(num_points=3)
+        rows = result.filtered(gate="rx90", method="gaussian", lambda_mhz=0.0)
+        assert rows[0]["infidelity"] <= 1e-7
+
+
+class TestFig17:
+    def test_noise_monotonicity(self):
+        result = fig17_drive_noise.run(num_points=3)
+        rows = [r for r in result.rows if r["panel"] == "a:detuning"]
+        at_1mhz = {
+            r["noise"]: r["infidelity"] for r in rows if r["lambda_mhz"] == 1.0
+        }
+        assert at_1mhz["0.0MHz"] <= at_1mhz["1.0MHz"]
+
+    def test_typical_noise_keeps_suppression(self):
+        result = fig17_drive_noise.run(num_points=3)
+        rows = result.filtered(panel="b:amplitude", noise="0.10%", lambda_mhz=1.0)
+        # Still far below the Gaussian baseline (~1e-2 at 1 MHz).
+        assert rows[0]["infidelity"] < 1e-3
+
+
+class TestFig18:
+    def test_drag_beats_no_drag_without_crosstalk(self):
+        result = fig18_leakage.run(num_points=2)
+        at_zero = {
+            (r["anharmonicity_mhz"], r["variant"]): r["infidelity"]
+            for r in result.rows
+            if r["lambda_mhz"] == 0.0
+        }
+        assert at_zero[(-300.0, "pert+drag")] < at_zero[(-300.0, "pert")]
+
+    def test_pert_drag_beats_gaussian_drag_under_crosstalk(self):
+        result = fig18_leakage.run(num_points=2)
+        at_two = {
+            (r["anharmonicity_mhz"], r["variant"]): r["infidelity"]
+            for r in result.rows
+            if r["lambda_mhz"] == 2.0
+        }
+        assert at_two[(-300.0, "pert+drag")] < at_two[(-300.0, "gaussian+drag")]
+
+
+class TestFig19:
+    def test_two_qubit_ordering(self):
+        result = fig19_two_qubit.run(num_points=3, grid_points=2)
+        at_1mhz = {
+            r["method"]: r["infidelity"]
+            for r in result.rows
+            if r["panel"] == "a:equal" and r["lambda12_mhz"] == 1.0
+        }
+        assert at_1mhz["pert"] < at_1mhz["gaussian"]
+        assert at_1mhz["optctrl"] < at_1mhz["gaussian"]
+
+    def test_grid_panel_present(self):
+        result = fig19_two_qubit.run(num_points=3, grid_points=2)
+        grid_rows = [r for r in result.rows if r["panel"] == "b:grid"]
+        assert len(grid_rows) == 4
+
+
+class TestBenchmarkHarness:
+    def test_configs_cover_paper(self):
+        for name in ("gau+par", "optctrl+zzx", "pert+zzx", "pert+par", "gau+zzx"):
+            assert name in CONFIGS
+
+    def test_run_config_fidelity_range(self):
+        out = run_config(BenchmarkCase("Ising", 4), "pert+zzx")
+        assert 0.5 < out.fidelity <= 1.0
+
+    def test_improvement_guard(self):
+        assert improvement(0.9, 0.0) == 0.9 / 1e-6
+
+    def test_fig20_rows(self):
+        result = fig20_overall.run(cases=SMALL_CASES)
+        assert len(result.rows) == 2
+        for row in result.rows:
+            assert row["pert+zzx"] > row["gau+par"]
+            assert row["improvement"] >= 1.0
+
+    def test_fig20_headline_helpers(self):
+        result = fig20_overall.run(cases=SMALL_CASES)
+        best, mean = fig20_overall.max_and_mean_improvement(result)
+        assert best >= mean >= 1.0
+
+    def test_fig21_synergy(self):
+        result = fig21_coopt.run(cases=SMALL_CASES)
+        for row in result.rows:
+            assert row["pert+zzx"] >= row["pert+par"] - 0.05
+            assert row["pert+zzx"] >= row["gau+zzx"] - 0.05
+
+    def test_fig22_contributions_sum_to_100(self):
+        result = fig22_breakdown.run(cases=SMALL_CASES)
+        for row in result.rows:
+            total = (
+                row["pulse_contribution_pct"] + row["scheduling_contribution_pct"]
+            )
+            assert np.isclose(total, 100.0)
+
+    def test_fig24_relative_time(self):
+        result = fig24_exec_time.run(cases=SMALL_CASES)
+        for row in result.rows:
+            assert 1.0 <= row["relative"] <= 3.0
+
+    def test_fig25_reduction(self):
+        result = fig25_tunable.run(benchmarks=("QAOA", "QV"))
+        for row in result.rows:
+            assert row["zzxsched"] < row["gau+par"]
+            assert row["improvement"] > 2.0
+
+    def test_fig28_reasonable_amplitudes(self):
+        result = fig28_waveforms.run()
+        for row in result.rows:
+            assert row["max_amp_x_mhz"] < 500.0
+            assert row["duration_ns"] in (20.0, 120.0)
+
+    def test_compile_time_under_claim(self):
+        result = compile_time.run(benchmarks=("QAOA", "Ising"))
+        for row in result.rows:
+            assert row["compile_seconds"] < 0.25
+
+
+class TestRegistry:
+    def test_all_experiments_registered(self):
+        for key in ("fig16", "fig20", "fig27", "tab-compile"):
+            assert key in EXPERIMENTS
+
+    def test_unknown_experiment_raises(self):
+        with pytest.raises(ValueError):
+            run_experiment("fig99")
+
+
+class TestExperimentResult:
+    def test_render_contains_title(self):
+        r = ExperimentResult("x", "Title", rows=[{"a": 1}])
+        assert "Title" in r.render()
+
+    def test_filtered(self):
+        r = ExperimentResult("x", "t", rows=[{"a": 1, "b": 2}, {"a": 2, "b": 2}])
+        assert len(r.filtered(a=1)) == 1
+        assert len(r.filtered(b=2)) == 2
+
+    def test_column(self):
+        r = ExperimentResult("x", "t", rows=[{"a": 1}, {"a": 3}])
+        assert r.column("a") == [1, 3]

@@ -1,0 +1,130 @@
+"""Tests for the extension modules: hybrid libraries, spectra, ZZ mapping."""
+
+import numpy as np
+import pytest
+
+from repro.characterization import measure_coupling_zz, measure_device_zz_map
+from repro.device import grid, line, make_device, uniform_crosstalk, Device
+from repro.pulses import build_library
+from repro.pulses.hybrid import build_hybrid_library
+from repro.pulses.shapes import fourier_waveform, gaussian
+from repro.pulses.spectrum import occupied_bandwidth, power_below, power_spectrum
+from repro.units import KHZ
+
+
+class TestHybridLibrary:
+    def test_composition(self):
+        lib = build_hybrid_library("pert", "dcg")
+        assert lib["rx90"].method == "pert"
+        assert lib["id"].method == "dcg"
+        assert lib.gate_duration("id") == 40.0
+        assert lib.gate_duration("rx90") == 20.0
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ValueError):
+            build_hybrid_library("pert", "magic")
+
+    def test_hybrid_executes_end_to_end(self, device6, lib_gaussian):
+        from repro.circuits import compile_circuit
+        from repro.circuits.library import BENCHMARKS
+        from repro.runtime import execute_statevector
+        from repro.scheduling import par_schedule, zzx_schedule
+
+        compiled = compile_circuit(BENCHMARKS["Ising"](4), device6.topology)
+        schedule = zzx_schedule(compiled.circuit, device6.topology)
+        hybrid = build_hybrid_library("pert", "dcg")
+        result = execute_statevector(schedule, device6, hybrid)
+        baseline = execute_statevector(
+            par_schedule(compiled.circuit), device6, lib_gaussian
+        )
+        # Better than the baseline, but the 20/40 ns duration mismatch
+        # inside layers costs suppression vs the pure-pert library (see the
+        # module docstring) — the hybrid is NOT expected to reach >0.9 here.
+        assert result.fidelity > baseline.fidelity
+
+    def test_duration_matched_hybrid_keeps_fidelity(self, device6):
+        """pert gates + pert identities (a trivial hybrid) stays high."""
+        from repro.circuits import compile_circuit
+        from repro.circuits.library import BENCHMARKS
+        from repro.runtime import execute_statevector
+        from repro.scheduling import zzx_schedule
+
+        compiled = compile_circuit(BENCHMARKS["Ising"](4), device6.topology)
+        schedule = zzx_schedule(compiled.circuit, device6.topology)
+        hybrid = build_hybrid_library("pert", "pert")
+        result = execute_statevector(schedule, device6, hybrid)
+        assert result.fidelity > 0.95
+
+    def test_hybrid_name(self):
+        assert build_hybrid_library("pert", "dcg").method == "pert+dcg-id"
+
+
+class TestSpectrum:
+    def test_fourier_pulse_is_band_limited(self):
+        # 5 harmonics on T = 20 ns -> content below 5/T = 0.25 GHz.
+        wf = fourier_waveform(np.array([0.1, 0.05, 0.02, 0.01, 0.01]), 20.0, 0.25)
+        assert occupied_bandwidth(wf, 0.999) <= 0.30
+
+    def test_gaussian_narrow(self):
+        wf = gaussian(20.0, 0.25, np.pi / 4.0)
+        assert occupied_bandwidth(wf, 0.99) < 0.15
+
+    def test_power_below_monotone(self):
+        wf = gaussian(20.0, 0.25, 1.0)
+        assert power_below(wf, 0.05) <= power_below(wf, 0.5)
+
+    def test_power_spectrum_shapes(self):
+        wf = gaussian(20.0, 0.25, 1.0)
+        freqs, spectrum = power_spectrum(wf)
+        assert len(freqs) == len(spectrum) == wf.num_steps // 2 + 1
+
+    def test_invalid_fraction_rejected(self):
+        wf = gaussian(20.0, 0.25, 1.0)
+        with pytest.raises(ValueError):
+            occupied_bandwidth(wf, 1.5)
+
+    def test_library_pulses_awg_friendly(self, lib_pert):
+        from repro.pulses.waveform import Waveform
+
+        pulse = lib_pert["rx90"]
+        wf = Waveform(pulse.channel("x"), pulse.dt)
+        # The paper's Fourier form keeps >99% of power below 0.3 GHz.
+        assert power_below(wf, 0.3) > 0.99
+
+
+class TestZZMapping:
+    def test_single_coupling_recovered(self):
+        topo = line(2)
+        device = Device(topo, uniform_crosstalk(topo, 200.0))
+        measured = measure_coupling_zz(device, 0, 1)
+        assert np.isclose(measured, 200.0, rtol=0.02)
+
+    def test_spectator_does_not_bias(self):
+        # Measuring (0,1) on a 3-line: qubit 2's coupling must not leak in.
+        topo = line(3)
+        crosstalk = uniform_crosstalk(topo, 150.0)
+        crosstalk[(1, 2)] = 320.0 * KHZ
+        device = Device(topo, crosstalk)
+        measured = measure_coupling_zz(device, 0, 1)
+        assert np.isclose(measured, 150.0, rtol=0.02)
+
+    def test_full_device_map(self):
+        device = make_device(grid(2, 3), seed=13)
+        measured = measure_device_zz_map(device)
+        assert set(measured) == set(device.crosstalk)
+        for edge, true_value in device.crosstalk.items():
+            assert np.isclose(measured[edge], true_value, rtol=0.03), edge
+
+    def test_non_coupling_rejected(self):
+        device = make_device(grid(2, 3), seed=13)
+        with pytest.raises(ValueError):
+            measure_coupling_zz(device, 0, 5)
+
+    def test_measured_map_drives_device(self):
+        """The calibration loop: measured map -> new Device -> scheduling."""
+        device = make_device(grid(2, 2), seed=3)
+        measured = measure_device_zz_map(device)
+        recalibrated = Device(device.topology, measured, name="measured")
+        assert recalibrated.num_qubits == device.num_qubits
+        for u, v, lam in recalibrated.couplings():
+            assert lam > 0

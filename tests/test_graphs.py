@@ -1,0 +1,199 @@
+import networkx as nx
+import pytest
+
+from repro.device import grid, ibmq_vigo, line, ring, star
+from repro.graphs import (
+    SuppressionPlan,
+    UnionFind,
+    alpha_optimal_suppression,
+    cut_metrics,
+    induce_cut,
+    match_odd_vertices,
+    odd_degree_vertices,
+    simple_projection,
+    top_k_paths,
+)
+
+
+class TestUnionFind:
+    def test_initially_separate(self):
+        uf = UnionFind()
+        assert uf.find(1) != uf.find(2)
+
+    def test_union_merges(self):
+        uf = UnionFind()
+        uf.union(1, 2)
+        assert uf.find(1) == uf.find(2)
+
+    def test_transitive(self):
+        uf = UnionFind()
+        uf.union(1, 2)
+        uf.union(2, 3)
+        assert uf.find(1) == uf.find(3)
+
+
+class TestInduceCut:
+    def test_bipartite_no_contraction(self):
+        topo = grid(2, 3)
+        coloring = induce_cut(topo.graph, [])
+        assert coloring is not None
+        for u, v in topo.edges:
+            assert coloring[u] != coloring[v]
+
+    def test_odd_ring_requires_contraction(self):
+        topo = ring(5)
+        assert induce_cut(topo.graph, []) is None
+        coloring = induce_cut(topo.graph, [(0, 1)])
+        assert coloring is not None
+        assert coloring[0] == coloring[1]
+
+    def test_contracted_edge_same_color(self):
+        topo = grid(2, 2)
+        coloring = induce_cut(topo.graph, [(0, 1)])
+        if coloring is not None:
+            assert coloring[0] == coloring[1]
+
+    def test_invalid_contraction_returns_none(self):
+        # Contracting one edge of an even cycle leaves an odd cycle.
+        topo = ring(6)
+        assert induce_cut(topo.graph, [(0, 1)]) is None
+
+
+class TestCutMetrics:
+    def test_complete_suppression_metrics(self):
+        topo = grid(2, 3)
+        coloring = induce_cut(topo.graph, [])
+        metrics = cut_metrics(topo.graph, coloring)
+        assert metrics.nc == 0
+        assert metrics.nq == 1
+
+    def test_all_same_color(self):
+        topo = grid(2, 2)
+        coloring = {q: 0 for q in range(4)}
+        metrics = cut_metrics(topo.graph, coloring)
+        assert metrics.nc == topo.num_couplings
+        assert metrics.nq == 4
+
+    def test_objective(self):
+        topo = line(3)
+        metrics = cut_metrics(topo.graph, {0: 0, 1: 0, 2: 0})
+        assert metrics.objective(alpha=0.5) == 0.5 * 3 + 2
+
+    def test_remaining_edges_subset_of_edges(self):
+        topo = ibmq_vigo()
+        coloring = {q: q % 2 for q in range(5)}
+        metrics = cut_metrics(topo.graph, coloring)
+        assert metrics.remaining_edges <= set(topo.edges)
+
+
+class TestPairing:
+    def test_line_dual_has_no_odd_vertices(self):
+        assert odd_degree_vertices(line(4).dual) == []
+
+    def test_grid34_odd_vertices(self):
+        odd = odd_degree_vertices(grid(3, 4).dual)
+        assert len(odd) % 2 == 0
+
+    def test_matching_covers_odd_vertices(self):
+        dual = grid(3, 4).dual
+        odd = set(odd_degree_vertices(dual))
+        pairs = match_odd_vertices(dual)
+        matched = {v for pair in pairs for v in pair}
+        assert matched == odd
+
+    def test_simple_projection_drops_self_loops(self):
+        simple = simple_projection(line(4).dual)
+        assert simple.number_of_edges() == 0
+
+    def test_top_k_paths_sorted_by_length(self):
+        dual = grid(3, 4).dual
+        simple = simple_projection(dual)
+        nodes = list(simple.nodes)
+        paths = top_k_paths(simple, nodes[0], nodes[-1], 3)
+        lengths = [len(p) for p in paths]
+        assert lengths == sorted(lengths)
+
+    def test_top_k_paths_no_path(self):
+        g = nx.Graph()
+        g.add_nodes_from([0, 1])
+        assert top_k_paths(g, 0, 1, 3) == []
+
+
+class TestAlphaOptimalSuppression:
+    @pytest.mark.parametrize(
+        "topo_factory", [lambda: grid(2, 3), lambda: grid(3, 4), lambda: line(5),
+                         lambda: ibmq_vigo(), lambda: star(4)]
+    )
+    def test_complete_suppression_on_bipartite(self, topo_factory):
+        topo = topo_factory()
+        plan = alpha_optimal_suppression(topo)
+        assert plan.nc == 0
+        assert plan.nq == 1
+
+    def test_odd_ring_cannot_be_complete(self):
+        plan = alpha_optimal_suppression(ring(5))
+        assert plan.nc >= 1
+
+    def test_constrained_gate_monochromatic(self):
+        topo = grid(3, 4)
+        for edge in topo.edges[:5]:
+            plan = alpha_optimal_suppression(topo, gate_qubits=edge)
+            assert plan.is_monochromatic(edge)
+
+    def test_constrained_metrics_reasonable(self):
+        topo = grid(3, 4)
+        plan = alpha_optimal_suppression(topo, gate_qubits=(0, 1))
+        assert 1 <= plan.nc <= 4
+        assert 2 <= plan.nq <= 5
+
+    def test_two_distant_gates(self):
+        topo = grid(3, 4)
+        plan = alpha_optimal_suppression(topo, gate_qubits=(0, 1, 10, 11))
+        assert plan.is_monochromatic((0, 1, 10, 11))
+
+    def test_side_of_raises_on_split(self):
+        topo = grid(2, 3)
+        plan = alpha_optimal_suppression(topo)
+        # Adjacent qubits have different colors in the checkerboard cut.
+        with pytest.raises(ValueError):
+            plan.side_of([0, 1])
+
+    def test_partitions_cover_everything(self):
+        topo = grid(3, 4)
+        plan = alpha_optimal_suppression(topo, gate_qubits=(5, 6))
+        assert plan.partition(0) | plan.partition(1) == set(range(12))
+        assert not plan.partition(0) & plan.partition(1)
+
+    def test_negative_alpha_rejected(self):
+        with pytest.raises(ValueError):
+            alpha_optimal_suppression(grid(2, 2), alpha=-1.0)
+
+    def test_out_of_range_gate_qubits_rejected(self):
+        with pytest.raises(ValueError):
+            alpha_optimal_suppression(grid(2, 2), gate_qubits=(7,))
+
+    def test_alpha_tradeoff_monotone(self):
+        """Large alpha favors small NQ at the cost of NC."""
+        topo = ring(5)  # non-bipartite: real trade-off exists
+        plan_nc = alpha_optimal_suppression(topo, alpha=0.01, top_k=5)
+        plan_nq = alpha_optimal_suppression(topo, alpha=10.0, top_k=5)
+        assert plan_nc.nc <= plan_nq.nc
+        assert plan_nq.nq <= plan_nc.nq
+
+    def test_remaining_set_consistency(self):
+        """NC must equal |remaining edges| and NQ the largest region."""
+        import networkx as nx
+
+        topo = grid(3, 4)
+        plan = alpha_optimal_suppression(topo, gate_qubits=(4, 5))
+        regions = nx.Graph()
+        regions.add_nodes_from(range(topo.num_qubits))
+        regions.add_edges_from(plan.metrics.remaining_edges)
+        largest = max(len(c) for c in nx.connected_components(regions))
+        assert plan.nq == largest
+        assert plan.nc == len(plan.metrics.remaining_edges)
+
+    def test_single_qubit_gate_constraint(self):
+        topo = grid(3, 4)
+        plan = alpha_optimal_suppression(topo, gate_qubits=(5,))
+        assert plan.is_monochromatic((5,))

@@ -1,0 +1,120 @@
+"""Property-based tests: Algorithm 1 cuts and scheduling invariants."""
+
+import networkx as nx
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.circuits import Circuit, transpile
+from repro.device import Topology, grid
+from repro.graphs import alpha_optimal_suppression, cut_metrics
+from repro.runtime.ideal import ideal_schedule_state
+from repro.scheduling import par_schedule, zzx_schedule
+
+GRIDS = [grid(2, 2), grid(2, 3), grid(3, 3), grid(3, 4)]
+
+
+@st.composite
+def random_gate_qubits(draw):
+    topo = draw(st.sampled_from(GRIDS))
+    # Pick a random coupled pair or a random pair of single qubits.
+    edges = list(topo.edges)
+    edge = draw(st.sampled_from(edges))
+    extra = draw(
+        st.lists(st.integers(0, topo.num_qubits - 1), max_size=2, unique=True)
+    )
+    return topo, frozenset(edge) | frozenset(extra)
+
+
+@given(random_gate_qubits())
+@settings(max_examples=40, deadline=None)
+def test_constrained_plan_invariants(data):
+    topo, qubits = data
+    plan = alpha_optimal_suppression(topo, qubits)
+    # The gate qubits always land in one partition.
+    assert plan.is_monochromatic(qubits)
+    # Metrics are self-consistent with the coloring.
+    recomputed = cut_metrics(topo.graph, plan.coloring)
+    assert recomputed.nc == plan.nc
+    assert recomputed.nq == plan.nq
+    # NQ bounded by device size; NC by coupling count.
+    assert 1 <= plan.nq <= topo.num_qubits
+    assert 0 <= plan.nc <= topo.num_couplings
+
+
+@given(
+    st.integers(2, 5),
+    st.integers(0, 10_000),
+)
+@settings(max_examples=25, deadline=None)
+def test_random_tree_complete_suppression(n, seed):
+    tree = nx.random_labeled_tree(n, seed=seed)
+    topo = Topology(tree)
+    plan = alpha_optimal_suppression(topo)
+    assert plan.nc == 0  # trees are bipartite
+
+
+@st.composite
+def random_native_circuit(draw):
+    topo = grid(2, 3)
+    n = topo.num_qubits
+    c = Circuit(n)
+    num_gates = draw(st.integers(1, 12))
+    for _ in range(num_gates):
+        kind = draw(st.integers(0, 2))
+        if kind == 0:
+            c.rx90(draw(st.integers(0, n - 1)))
+        elif kind == 1:
+            c.rz(draw(st.integers(0, n - 1)), draw(st.floats(-3.0, 3.0)))
+        else:
+            edge = draw(st.sampled_from(list(topo.edges)))
+            c.rzx90(*edge)
+    return topo, c
+
+
+@given(random_native_circuit())
+@settings(max_examples=30, deadline=None)
+def test_zzx_schedule_invariants(data):
+    topo, circuit = data
+    schedule = zzx_schedule(circuit, topo)
+    schedule.validate()
+    # Every physical gate scheduled exactly once; per-qubit order preserved.
+    scheduled = schedule.all_gates()
+    assert len(scheduled) == len(circuit.gates)
+    for q in range(circuit.num_qubits):
+        orig = [g for g in circuit.gates if q in g.qubits]
+        got = [g for g in scheduled if q in g.qubits]
+        assert orig == got
+
+
+@given(random_native_circuit())
+@settings(max_examples=20, deadline=None)
+def test_schedulers_agree_semantically(data):
+    topo, circuit = data
+    par_state = ideal_schedule_state(par_schedule(circuit))
+    zzx_state = ideal_schedule_state(zzx_schedule(circuit, topo))
+    direct = circuit.output_state()
+    assert abs(np.vdot(par_state, direct)) ** 2 > 1.0 - 1e-9
+    assert abs(np.vdot(zzx_state, direct)) ** 2 > 1.0 - 1e-9
+
+
+@given(st.integers(0, 500))
+@settings(max_examples=20, deadline=None)
+def test_transpile_preserves_unitary(seed):
+    rng = np.random.default_rng(seed)
+    c = Circuit(3)
+    for _ in range(6):
+        kind = rng.integers(0, 4)
+        q = int(rng.integers(0, 3))
+        q2 = (q + 1) % 3
+        if kind == 0:
+            c.u3(q, *rng.uniform(-3, 3, 3))
+        elif kind == 1:
+            c.cx(q, q2)
+        elif kind == 2:
+            c.cz(q, q2)
+        else:
+            c.rzz(q, q2, float(rng.uniform(-2, 2)))
+    native = transpile(c)
+    from repro.qmath.decompose import global_phase_aligned
+
+    assert global_phase_aligned(native.unitary(), c.unitary())

@@ -1,0 +1,94 @@
+"""Property-based tests of the quantum-math substrate."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.circuits.transpile import decompose_1q
+from repro.qmath.decompose import global_phase_aligned, zxz_angles
+from repro.qmath.fidelity import average_gate_fidelity, state_fidelity
+from repro.qmath.states import random_state
+from repro.qmath.tensor import embed_operator, zz_diagonal
+from repro.qmath.unitaries import expm_hermitian, rx, rz
+
+
+def haar_unitary(dim: int, seed: int) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    m = rng.normal(size=(dim, dim)) + 1j * rng.normal(size=(dim, dim))
+    q, r = np.linalg.qr(m)
+    return q * (np.diag(r) / np.abs(np.diag(r)))
+
+
+@given(seed=st.integers(0, 10_000))
+@settings(max_examples=40, deadline=None)
+def test_zxz_reconstruction(seed):
+    u = haar_unitary(2, seed)
+    a, beta, c = zxz_angles(u)
+    rebuilt = rz(c) @ rx(beta) @ rz(a)
+    assert global_phase_aligned(rebuilt, u)
+
+
+@given(seed=st.integers(0, 10_000))
+@settings(max_examples=40, deadline=None)
+def test_native_1q_decomposition(seed):
+    u = haar_unitary(2, seed)
+    gates = decompose_1q(u, 0)
+    total = np.eye(2, dtype=complex)
+    for g in gates:
+        total = g.matrix() @ total
+    assert global_phase_aligned(total, u)
+    assert sum(1 for g in gates if g.name == "rx90") <= 2
+
+
+@given(seed=st.integers(0, 10_000), qubit=st.integers(0, 2))
+@settings(max_examples=30, deadline=None)
+def test_embed_preserves_unitarity(seed, qubit):
+    u = haar_unitary(2, seed)
+    big = embed_operator(u, [qubit], 3)
+    assert np.allclose(big @ big.conj().T, np.eye(8), atol=1e-10)
+
+
+@given(seed=st.integers(0, 10_000))
+@settings(max_examples=30, deadline=None)
+def test_fidelity_symmetric_and_bounded(seed):
+    u = haar_unitary(4, seed)
+    v = haar_unitary(4, seed + 1)
+    f_uv = average_gate_fidelity(u, v)
+    f_vu = average_gate_fidelity(v, u)
+    assert np.isclose(f_uv, f_vu)
+    assert 0.0 <= f_uv <= 1.0 + 1e-12
+
+
+@given(seed=st.integers(0, 10_000))
+@settings(max_examples=30, deadline=None)
+def test_state_fidelity_unitary_invariance(seed):
+    rng = np.random.default_rng(seed)
+    a = random_state(2, rng)
+    b = random_state(2, rng)
+    u = haar_unitary(4, seed)
+    assert np.isclose(state_fidelity(a, b), state_fidelity(u @ a, u @ b))
+
+
+@given(
+    strengths=st.lists(st.floats(-1.0, 1.0), min_size=1, max_size=3),
+    seed=st.integers(0, 1000),
+)
+@settings(max_examples=30, deadline=None)
+def test_zz_diagonal_linearity(strengths, seed):
+    rng = np.random.default_rng(seed)
+    n = 4
+    edges = [(0, 1), (1, 2), (2, 3)][: len(strengths)]
+    couplings = [(u, v, s) for (u, v), s in zip(edges, strengths)]
+    total = zz_diagonal(couplings, n)
+    parts = sum(zz_diagonal([c], n) for c in couplings)
+    assert np.allclose(total, parts)
+
+
+@given(seed=st.integers(0, 10_000), t=st.floats(0.01, 5.0))
+@settings(max_examples=30, deadline=None)
+def test_expm_group_property(seed, t):
+    rng = np.random.default_rng(seed)
+    h = rng.normal(size=(3, 3)) + 1j * rng.normal(size=(3, 3))
+    h = h + h.conj().T
+    u_full = expm_hermitian(h, t)
+    u_half = expm_hermitian(h, t / 2.0)
+    assert np.allclose(u_full, u_half @ u_half, atol=1e-10)

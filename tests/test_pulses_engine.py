@@ -1,0 +1,175 @@
+"""Optimizer engine tests: forward pass and exact gradients."""
+
+import numpy as np
+import pytest
+
+from repro.pulses.optimizers.engine import (
+    ControlProblem,
+    FidelityScenario,
+    ForwardPass,
+    fidelity_loss_and_grad,
+    pert_loss_and_grad,
+)
+from repro.qmath.paulis import ID2, SX, SY, SZ
+from repro.qmath.unitaries import expm_hermitian, rx
+
+
+def finite_difference(fn, theta, eps=1e-6):
+    grad = np.zeros_like(theta)
+    for i in range(len(theta)):
+        up, down = theta.copy(), theta.copy()
+        up[i] += eps
+        down[i] -= eps
+        grad[i] = (fn(up) - fn(down)) / (2 * eps)
+    return grad
+
+
+class TestForwardPass:
+    def test_cumulative_product(self, rng):
+        amps = rng.normal(size=(1, 5)) * 0.1
+        fp = ForwardPass(amps, [SX], np.zeros((2, 2), complex), 0.5)
+        expected = np.eye(2, dtype=complex)
+        for k in range(5):
+            expected = expm_hermitian(amps[0, k] * SX, 0.5) @ expected
+        assert np.allclose(fp.final, expected)
+
+    def test_step_derivative_matches_fd(self, rng):
+        amps = rng.normal(size=(1, 3)) * 0.2
+        fp = ForwardPass(amps, [SX], 0.05 * SZ, 0.5)
+        k = 1
+        du = fp.step_derivative(k, SX)
+        eps = 1e-7
+        h_plus = 0.05 * SZ + (amps[0, k] + eps) * SX
+        h_minus = 0.05 * SZ + (amps[0, k] - eps) * SX
+        du_fd = (expm_hermitian(h_plus, 0.5) - expm_hermitian(h_minus, 0.5)) / (
+            2 * eps
+        )
+        assert np.allclose(du, du_fd, atol=1e-6)
+
+    def test_cumulative_before_first_is_identity(self, rng):
+        amps = rng.normal(size=(1, 2))
+        fp = ForwardPass(amps, [SX], np.zeros((2, 2), complex), 0.1)
+        assert np.allclose(fp.cumulative_before(0), ID2)
+
+
+class TestFidelityGradient:
+    def test_matches_finite_difference(self, rng):
+        problem = ControlProblem(10.0, 0.5, 3, 2)
+        scenario = FidelityScenario(
+            generators=(np.kron(SX, ID2), np.kron(SY, ID2)),
+            static=0.01 * np.kron(SZ, SZ),
+            target=np.kron(rx(np.pi / 2), ID2),
+            weight=1.0,
+        )
+        theta = 0.1 * rng.standard_normal(problem.num_params)
+
+        def value(th):
+            amps = problem.amplitudes(th)
+            v, _ = fidelity_loss_and_grad(scenario, amps, problem.dt)
+            return v
+
+        amps = problem.amplitudes(theta)
+        _, grad_amps = fidelity_loss_and_grad(scenario, amps, problem.dt)
+        grad = problem.grad_to_theta(grad_amps)
+        fd = finite_difference(value, theta)
+        assert np.allclose(grad, fd, rtol=1e-5, atol=1e-8)
+
+    def test_loss_zero_at_exact_gate(self):
+        # A constant pulse implementing the gate exactly: loss ~ 0.
+        problem = ControlProblem(10.0, 0.5, 1, 1)
+        scenario = FidelityScenario(
+            generators=(SX,),
+            static=np.zeros((2, 2), complex),
+            target=rx(np.pi / 2),
+            weight=1.0,
+        )
+        # amplitude * T/2 (basis integral) = theta/2 -> A1 = pi/2 / T
+        theta = np.array([np.pi / 2 / 10.0])
+        amps = problem.amplitudes(theta)
+        value, _ = fidelity_loss_and_grad(scenario, amps, problem.dt)
+        assert value < 1e-6
+
+
+class TestPertGradient:
+    def test_matches_finite_difference(self, rng):
+        problem = ControlProblem(10.0, 0.5, 3, 2)
+        theta = 0.1 * rng.standard_normal(problem.num_params)
+        target = rx(np.pi / 2)
+
+        def value(th):
+            amps = problem.amplitudes(th)
+            v, _ = pert_loss_and_grad(amps, (SX, SY), (SZ,), target, 5.0, problem.dt)
+            return v
+
+        amps = problem.amplitudes(theta)
+        _, grad_amps = pert_loss_and_grad(
+            amps, (SX, SY), (SZ,), target, 5.0, problem.dt
+        )
+        grad = problem.grad_to_theta(grad_amps)
+        fd = finite_difference(value, theta)
+        assert np.allclose(grad, fd, rtol=1e-5, atol=1e-8)
+
+    def test_two_qubit_gradient_matches_fd(self, rng):
+        problem = ControlProblem(8.0, 0.5, 2, 5)
+        gens = (
+            np.kron(SX, ID2),
+            np.kron(SY, ID2),
+            np.kron(ID2, SX),
+            np.kron(ID2, SY),
+            np.kron(SZ, SX),
+        )
+        xtalk = (np.kron(SZ, ID2), np.kron(ID2, SZ))
+        from repro.qmath.unitaries import rzx
+
+        target = rzx(np.pi / 2)
+        theta = 0.05 * rng.standard_normal(problem.num_params)
+
+        def value(th):
+            amps = problem.amplitudes(th)
+            v, _ = pert_loss_and_grad(amps, gens, xtalk, target, 2.0, problem.dt)
+            return v
+
+        amps = problem.amplitudes(theta)
+        _, grad_amps = pert_loss_and_grad(amps, gens, xtalk, target, 2.0, problem.dt)
+        grad = problem.grad_to_theta(grad_amps)
+        fd = finite_difference(value, theta)
+        assert np.allclose(grad, fd, rtol=1e-4, atol=1e-7)
+
+
+class TestControlProblem:
+    def test_amplitudes_shape(self):
+        problem = ControlProblem(20.0, 0.25, 5, 2)
+        amps = problem.amplitudes(np.zeros(10))
+        assert amps.shape == (2, 80)
+
+    def test_bounds(self):
+        problem = ControlProblem(20.0, 0.25, 5, 2, max_amplitude=0.5)
+        bounds = problem.bounds()
+        assert len(bounds) == 10
+        assert bounds[0] == (-0.5, 0.5)
+
+    def test_no_bounds_when_unset(self):
+        assert ControlProblem(20.0, 0.25, 5, 2).bounds() is None
+
+    def test_minimize_simple_quadratic(self):
+        problem = ControlProblem(10.0, 0.5, 2, 1)
+
+        def loss(theta):
+            return float(np.sum((theta - 1.0) ** 2)), 2.0 * (theta - 1.0)
+
+        result = problem.minimize(loss, np.zeros(2), maxiter=100)
+        assert result.converged
+        assert np.allclose(result.theta, 1.0, atol=1e-6)
+
+    def test_small_optimization_improves(self, rng):
+        """A tiny end-to-end Pert optimization must reduce the loss."""
+        from repro.pulses.optimizers.pert import pert_optimize_1q
+
+        pulse, result = pert_optimize_1q(
+            rx(np.pi / 2), "rx90", rotation_hint=np.pi / 2,
+            dt=0.5, maxiter=60, restarts=1, stages=(1e4,),
+        )
+        assert result.loss < 0.5
+        from repro.qmath.fidelity import average_gate_fidelity
+
+        assert average_gate_fidelity(pulse.control_unitary(), pulse.target) > 0.999

@@ -1,0 +1,155 @@
+"""Tests of the four pulse methods and the library (uses the committed cache)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.pulse_level import (
+    one_qubit_joint_infidelity,
+    two_qubit_joint_infidelity,
+)
+from repro.pulses.library import PHYSICAL_GATES, build_library
+from repro.pulses.optimizers.dcg import dcg_identity, dcg_rx90
+from repro.pulses.optimizers.gaussian import (
+    gaussian_identity,
+    gaussian_rx90,
+    gaussian_rzx90,
+)
+from repro.qmath.fidelity import average_gate_fidelity
+from repro.qmath.unitaries import rx, rzx
+from repro.units import MHZ
+
+
+class TestGaussianPulses:
+    def test_rx90_gate(self):
+        pulse = gaussian_rx90()
+        assert average_gate_fidelity(pulse.control_unitary(), rx(np.pi / 2)) > 1 - 1e-9
+
+    def test_identity_gate(self):
+        pulse = gaussian_identity()
+        eye = np.eye(2, dtype=complex)
+        assert average_gate_fidelity(pulse.control_unitary(), eye) > 1 - 1e-9
+
+    def test_rzx90_gate(self):
+        pulse = gaussian_rzx90()
+        assert average_gate_fidelity(pulse.control_unitary(), rzx(np.pi / 2)) > 1 - 1e-9
+
+    def test_durations(self):
+        assert gaussian_rx90().duration == 20.0
+        assert gaussian_identity().duration == 20.0
+
+
+class TestDCGPulses:
+    def test_rx90_sequence_duration(self):
+        assert dcg_rx90().duration == 120.0
+
+    def test_identity_duration(self):
+        assert dcg_identity().duration == 40.0
+
+    def test_rx90_gate(self):
+        pulse = dcg_rx90()
+        assert average_gate_fidelity(pulse.control_unitary(), rx(np.pi / 2)) > 1 - 1e-9
+
+    def test_identity_gate(self):
+        pulse = dcg_identity()
+        eye = np.eye(2, dtype=complex)
+        assert average_gate_fidelity(pulse.control_unitary(), eye) > 1 - 1e-9
+
+    def test_identity_echo_suppresses_zz(self):
+        # The echo must beat a plain Gaussian identity by large margin.
+        lam = 0.5 * MHZ
+        echo = one_qubit_joint_infidelity(dcg_identity(), lam)
+        plain = one_qubit_joint_infidelity(gaussian_identity(), lam)
+        assert echo < plain / 10.0
+
+
+class TestLibraries:
+    @pytest.mark.parametrize("method", ["gaussian", "dcg", "optctrl", "pert"])
+    def test_all_gates_present(self, method):
+        lib = build_library(method)
+        for gate in PHYSICAL_GATES:
+            assert gate in lib
+
+    def test_gate_durations(self, lib_pert):
+        assert lib_pert.gate_duration("rz") == 0.0
+        assert lib_pert.gate_duration("rx90") == 20.0
+
+    def test_missing_gate_raises(self, lib_pert):
+        with pytest.raises(KeyError):
+            lib_pert["nope"]
+
+    def test_unknown_method_raises(self):
+        with pytest.raises(ValueError):
+            build_library("magic")
+
+    @pytest.mark.parametrize("method", ["optctrl", "pert"])
+    @pytest.mark.parametrize("gate", ["rx90", "id", "rzx90"])
+    def test_optimized_pulses_implement_gates(self, method, gate):
+        pulse = build_library(method)[gate]
+        fid = average_gate_fidelity(pulse.control_unitary(), pulse.target)
+        assert fid > 1.0 - 1e-5
+
+    def test_dcg_uses_gaussian_for_two_qubit(self, lib_dcg):
+        # Sec 7.2.2: DCG omitted for 2q; library falls back to Gaussian.
+        assert lib_dcg["rzx90"].method == "gaussian"
+
+
+class TestSuppressionOrdering:
+    """The Fig. 16/19 orderings the paper reports."""
+
+    @pytest.mark.parametrize("lam_mhz", [0.25, 0.5, 1.0])
+    def test_rx90_pert_beats_gaussian(self, lib_pert, lib_gaussian, lam_mhz):
+        lam = lam_mhz * MHZ
+        pert = one_qubit_joint_infidelity(lib_pert["rx90"], lam)
+        gau = one_qubit_joint_infidelity(lib_gaussian["rx90"], lam)
+        assert pert < gau / 100.0
+
+    def test_rx90_dcg_between_gaussian_and_pert(self, lib_dcg, lib_gaussian, lib_pert):
+        lam = 0.5 * MHZ
+        dcg = one_qubit_joint_infidelity(lib_dcg["rx90"], lam)
+        gau = one_qubit_joint_infidelity(lib_gaussian["rx90"], lam)
+        pert = one_qubit_joint_infidelity(lib_pert["rx90"], lam)
+        assert pert < dcg < gau
+
+    def test_identity_suppression(self, lib_pert, lib_gaussian):
+        lam = 0.5 * MHZ
+        pert = one_qubit_joint_infidelity(lib_pert["id"], lam)
+        gau = one_qubit_joint_infidelity(lib_gaussian["id"], lam)
+        assert pert < gau / 50.0
+
+    def test_rzx90_suppression(self, lib_pert, lib_gaussian, lib_optctrl):
+        lam = 0.5 * MHZ
+        pert = two_qubit_joint_infidelity(lib_pert["rzx90"], lam, lam)
+        octl = two_qubit_joint_infidelity(lib_optctrl["rzx90"], lam, lam)
+        gau = two_qubit_joint_infidelity(lib_gaussian["rzx90"], lam, lam)
+        assert pert < gau / 100.0
+        assert octl < gau / 10.0
+
+    def test_pert_suppression_scales_with_strength(self, lib_pert):
+        # First-order cancellation: infidelity rises superlinearly in lambda.
+        low = one_qubit_joint_infidelity(lib_pert["rx90"], 0.2 * MHZ)
+        high = one_qubit_joint_infidelity(lib_pert["rx90"], 2.0 * MHZ)
+        assert high > 10.0 * low
+
+
+class TestPertObjectiveDirectly:
+    def test_toggled_integral_small(self, lib_pert):
+        """The Pert pulse's defining property: INT U+ Z U dt ~ 0."""
+        from repro.qmath.paulis import SZ
+        from repro.sim.propagate import propagate_piecewise, toggled_frame_integral
+
+        pulse = lib_pert["rx90"]
+        hams = pulse.drive_hamiltonians()
+        _, inter = propagate_piecewise(hams, pulse.dt, return_intermediates=True)
+        m = toggled_frame_integral(inter, SZ, pulse.dt)
+        # Normalized by duration: Gaussian gives ~0.6, Pert should be < 0.02.
+        assert np.linalg.norm(m) / pulse.duration < 0.02
+
+    def test_gaussian_integral_large(self, lib_gaussian):
+        from repro.qmath.paulis import SZ
+        from repro.sim.propagate import propagate_piecewise, toggled_frame_integral
+
+        pulse = lib_gaussian["rx90"]
+        hams = pulse.drive_hamiltonians()
+        _, inter = propagate_piecewise(hams, pulse.dt, return_intermediates=True)
+        m = toggled_frame_integral(inter, SZ, pulse.dt)
+        assert np.linalg.norm(m) / pulse.duration > 0.1

@@ -1,0 +1,135 @@
+import numpy as np
+import pytest
+
+from repro.pulses.drag import drag_transform
+from repro.pulses.pulse import GatePulse, one_qubit_pulse, two_qubit_pulse
+from repro.pulses.shapes import gaussian
+from repro.pulses.waveform import Waveform
+from repro.qmath.fidelity import average_gate_fidelity
+from repro.qmath.unitaries import rx, rzx
+from repro.sim.noise import DriveNoise
+
+
+def make_rx90(dt=0.25):
+    wx = gaussian(20.0, dt, np.pi / 4.0)
+    wy = Waveform.zeros(wx.num_steps, dt)
+    return one_qubit_pulse("rx90", "test", wx, wy, rx(np.pi / 2.0))
+
+
+class TestGatePulse:
+    def test_control_unitary_implements_gate(self):
+        pulse = make_rx90()
+        fid = average_gate_fidelity(pulse.control_unitary(), rx(np.pi / 2.0))
+        assert fid > 1.0 - 1e-10
+
+    def test_duration(self):
+        assert make_rx90().duration == 20.0
+
+    def test_missing_channel_returns_zeros(self):
+        pulse = make_rx90()
+        assert np.allclose(pulse.channel("y"), 0.0)
+
+    def test_unknown_channel_rejected(self):
+        wx = gaussian(20.0, 0.25, 1.0)
+        with pytest.raises(ValueError):
+            GatePulse("bad", "test", 1, {"zx": wx}, rx(0.5))
+
+    def test_mismatched_grids_rejected(self):
+        wx = gaussian(20.0, 0.25, 1.0)
+        wy = gaussian(10.0, 0.25, 1.0)
+        with pytest.raises(ValueError):
+            GatePulse("bad", "test", 1, {"x": wx, "y": wy}, rx(0.5))
+
+    def test_target_dimension_checked(self):
+        wx = gaussian(20.0, 0.25, 1.0)
+        with pytest.raises(ValueError):
+            GatePulse("bad", "test", 1, {"x": wx}, rzx(0.5))
+
+    def test_step_unitaries_cached(self):
+        pulse = make_rx90()
+        first = pulse.step_unitaries()
+        second = pulse.step_unitaries()
+        assert first is second
+
+    def test_noise_key_separates_cache(self):
+        pulse = make_rx90()
+        clean = pulse.step_unitaries()
+        noisy = pulse.step_unitaries(DriveNoise(detuning_mhz=1.0))
+        assert clean is not noisy
+
+    def test_amplitude_noise_changes_rotation(self):
+        pulse = make_rx90()
+        clean = pulse.control_unitary()
+        noisy = pulse.control_unitary(DriveNoise(amplitude_fraction=0.01))
+        assert not np.allclose(clean, noisy)
+
+    def test_detuning_changes_axis(self):
+        pulse = make_rx90()
+        noisy = pulse.control_unitary(DriveNoise(detuning_mhz=5.0))
+        fid = average_gate_fidelity(noisy, rx(np.pi / 2.0))
+        assert fid < 1.0 - 1e-6
+
+
+class TestTwoQubitPulse:
+    def test_zx_gaussian_implements_rzx(self):
+        wzx = gaussian(20.0, 0.25, np.pi / 4.0)
+        zeros = Waveform.zeros(wzx.num_steps, 0.25)
+        pulse = two_qubit_pulse(
+            "rzx90", "test",
+            {"x0": zeros, "y0": zeros, "x1": zeros, "y1": zeros, "zx": wzx},
+            rzx(np.pi / 2.0),
+        )
+        fid = average_gate_fidelity(pulse.control_unitary(), rzx(np.pi / 2.0))
+        assert fid > 1.0 - 1e-10
+
+    def test_drive_hamiltonian_shape(self):
+        wzx = gaussian(20.0, 0.25, np.pi / 4.0)
+        zeros = Waveform.zeros(wzx.num_steps, 0.25)
+        pulse = two_qubit_pulse(
+            "rzx90", "test",
+            {"x0": zeros, "y0": zeros, "x1": zeros, "y1": zeros, "zx": wzx},
+            rzx(np.pi / 2.0),
+        )
+        assert pulse.drive_hamiltonians().shape == (80, 4, 4)
+
+    def test_drag_on_two_qubit_raises(self):
+        wzx = gaussian(20.0, 0.25, np.pi / 4.0)
+        zeros = Waveform.zeros(wzx.num_steps, 0.25)
+        pulse = two_qubit_pulse(
+            "rzx90", "test",
+            {"x0": zeros, "y0": zeros, "x1": zeros, "y1": zeros, "zx": wzx},
+            rzx(np.pi / 2.0),
+        )
+        with pytest.raises(ValueError):
+            pulse.with_drag(-1.0)
+
+
+class TestDrag:
+    def test_correction_shape(self):
+        wx = gaussian(20.0, 0.25, np.pi / 4.0)
+        wy = Waveform.zeros(wx.num_steps, 0.25)
+        cx, cy = drag_transform(wx, wy, alpha=-2.0)
+        assert cx.num_steps == wx.num_steps
+        # x untouched when y = 0; y gains -dx/dt / alpha.
+        assert np.allclose(cx.samples, wx.samples)
+        assert np.allclose(cy.samples, -wx.derivative().samples / -2.0)
+
+    def test_zero_alpha_raises(self):
+        wx = gaussian(20.0, 0.25, 1.0)
+        with pytest.raises(ValueError):
+            drag_transform(wx, Waveform.zeros(wx.num_steps, 0.25), 0.0)
+
+    def test_with_drag_reduces_leakage(self):
+        from repro.sim.multilevel import leakage_population
+        from repro.units import MHZ
+
+        pulse = make_rx90()
+        dragged = pulse.with_drag(-300.0 * MHZ)
+        raw = leakage_population(
+            pulse.channel("x"), pulse.channel("y"), pulse.dt, alpha=-300.0 * MHZ
+        )
+        corrected = leakage_population(
+            dragged.channel("x"), dragged.channel("y"), dragged.dt,
+            alpha=-300.0 * MHZ,
+        )
+        assert corrected < raw

@@ -1,0 +1,105 @@
+import numpy as np
+import pytest
+
+from repro.pulses.shapes import constant, fourier_basis, fourier_waveform, gaussian
+from repro.pulses.waveform import Waveform, times_midpoint
+
+
+class TestWaveform:
+    def test_duration(self):
+        wf = Waveform(np.zeros(80), 0.25)
+        assert wf.duration == 20.0
+
+    def test_area(self):
+        wf = Waveform(np.ones(10), 0.5)
+        assert np.isclose(wf.area, 5.0)
+
+    def test_scaled(self):
+        wf = Waveform(np.ones(4), 1.0).scaled(2.0)
+        assert np.isclose(wf.area, 8.0)
+
+    def test_concatenated(self):
+        a = Waveform(np.ones(3), 0.5)
+        b = Waveform(2 * np.ones(2), 0.5)
+        c = a.concatenated(b)
+        assert c.num_steps == 5
+        assert np.isclose(c.area, 0.5 * 3 + 2.0)
+
+    def test_concatenate_dt_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            Waveform(np.ones(2), 0.5).concatenated(Waveform(np.ones(2), 0.25))
+
+    def test_immutable_samples(self):
+        wf = Waveform(np.ones(4), 1.0)
+        with pytest.raises(ValueError):
+            wf.samples[0] = 5.0
+
+    def test_derivative_of_linear_ramp(self):
+        t = times_midpoint(50, 0.1)
+        wf = Waveform(3.0 * t, 0.1)
+        deriv = wf.derivative()
+        assert np.allclose(deriv.samples[1:-1], 3.0, atol=1e-9)
+
+    def test_invalid_dt_raises(self):
+        with pytest.raises(ValueError):
+            Waveform(np.ones(3), 0.0)
+
+    def test_zeros_factory(self):
+        wf = Waveform.zeros(7, 0.25)
+        assert wf.num_steps == 7 and wf.area == 0.0
+
+
+class TestGaussian:
+    def test_area_normalization(self):
+        wf = gaussian(20.0, 0.25, area=np.pi / 4.0)
+        assert np.isclose(wf.area, np.pi / 4.0)
+
+    def test_vanishes_at_edges(self):
+        wf = gaussian(20.0, 0.25, area=1.0)
+        assert wf.samples[0] < wf.max_amplitude * 0.01
+
+    def test_peak_at_center(self):
+        wf = gaussian(20.0, 0.25, area=1.0)
+        assert abs(np.argmax(wf.samples) - wf.num_steps // 2) <= 1
+
+    def test_symmetric(self):
+        wf = gaussian(20.0, 0.25, area=1.0)
+        assert np.allclose(wf.samples, wf.samples[::-1])
+
+    def test_negative_area(self):
+        wf = gaussian(20.0, 0.25, area=-0.5)
+        assert np.isclose(wf.area, -0.5)
+
+
+class TestFourier:
+    def test_basis_shape(self):
+        basis = fourier_basis(5, 80, 0.25)
+        assert basis.shape == (5, 80)
+
+    def test_basis_vanishes_at_edges(self):
+        # Omega(A, t) = sum A_j/2 (1 + cos(2 pi j t/T - pi)) -> 0 at t=0, T.
+        basis = fourier_basis(5, 2000, 0.01)
+        assert np.all(basis[:, 0] < 1e-4)
+        assert np.all(basis[:, -1] < 1e-4)
+
+    def test_basis_range(self):
+        basis = fourier_basis(3, 100, 0.2)
+        assert np.all(basis >= 0.0) and np.all(basis <= 1.0 + 1e-12)
+
+    def test_waveform_linear_in_coeffs(self):
+        a = fourier_waveform(np.array([1.0, 0.0, 0.0]), 20.0, 0.25)
+        b = fourier_waveform(np.array([0.0, 1.0, 0.0]), 20.0, 0.25)
+        ab = fourier_waveform(np.array([1.0, 1.0, 0.0]), 20.0, 0.25)
+        assert np.allclose(ab.samples, a.samples + b.samples)
+
+    def test_each_coefficient_contributes_half_area(self):
+        # INT B_j dt = T/2 for every harmonic.
+        wf = fourier_waveform(np.array([1.0]), 20.0, 0.01)
+        assert np.isclose(wf.area, 10.0, rtol=1e-4)
+
+
+class TestConstant:
+    def test_flat(self):
+        wf = constant(10.0, 0.5, 0.3)
+        assert np.allclose(wf.samples, 0.3)
+        assert wf.num_steps == 20

@@ -1,0 +1,102 @@
+import numpy as np
+
+from repro.qmath.fidelity import (
+    average_gate_fidelity,
+    average_gate_fidelity_nonunitary,
+    infidelity,
+    process_fidelity,
+    state_fidelity,
+)
+from repro.qmath.fidelity import state_fidelity_dm
+from repro.qmath.states import basis_state, plus_state, zero_state
+from repro.qmath.unitaries import HADAMARD, rx, rz
+
+
+class TestStateFidelity:
+    def test_identical_states(self):
+        psi = plus_state(2)
+        assert state_fidelity(psi, psi) == 1.0
+
+    def test_orthogonal_states(self):
+        assert state_fidelity(basis_state([0]), basis_state([1])) == 0.0
+
+    def test_phase_invariance(self):
+        psi = plus_state(1)
+        assert np.isclose(state_fidelity(psi, np.exp(0.3j) * psi), 1.0)
+
+    def test_half_overlap(self):
+        assert np.isclose(state_fidelity(zero_state(1), plus_state(1)), 0.5)
+
+    def test_dm_pure_agreement(self):
+        psi = plus_state(1)
+        rho = np.outer(psi, psi.conj())
+        assert np.isclose(state_fidelity_dm(rho, zero_state(1)), 0.5)
+
+
+class TestAverageGateFidelity:
+    def test_self_fidelity_is_one(self):
+        assert np.isclose(average_gate_fidelity(HADAMARD, HADAMARD), 1.0)
+
+    def test_global_phase_invariance(self):
+        u = rx(0.8)
+        assert np.isclose(average_gate_fidelity(np.exp(1.2j) * u, u), 1.0)
+
+    def test_orthogonal_unitaries(self):
+        # F(X, Z) = (0 + 2) / 6 = 1/3 for d = 2.
+        from repro.qmath.paulis import SX, SZ
+
+        assert np.isclose(average_gate_fidelity(SX, SZ), 1.0 / 3.0)
+
+    def test_bounded(self, rng):
+        for _ in range(20):
+            a = np.linalg.qr(rng.normal(size=(4, 4)) + 1j * rng.normal(size=(4, 4)))[0]
+            b = np.linalg.qr(rng.normal(size=(4, 4)) + 1j * rng.normal(size=(4, 4)))[0]
+            f = average_gate_fidelity(a, b)
+            assert 0.0 <= f <= 1.0 + 1e-12
+
+    def test_small_rotation_expansion(self):
+        # 1 - F ~ theta^2 / 6 for small Rz(theta) error on 1 qubit.
+        theta = 1e-3
+        inf = 1.0 - average_gate_fidelity(rz(theta), np.eye(2, dtype=complex))
+        assert np.isclose(inf, theta**2 / 6.0, rtol=1e-3)
+
+
+class TestNonunitaryFidelity:
+    def test_reduces_to_unitary_case(self):
+        u = rx(0.5)
+        target = rx(0.5)
+        e = target.conj().T @ u
+        assert np.isclose(
+            average_gate_fidelity_nonunitary(e), average_gate_fidelity(u, target)
+        )
+
+    def test_full_leakage_gives_low_fidelity(self):
+        e = np.zeros((2, 2), dtype=complex)
+        assert np.isclose(average_gate_fidelity_nonunitary(e), 0.0)
+
+    def test_partial_leakage_below_one(self):
+        e = np.diag([1.0, 0.9]).astype(complex)
+        f = average_gate_fidelity_nonunitary(e)
+        assert 0.9 < f < 1.0
+
+
+class TestProcessFidelity:
+    def test_identity(self):
+        assert np.isclose(process_fidelity(HADAMARD, HADAMARD), 1.0)
+
+    def test_relation_to_average(self):
+        u, v = rx(0.3), rx(0.5)
+        d = 2
+        fp = process_fidelity(u, v)
+        fa = average_gate_fidelity(u, v)
+        assert np.isclose(fa, (d * fp + 1) / (d + 1))
+
+
+class TestInfidelityFloor:
+    def test_floor_applies(self):
+        u = rx(0.4)
+        assert infidelity(u, u) == 1e-8
+
+    def test_above_floor_untouched(self):
+        value = infidelity(rx(0.4), rx(1.2))
+        assert value > 1e-3

@@ -1,0 +1,65 @@
+import numpy as np
+import pytest
+
+from repro.qmath.paulis import ID2, SX, SY, SZ, pauli_string, sigma_minus, sigma_plus
+
+
+class TestPaulis:
+    def test_pauli_squares_are_identity(self):
+        for p in (SX, SY, SZ):
+            assert np.allclose(p @ p, ID2)
+
+    def test_commutation_xy(self):
+        assert np.allclose(SX @ SY - SY @ SX, 2j * SZ)
+
+    def test_commutation_yz(self):
+        assert np.allclose(SY @ SZ - SZ @ SY, 2j * SX)
+
+    def test_commutation_zx(self):
+        assert np.allclose(SZ @ SX - SX @ SZ, 2j * SY)
+
+    def test_anticommutation(self):
+        assert np.allclose(SX @ SY + SY @ SX, np.zeros((2, 2)))
+
+    def test_traceless(self):
+        for p in (SX, SY, SZ):
+            assert abs(np.trace(p)) < 1e-14
+
+    def test_hermitian(self):
+        for p in (SX, SY, SZ):
+            assert np.allclose(p, p.conj().T)
+
+
+class TestLadder:
+    def test_sigma_plus_raises(self):
+        one = np.array([0.0, 1.0], dtype=complex)
+        assert np.allclose(sigma_plus() @ one, [1.0, 0.0])
+
+    def test_sigma_minus_lowers(self):
+        zero = np.array([1.0, 0.0], dtype=complex)
+        assert np.allclose(sigma_minus() @ zero, [0.0, 1.0])
+
+    def test_x_is_sum_of_ladder(self):
+        assert np.allclose(sigma_plus() + sigma_minus(), SX)
+
+
+class TestPauliString:
+    def test_single_letter(self):
+        assert np.allclose(pauli_string("Z"), SZ)
+
+    def test_two_letters(self):
+        assert np.allclose(pauli_string("ZX"), np.kron(SZ, SX))
+
+    def test_identity_padding(self):
+        assert np.allclose(pauli_string("IZ"), np.kron(ID2, SZ))
+
+    def test_three_letters_shape(self):
+        assert pauli_string("XYZ").shape == (8, 8)
+
+    def test_empty_label_raises(self):
+        with pytest.raises(ValueError):
+            pauli_string("")
+
+    def test_unknown_char_raises(self):
+        with pytest.raises(ValueError):
+            pauli_string("A")

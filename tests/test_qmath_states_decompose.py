@@ -1,0 +1,84 @@
+import numpy as np
+import pytest
+
+from repro.qmath.decompose import (
+    euler_zxzxz,
+    global_phase_aligned,
+    remove_global_phase,
+)
+from repro.qmath.states import (
+    basis_state,
+    computational_basis_index,
+    plus_state,
+    random_state,
+    zero_state,
+)
+from repro.qmath.unitaries import HADAMARD, rx, rz
+
+
+class TestStates:
+    def test_zero_state_normalized(self):
+        psi = zero_state(3)
+        assert np.isclose(np.linalg.norm(psi), 1.0)
+        assert psi[0] == 1.0
+
+    def test_basis_index_big_endian(self):
+        assert computational_basis_index([1, 0]) == 2
+        assert computational_basis_index([0, 1]) == 1
+
+    def test_basis_state_position(self):
+        psi = basis_state([1, 0, 1])
+        assert psi[5] == 1.0
+
+    def test_plus_state_uniform(self):
+        psi = plus_state(2)
+        assert np.allclose(np.abs(psi) ** 2, 0.25)
+
+    def test_random_state_normalized(self, rng):
+        psi = random_state(4, rng)
+        assert np.isclose(np.linalg.norm(psi), 1.0)
+
+    def test_invalid_bits_raise(self):
+        with pytest.raises(ValueError):
+            computational_basis_index([2])
+
+    def test_zero_qubits_raise(self):
+        with pytest.raises(ValueError):
+            zero_state(0)
+
+
+class TestGlobalPhase:
+    def test_aligned_same(self):
+        assert global_phase_aligned(HADAMARD, HADAMARD)
+
+    def test_aligned_with_phase(self):
+        assert global_phase_aligned(np.exp(0.7j) * HADAMARD, HADAMARD)
+
+    def test_not_aligned(self):
+        assert not global_phase_aligned(HADAMARD, rx(0.5))
+
+    def test_remove_global_phase_idempotent(self, rng):
+        u = np.linalg.qr(rng.normal(size=(2, 2)) + 1j * rng.normal(size=(2, 2)))[0]
+        fixed = remove_global_phase(u)
+        assert np.allclose(remove_global_phase(fixed), fixed)
+
+
+class TestEulerZXZXZ:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_reconstruction(self, seed):
+        rng = np.random.default_rng(seed)
+        m = rng.normal(size=(2, 2)) + 1j * rng.normal(size=(2, 2))
+        u = np.linalg.qr(m)[0]
+        a, b, c = euler_zxzxz(u)
+        rebuilt = rz(c) @ rx(np.pi / 2) @ rz(b) @ rx(np.pi / 2) @ rz(a)
+        assert global_phase_aligned(rebuilt, u)
+
+    def test_identity(self):
+        a, b, c = euler_zxzxz(np.eye(2, dtype=complex))
+        rebuilt = rz(c) @ rx(np.pi / 2) @ rz(b) @ rx(np.pi / 2) @ rz(a)
+        assert global_phase_aligned(rebuilt, np.eye(2, dtype=complex))
+
+    def test_hadamard(self):
+        a, b, c = euler_zxzxz(HADAMARD)
+        rebuilt = rz(c) @ rx(np.pi / 2) @ rz(b) @ rx(np.pi / 2) @ rz(a)
+        assert global_phase_aligned(rebuilt, HADAMARD)

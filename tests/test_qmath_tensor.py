@@ -1,0 +1,95 @@
+import numpy as np
+import pytest
+
+from repro.qmath.paulis import ID2, SX, SZ
+from repro.qmath.tensor import embed_operator, kron_all, zz_diagonal
+from repro.qmath.unitaries import CNOT, SWAP
+
+
+class TestKronAll:
+    def test_single(self):
+        assert np.allclose(kron_all([SX]), SX)
+
+    def test_triple_shape(self):
+        assert kron_all([ID2, SX, SZ]).shape == (8, 8)
+
+    def test_matches_manual(self):
+        assert np.allclose(kron_all([SX, SZ]), np.kron(SX, SZ))
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            kron_all([])
+
+
+class TestEmbedOperator:
+    def test_single_qubit_left(self):
+        assert np.allclose(embed_operator(SX, [0], 2), np.kron(SX, ID2))
+
+    def test_single_qubit_right(self):
+        assert np.allclose(embed_operator(SX, [1], 2), np.kron(ID2, SX))
+
+    def test_middle_of_three(self):
+        expected = kron_all([ID2, SZ, ID2])
+        assert np.allclose(embed_operator(SZ, [1], 3), expected)
+
+    def test_two_qubit_in_order(self):
+        assert np.allclose(embed_operator(CNOT, [0, 1], 2), CNOT)
+
+    def test_two_qubit_reversed(self):
+        assert np.allclose(embed_operator(CNOT, [1, 0], 2), SWAP @ CNOT @ SWAP)
+
+    def test_nonadjacent_qubits(self):
+        # CNOT on (0, 2) of 3: control 0, target 2.
+        got = embed_operator(CNOT, [0, 2], 3)
+        # Build independently: |0><0| x I x I + |1><1| x I x X
+        p0 = np.diag([1.0, 0.0]).astype(complex)
+        p1 = np.diag([0.0, 1.0]).astype(complex)
+        expected = kron_all([p0, ID2, ID2]) + kron_all([p1, ID2, SX])
+        assert np.allclose(got, expected)
+
+    def test_embedding_is_homomorphism(self, rng):
+        a = np.linalg.qr(rng.normal(size=(4, 4)) + 1j * rng.normal(size=(4, 4)))[0]
+        b = np.linalg.qr(rng.normal(size=(4, 4)) + 1j * rng.normal(size=(4, 4)))[0]
+        qubits = [2, 0]
+        left = embed_operator(a @ b, qubits, 3)
+        right = embed_operator(a, qubits, 3) @ embed_operator(b, qubits, 3)
+        assert np.allclose(left, right)
+
+    def test_unitarity_preserved(self, rng):
+        u = np.linalg.qr(rng.normal(size=(2, 2)) + 1j * rng.normal(size=(2, 2)))[0]
+        big = embed_operator(u, [1], 3)
+        assert np.allclose(big @ big.conj().T, np.eye(8))
+
+    def test_wrong_shape_raises(self):
+        with pytest.raises(ValueError):
+            embed_operator(SX, [0, 1], 2)
+
+    def test_duplicate_qubits_raises(self):
+        with pytest.raises(ValueError):
+            embed_operator(CNOT, [0, 0], 2)
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            embed_operator(SX, [3], 2)
+
+
+class TestZZDiagonal:
+    def test_single_coupling_values(self):
+        diag = zz_diagonal([(0, 1, 1.0)], 2)
+        assert np.allclose(diag, [1.0, -1.0, -1.0, 1.0])
+
+    def test_matches_kron_construction(self):
+        diag = zz_diagonal([(0, 2, 0.7)], 3)
+        expected = np.diag(0.7 * kron_all([SZ, ID2, SZ])).real
+        assert np.allclose(diag, expected)
+
+    def test_sum_of_couplings(self):
+        d1 = zz_diagonal([(0, 1, 0.3)], 3)
+        d2 = zz_diagonal([(1, 2, 0.4)], 3)
+        both = zz_diagonal([(0, 1, 0.3), (1, 2, 0.4)], 3)
+        assert np.allclose(both, d1 + d2)
+
+    def test_order_insensitive(self):
+        assert np.allclose(
+            zz_diagonal([(0, 1, 1.0)], 2), zz_diagonal([(1, 0, 1.0)], 2)
+        )

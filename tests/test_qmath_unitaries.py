@@ -1,0 +1,122 @@
+import numpy as np
+import pytest
+
+from repro.qmath.paulis import ID2, SX, SY, SZ
+from repro.qmath.unitaries import (
+    CNOT,
+    HADAMARD,
+    expm_hermitian,
+    rotation_1q,
+    rx,
+    ry,
+    rz,
+    rzx,
+    su2_from_bloch,
+)
+
+
+class TestRotations:
+    def test_rx_pi_is_x(self):
+        assert np.allclose(rx(np.pi), -1j * SX)
+
+    def test_ry_pi_is_y(self):
+        assert np.allclose(ry(np.pi), -1j * SY)
+
+    def test_rz_pi_is_z(self):
+        assert np.allclose(rz(np.pi), -1j * SZ)
+
+    def test_rx_composition(self):
+        assert np.allclose(rx(0.3) @ rx(0.4), rx(0.7))
+
+    def test_rz_diagonal(self):
+        m = rz(0.9)
+        assert abs(m[0, 1]) == 0.0 and abs(m[1, 0]) == 0.0
+
+    def test_rotation_periodicity(self):
+        assert np.allclose(rx(4.0 * np.pi), ID2)
+
+    def test_rx_2pi_is_minus_identity(self):
+        assert np.allclose(rx(2.0 * np.pi), -ID2)
+
+    def test_hadamard_squares_to_identity(self):
+        assert np.allclose(HADAMARD @ HADAMARD, ID2)
+
+    def test_hadamard_conjugates_x_to_z(self):
+        assert np.allclose(HADAMARD @ SX @ HADAMARD, SZ)
+
+
+class TestRzx:
+    def test_unitary(self):
+        m = rzx(0.7)
+        assert np.allclose(m @ m.conj().T, np.eye(4))
+
+    def test_generator(self):
+        zx = np.kron(SZ, SX)
+        assert np.allclose(rzx(0.5), expm_hermitian(zx, 0.25))
+
+    def test_block_structure(self):
+        # control |0> block rotates +theta, |1> block -theta
+        m = rzx(np.pi / 2.0)
+        assert np.allclose(m[:2, :2], rx(np.pi / 2.0))
+        assert np.allclose(m[2:, 2:], rx(-np.pi / 2.0))
+
+    def test_cnot_equivalence(self):
+        # CNOT = phase * Rz_c(-pi/2) Rx_t(-pi/2) Rzx(pi/2)
+        fix = np.kron(rz(-np.pi / 2.0), rx(-np.pi / 2.0))
+        u = fix @ rzx(np.pi / 2.0)
+        phase = u[0, 0] / abs(u[0, 0])
+        assert np.allclose(u / phase, CNOT)
+
+
+class TestRotation1q:
+    def test_zero_drive_is_identity(self):
+        assert np.allclose(rotation_1q(0.0, 0.0, 1.0), ID2)
+
+    def test_x_only_matches_rx(self):
+        # H = w X held for t rotates by 2 w t.
+        assert np.allclose(rotation_1q(0.25, 0.0, 1.0), rx(0.5))
+
+    def test_y_only_matches_ry(self):
+        assert np.allclose(rotation_1q(0.0, 0.25, 1.0), ry(0.5))
+
+    def test_unitarity(self, rng):
+        for _ in range(10):
+            wx, wy, dt = rng.uniform(-2, 2, 3)
+            u = rotation_1q(wx, wy, abs(dt))
+            assert np.allclose(u @ u.conj().T, ID2)
+
+
+class TestExpmHermitian:
+    def test_matches_scipy(self, rng):
+        from scipy.linalg import expm
+
+        h = rng.normal(size=(6, 6)) + 1j * rng.normal(size=(6, 6))
+        h = h + h.conj().T
+        assert np.allclose(expm_hermitian(h, 0.37), expm(-1j * 0.37 * h))
+
+    def test_unitary_output(self, rng):
+        h = rng.normal(size=(4, 4)) + 1j * rng.normal(size=(4, 4))
+        h = h + h.conj().T
+        u = expm_hermitian(h, 2.0)
+        assert np.allclose(u @ u.conj().T, np.eye(4), atol=1e-12)
+
+    def test_identity_at_zero_time(self, rng):
+        h = np.diag([1.0, 2.0, 3.0]).astype(complex)
+        assert np.allclose(expm_hermitian(h, 0.0), np.eye(3))
+
+
+class TestSu2FromBloch:
+    def test_x_axis(self):
+        assert np.allclose(su2_from_bloch(0.8, (1, 0, 0)), rx(0.8))
+
+    def test_z_axis(self):
+        assert np.allclose(su2_from_bloch(0.8, (0, 0, 1)), rz(0.8))
+
+    def test_axis_normalization(self):
+        assert np.allclose(
+            su2_from_bloch(0.5, (2, 0, 0)), su2_from_bloch(0.5, (1, 0, 0))
+        )
+
+    def test_zero_axis_raises(self):
+        with pytest.raises(ValueError):
+            su2_from_bloch(1.0, (0, 0, 0))

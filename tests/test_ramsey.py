@@ -1,0 +1,82 @@
+"""Tests of the Ramsey effective-ZZ experiment (Sec 7.4 / Fig. 27)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.ramsey import (
+    RamseySetup,
+    measure_effective_zz,
+    ramsey_fringe,
+    run,
+    tau_grid,
+)
+
+
+@pytest.fixture(scope="module")
+def setup():
+    return RamseySetup(max_tau_us=4.0)
+
+
+class TestFringes:
+    def test_fringe_oscillates(self, setup):
+        taus = tau_grid(setup, "A")
+        p = ramsey_fringe(setup, "A", "q1", False, taus)
+        assert p.max() > 0.85 and p.min() < 0.15
+
+    def test_fringe_bounded(self, setup):
+        taus = tau_grid(setup, "B")
+        p = ramsey_fringe(setup, "B", "q1", True, taus)
+        assert np.all(p >= -1e-9) and np.all(p <= 1.0 + 1e-9)
+
+    def test_control_state_shifts_frequency(self, setup):
+        taus = tau_grid(setup, "A")
+        p0 = ramsey_fringe(setup, "A", "q1", False, taus)
+        p1 = ramsey_fringe(setup, "A", "q1", True, taus)
+        assert not np.allclose(p0, p1, atol=0.05)
+
+
+class TestEffectiveZZ:
+    def test_bare_zz_matches_convention(self, setup):
+        # H = lambda ZZ with lambda/2pi = 50 kHz -> measured 200 kHz.
+        zz = measure_effective_zz(setup, "A", "q1")
+        assert np.isclose(zz, 4.0 * setup.zz12_khz, rtol=0.02)
+
+    def test_both_neighbors_add(self, setup):
+        zz = measure_effective_zz(setup, "A", "both")
+        expected = 4.0 * (setup.zz12_khz + setup.zz23_khz)
+        assert np.isclose(zz, expected, rtol=0.02)
+
+    def test_compiled_b_suppresses(self, setup):
+        zz = measure_effective_zz(setup, "B", "q1")
+        assert zz < 11.0  # the paper's headline threshold
+
+    def test_compiled_c_suppresses(self, setup):
+        zz = measure_effective_zz(setup, "C", "q1")
+        assert zz < 11.0
+
+    def test_suppression_factor_large(self, setup):
+        bare = measure_effective_zz(setup, "A", "q1")
+        compiled = measure_effective_zz(setup, "B", "q1")
+        assert bare / max(compiled, 1e-6) > 18.0  # paper: 200 -> <11 kHz
+
+    def test_pert_identity_also_suppresses(self):
+        setup = RamseySetup(method="pert", max_tau_us=4.0)
+        zz = measure_effective_zz(setup, "B", "q1")
+        assert zz < 11.0
+
+    def test_asymmetric_couplings(self):
+        setup = RamseySetup(zz12_khz=60.0, zz23_khz=40.0, max_tau_us=4.0)
+        zz12 = measure_effective_zz(setup, "A", "q1")
+        zz23 = measure_effective_zz(setup, "A", "q3")
+        assert np.isclose(zz12, 240.0, rtol=0.03)
+        assert np.isclose(zz23, 160.0, rtol=0.03)
+
+
+class TestRun:
+    def test_full_table(self):
+        result = run(RamseySetup(max_tau_us=3.0))
+        assert len(result.rows) == 9
+        bare = [r for r in result.rows if r["circuit"] == "A"]
+        compiled = [r for r in result.rows if r["circuit"] != "A"]
+        assert min(r["effective_zz_khz"] for r in bare) > 100.0
+        assert max(r["effective_zz_khz"] for r in compiled) < 11.0

@@ -1,0 +1,140 @@
+import numpy as np
+import pytest
+
+from repro.circuits import Circuit, compile_circuit, transpile
+from repro.circuits.gates import Gate
+from repro.circuits.library import qaoa
+from repro.device import Device, grid, make_device, uniform_crosstalk
+from repro.runtime import (
+    drives_for_layer,
+    execute_density,
+    execute_statevector,
+    ideal_schedule_state,
+    virtual_matrix,
+)
+from repro.scheduling import Layer, par_schedule, zzx_schedule
+from repro.sim.density import DecoherenceModel
+
+
+@pytest.fixture(scope="module")
+def clean_device6(grid23=None):
+    """Device with (almost) zero crosstalk to isolate pulse errors."""
+    from repro.device import grid as make_grid
+
+    topo = make_grid(2, 3)
+    return Device(topo, uniform_crosstalk(topo, 1e-6))
+
+
+class TestBinding:
+    def test_drives_match_gate_count(self, lib_pert):
+        layer = Layer(
+            gates=[Gate("rx90", (0,)), Gate("rzx90", (1, 2))],
+            identities=[Gate("id", (3,))],
+        )
+        drives = drives_for_layer(layer, lib_pert, 0.25)
+        assert len(drives) == 3
+        assert drives[1].step_ops.shape[-1] == 4
+
+    def test_dt_mismatch_rejected(self, lib_pert):
+        layer = Layer(gates=[Gate("rx90", (0,))])
+        with pytest.raises(ValueError):
+            drives_for_layer(layer, lib_pert, 0.5)
+
+    def test_virtual_matrix(self):
+        from repro.qmath.unitaries import rz
+
+        assert np.allclose(virtual_matrix(Gate("rz", (0,), (0.4,))), rz(0.4))
+
+    def test_virtual_matrix_rejects_physical(self):
+        with pytest.raises(ValueError):
+            virtual_matrix(Gate("rx90", (0,)))
+
+
+class TestExecuteStatevector:
+    def test_noiseless_device_near_ideal(self, clean_device6, lib_pert):
+        topo = clean_device6.topology
+        circuit = compile_circuit(qaoa(6, seed=1), topo).circuit
+        schedule = zzx_schedule(circuit, topo)
+        result = execute_statevector(schedule, clean_device6, lib_pert)
+        assert result.fidelity > 1.0 - 1e-4
+
+    def test_crosstalk_degrades_baseline(self, device6, lib_gaussian):
+        topo = device6.topology
+        circuit = compile_circuit(qaoa(6, seed=1), topo).circuit
+        result = execute_statevector(par_schedule(circuit), device6, lib_gaussian)
+        assert result.fidelity < 0.9
+
+    def test_zzx_pert_recovers_fidelity(self, device6, lib_pert, lib_gaussian):
+        topo = device6.topology
+        circuit = compile_circuit(qaoa(6, seed=1), topo).circuit
+        base = execute_statevector(par_schedule(circuit), device6, lib_gaussian)
+        ours = execute_statevector(
+            zzx_schedule(circuit, topo), device6, lib_pert
+        )
+        assert ours.fidelity > 0.9
+        assert ours.fidelity > base.fidelity
+
+    def test_keep_state(self, device6, lib_gaussian):
+        circuit = transpile(Circuit(6).h(0))
+        schedule = par_schedule(circuit)
+        result = execute_statevector(
+            schedule, device6, lib_gaussian, keep_state=True
+        )
+        assert result.state is not None
+        assert np.isclose(np.linalg.norm(result.state), 1.0)
+
+    def test_device_size_mismatch_rejected(self, device6, lib_gaussian):
+        schedule = par_schedule(transpile(Circuit(3).h(0)))
+        with pytest.raises(ValueError):
+            execute_statevector(schedule, device6, lib_gaussian)
+
+    def test_empty_circuit_perfect(self, device6, lib_gaussian):
+        schedule = par_schedule(Circuit(6))
+        result = execute_statevector(schedule, device6, lib_gaussian)
+        assert result.fidelity == 1.0
+        assert result.execution_time_ns == 0.0
+
+
+class TestExecuteDensity:
+    def test_no_decoherence_matches_statevector(self, device6, lib_pert):
+        topo = device6.topology
+        circuit = compile_circuit(qaoa(4, seed=1), topo).circuit
+        schedule = zzx_schedule(circuit, topo)
+        huge = DecoherenceModel(t1_ns=1e12, t2_ns=1e12)
+        sv = execute_statevector(schedule, device6, lib_pert)
+        dm = execute_density(schedule, device6, lib_pert, huge)
+        assert np.isclose(sv.fidelity, dm.fidelity, atol=1e-6)
+
+    def test_decoherence_lowers_fidelity(self, device6, lib_pert):
+        topo = device6.topology
+        circuit = compile_circuit(qaoa(4, seed=1), topo).circuit
+        schedule = zzx_schedule(circuit, topo)
+        mild = DecoherenceModel(t1_ns=200e3, t2_ns=200e3)
+        harsh = DecoherenceModel(t1_ns=5e3, t2_ns=5e3)
+        f_mild = execute_density(schedule, device6, lib_pert, mild).fidelity
+        f_harsh = execute_density(schedule, device6, lib_pert, harsh).fidelity
+        assert f_harsh < f_mild
+
+    def test_trace_preserved(self, device6, lib_gaussian):
+        circuit = transpile(Circuit(6).h(0).cx(0, 1))
+        schedule = par_schedule(circuit)
+        deco = DecoherenceModel(t1_ns=1e5, t2_ns=1e5)
+        result = execute_density(
+            schedule, device6, lib_gaussian, deco, keep_state=True
+        )
+        assert np.isclose(np.trace(result.density).real, 1.0, atol=1e-9)
+
+    def test_large_device_rejected(self, device12, lib_gaussian):
+        schedule = par_schedule(Circuit(12))
+        deco = DecoherenceModel(t1_ns=1e5, t2_ns=1e5)
+        with pytest.raises(ValueError):
+            execute_density(schedule, device12, lib_gaussian, deco)
+
+
+class TestIdealState:
+    def test_identities_are_noops(self):
+        c = transpile(Circuit(2).h(0).cx(0, 1))
+        schedule = par_schedule(c)
+        schedule.layers[0].identities.append(Gate("id", (1,)))
+        ideal = ideal_schedule_state(schedule)
+        assert abs(np.vdot(ideal, c.output_state())) ** 2 > 1.0 - 1e-12

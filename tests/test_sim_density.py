@@ -1,0 +1,134 @@
+import numpy as np
+import pytest
+
+from repro.qmath.states import random_state
+from repro.sim.density import (
+    DecoherenceModel,
+    amplitude_damping_kraus,
+    apply_channel,
+    phase_damping_kraus,
+)
+
+
+def random_density(num_qubits, rng):
+    psi = random_state(num_qubits, rng)
+    return np.outer(psi, psi.conj())
+
+
+class TestKrausOperators:
+    def test_amplitude_damping_cptp(self):
+        for p in (0.0, 0.3, 1.0):
+            ks = amplitude_damping_kraus(p)
+            total = sum(k.conj().T @ k for k in ks)
+            assert np.allclose(total, np.eye(2))
+
+    def test_phase_damping_cptp(self):
+        for p in (0.0, 0.5, 1.0):
+            ks = phase_damping_kraus(p)
+            total = sum(k.conj().T @ k for k in ks)
+            assert np.allclose(total, np.eye(2))
+
+    def test_amplitude_damping_decays_excited(self):
+        ks = amplitude_damping_kraus(0.4)
+        rho = np.diag([0.0, 1.0]).astype(complex)
+        out = sum(k @ rho @ k.conj().T for k in ks)
+        assert np.isclose(out[0, 0].real, 0.4)
+        assert np.isclose(out[1, 1].real, 0.6)
+
+    def test_phase_damping_kills_coherence(self):
+        ks = phase_damping_kraus(1.0)
+        rho = 0.5 * np.ones((2, 2), dtype=complex)
+        out = sum(k @ rho @ k.conj().T for k in ks)
+        assert abs(out[0, 1]) < 1e-14
+
+    def test_invalid_probability_raises(self):
+        with pytest.raises(ValueError):
+            amplitude_damping_kraus(1.5)
+        with pytest.raises(ValueError):
+            phase_damping_kraus(-0.1)
+
+
+class TestApplyChannel:
+    def test_trace_preserved(self, rng):
+        rho = random_density(3, rng)
+        out = apply_channel(rho, amplitude_damping_kraus(0.3), [1], 3)
+        assert np.isclose(np.trace(out).real, 1.0)
+
+    def test_hermiticity_preserved(self, rng):
+        rho = random_density(2, rng)
+        out = apply_channel(rho, phase_damping_kraus(0.2), [0], 2)
+        assert np.allclose(out, out.conj().T)
+
+    def test_identity_channel(self, rng):
+        rho = random_density(2, rng)
+        out = apply_channel(rho, [np.eye(2, dtype=complex)], [1], 2)
+        assert np.allclose(out, rho)
+
+    def test_matches_embedded_kraus(self, rng):
+        from repro.qmath.tensor import embed_operator
+
+        rho = random_density(2, rng)
+        ks = amplitude_damping_kraus(0.25)
+        got = apply_channel(rho, ks, [1], 2)
+        expected = sum(
+            embed_operator(k, [1], 2) @ rho @ embed_operator(k, [1], 2).conj().T
+            for k in ks
+        )
+        assert np.allclose(got, expected)
+
+
+class TestDecoherenceModel:
+    def test_t_phi_with_t2_equal_t1(self):
+        model = DecoherenceModel(t1_ns=100.0, t2_ns=100.0)
+        assert np.isclose(model.t_phi_ns, 200.0)
+
+    def test_t_phi_infinite_at_limit(self):
+        model = DecoherenceModel(t1_ns=100.0, t2_ns=200.0)
+        assert np.isinf(model.t_phi_ns)
+
+    def test_unphysical_t2_raises(self):
+        with pytest.raises(ValueError):
+            DecoherenceModel(t1_ns=100.0, t2_ns=300.0)
+
+    def test_damping_probability_monotone(self):
+        model = DecoherenceModel(t1_ns=100.0, t2_ns=100.0)
+        assert model.damping_probability(10) < model.damping_probability(50)
+
+    def test_apply_preserves_trace(self, rng):
+        model = DecoherenceModel(t1_ns=1000.0, t2_ns=800.0)
+        rho = random_density(3, rng)
+        out = model.apply(rho, 50.0, 3)
+        assert np.isclose(np.trace(out).real, 1.0)
+
+    def test_long_time_relaxes_to_ground(self, rng):
+        model = DecoherenceModel(t1_ns=10.0, t2_ns=10.0)
+        rho = random_density(2, rng)
+        out = model.apply(rho, 1000.0, 2)
+        assert np.isclose(out[0, 0].real, 1.0, atol=1e-6)
+
+    def test_zero_duration_is_identity(self, rng):
+        model = DecoherenceModel(t1_ns=100.0, t2_ns=100.0)
+        rho = random_density(2, rng)
+        assert np.allclose(model.apply(rho, 0.0, 2), rho)
+
+
+class TestComplexKrausRegression:
+    """O rho O^dag must hold for complex operators, not just real ones."""
+
+    def test_complex_unitary_kraus(self, rng):
+        from repro.qmath.unitaries import rz
+        from repro.qmath.tensor import embed_operator
+
+        rho = random_density(2, rng)
+        op = rz(0.7)
+        got = apply_channel(rho, [op], [0], 2)
+        full = embed_operator(op, [0], 2)
+        assert np.allclose(got, full @ rho @ full.conj().T)
+
+    def test_complex_kraus_trace_preserved(self, rng):
+        from repro.qmath.unitaries import rz
+
+        rho = random_density(3, rng)
+        out = apply_channel(rho, [rz(1.3)], [2], 3)
+        assert np.isclose(np.trace(out).real, 1.0)
+        assert abs(np.trace(out).imag) < 1e-12

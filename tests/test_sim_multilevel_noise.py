@@ -1,0 +1,102 @@
+import numpy as np
+import pytest
+
+from repro.pulses.shapes import gaussian
+from repro.qmath.unitaries import rx
+from repro.sim.multilevel import (
+    anharmonic_diagonal,
+    leakage_infidelity,
+    leakage_population,
+    lowering_operator,
+    transmon_drive_hamiltonians,
+    transmon_z,
+)
+from repro.sim.noise import DriveNoise
+from repro.units import MHZ
+
+
+class TestOperators:
+    def test_lowering_matrix_elements(self):
+        a = lowering_operator(4)
+        assert np.isclose(a[0, 1], 1.0)
+        assert np.isclose(a[1, 2], np.sqrt(2.0))
+        assert np.isclose(a[2, 3], np.sqrt(3.0))
+
+    def test_number_operator(self):
+        a = lowering_operator(5)
+        n = a.conj().T @ a
+        assert np.allclose(np.diag(n).real, [0, 1, 2, 3, 4])
+
+    def test_anharmonic_diagonal(self):
+        diag = anharmonic_diagonal(4, -2.0)
+        assert np.allclose(diag, [0.0, 0.0, -2.0, -6.0])
+
+    def test_transmon_z_reduces_to_sigma_z(self):
+        z = transmon_z(2)
+        assert np.allclose(z, np.diag([1.0, -1.0]))
+
+    def test_drive_reduces_to_two_level(self):
+        # On 2 levels the transmon drive is exactly Omega_x X + Omega_y Y.
+        from repro.qmath.paulis import SX, SY
+
+        hams = transmon_drive_hamiltonians(
+            np.array([0.3]), np.array([0.1]), 2, alpha=-1.0
+        )
+        assert np.allclose(hams[0], 0.3 * SX + 0.1 * SY)
+
+
+class TestLeakage:
+    def test_two_level_limit_no_leakage(self):
+        wf = gaussian(20.0, 0.25, np.pi / 4.0)
+        pop = leakage_population(wf.samples, np.zeros_like(wf.samples), 0.25, num_levels=2)
+        assert pop < 1e-12
+
+    def test_gaussian_leaks_on_five_levels(self):
+        wf = gaussian(20.0, 0.25, np.pi / 4.0)
+        pop = leakage_population(
+            wf.samples, np.zeros_like(wf.samples), 0.25,
+            num_levels=5, alpha=-300.0 * MHZ,
+        )
+        assert pop > 1e-7  # leakage is small but nonzero
+
+    def test_smaller_anharmonicity_leaks_more(self):
+        wf = gaussian(20.0, 0.25, np.pi / 4.0)
+        zeros = np.zeros_like(wf.samples)
+        pop_small = leakage_population(wf.samples, zeros, 0.25, alpha=-200.0 * MHZ)
+        pop_large = leakage_population(wf.samples, zeros, 0.25, alpha=-400.0 * MHZ)
+        assert pop_small > pop_large
+
+    def test_infidelity_without_crosstalk(self):
+        wf = gaussian(20.0, 0.25, np.pi / 4.0)
+        infid = leakage_infidelity(
+            wf.samples, np.zeros_like(wf.samples), 0.25, rx(np.pi / 2.0),
+            alpha=-300.0 * MHZ,
+        )
+        assert 0.0 <= infid < 0.05
+
+    def test_crosstalk_increases_infidelity(self):
+        wf = gaussian(20.0, 0.25, np.pi / 4.0)
+        zeros = np.zeros_like(wf.samples)
+        base = leakage_infidelity(
+            wf.samples, zeros, 0.25, rx(np.pi / 2.0), alpha=-300.0 * MHZ
+        )
+        noisy = leakage_infidelity(
+            wf.samples, zeros, 0.25, rx(np.pi / 2.0), alpha=-300.0 * MHZ,
+            zz_strength=2.0 * MHZ,
+        )
+        assert noisy > base
+
+
+class TestDriveNoise:
+    def test_defaults_are_noiseless(self):
+        noise = DriveNoise()
+        assert noise.detuning_rad_ns == 0.0
+        assert np.allclose(noise.scale_amplitudes(np.ones(3)), np.ones(3))
+
+    def test_detuning_conversion(self):
+        noise = DriveNoise(detuning_mhz=1.0)
+        assert np.isclose(noise.detuning_rad_ns, 0.5 * MHZ)
+
+    def test_amplitude_scaling(self):
+        noise = DriveNoise(amplitude_fraction=0.001)
+        assert np.allclose(noise.scale_amplitudes(np.ones(2)), [1.001, 1.001])

@@ -1,0 +1,120 @@
+import numpy as np
+import pytest
+
+from repro.qmath.paulis import ID2, SX, SZ
+from repro.qmath.unitaries import expm_hermitian, rx
+from repro.sim.propagate import (
+    evolve_state_piecewise,
+    hamiltonian_samples,
+    propagate_piecewise,
+    propagate_with_zz,
+    step_unitaries,
+    toggled_frame_integral,
+)
+
+
+class TestPropagatePiecewise:
+    def test_constant_hamiltonian(self):
+        h = 0.3 * SX
+        hams = np.array([h] * 10)
+        u = propagate_piecewise(hams, 0.1)
+        assert np.allclose(u, expm_hermitian(h, 1.0))
+
+    def test_identity_for_zero_hamiltonian(self):
+        hams = np.zeros((5, 2, 2), dtype=complex)
+        assert np.allclose(propagate_piecewise(hams, 0.2), ID2)
+
+    def test_ordering_matters(self):
+        ha, hb = 0.5 * SX, 0.5 * SZ
+        u_ab = propagate_piecewise(np.array([ha, hb]), 1.0)
+        u_ba = propagate_piecewise(np.array([hb, ha]), 1.0)
+        assert not np.allclose(u_ab, u_ba)
+        # U = U_b U_a when a comes first.
+        assert np.allclose(
+            u_ab, expm_hermitian(hb, 1.0) @ expm_hermitian(ha, 1.0)
+        )
+
+    def test_intermediates_cumulative(self):
+        hams = np.array([0.1 * SX, 0.2 * SZ, 0.3 * SX])
+        total, inter = propagate_piecewise(hams, 0.5, return_intermediates=True)
+        assert len(inter) == 3
+        assert np.allclose(inter[-1], total)
+        assert np.allclose(inter[0], expm_hermitian(0.1 * SX, 0.5))
+
+    def test_unitarity(self, rng):
+        hams = rng.normal(size=(8, 4, 4)) + 1j * rng.normal(size=(8, 4, 4))
+        hams = hams + np.conj(np.transpose(hams, (0, 2, 1)))
+        u = propagate_piecewise(hams, 0.3)
+        assert np.allclose(u @ u.conj().T, np.eye(4), atol=1e-12)
+
+
+class TestStepUnitaries:
+    def test_shapes(self):
+        hams = np.zeros((4, 2, 2), dtype=complex)
+        ops = step_unitaries(hams, 0.1)
+        assert ops.shape == (4, 2, 2)
+
+    def test_product_matches_propagate(self, rng):
+        hams = rng.normal(size=(5, 2, 2)) + 1j * rng.normal(size=(5, 2, 2))
+        hams = hams + np.conj(np.transpose(hams, (0, 2, 1)))
+        ops = step_unitaries(hams, 0.2)
+        total = np.eye(2, dtype=complex)
+        for op in ops:
+            total = op @ total
+        assert np.allclose(total, propagate_piecewise(hams, 0.2))
+
+
+class TestPropagateWithZZ:
+    def test_zz_only(self):
+        hams = np.zeros((10, 4, 4), dtype=complex)
+        h_zz = 0.25 * np.kron(SZ, SZ)
+        u = propagate_with_zz(hams, h_zz, 0.4)
+        assert np.allclose(u, expm_hermitian(h_zz, 4.0))
+
+    def test_drive_commuting_with_zz(self):
+        # Z drive commutes with ZZ: exact factorization must hold.
+        hz = 0.2 * np.kron(SZ, ID2)
+        hams = np.array([hz] * 8)
+        h_zz = 0.1 * np.kron(SZ, SZ)
+        u = propagate_with_zz(hams, h_zz, 0.5)
+        expected = expm_hermitian(hz, 4.0) @ expm_hermitian(h_zz, 4.0)
+        assert np.allclose(u, expected)
+
+
+class TestToggledFrameIntegral:
+    def test_no_drive_gives_full_integral(self):
+        # With U(t) = I the integral is just T * A.
+        cumulative = [ID2.copy() for _ in range(10)]
+        m = toggled_frame_integral(cumulative, SZ, 0.5)
+        assert np.allclose(m, 5.0 * SZ)
+
+    def test_echo_cancels_z(self):
+        # Instantaneous pi flip halfway: SZ toggles sign.
+        half = [ID2.copy() for _ in range(5)]
+        flipped = [SX.copy() for _ in range(5)]  # U = X -> X Z X = -Z
+        m = toggled_frame_integral(half + flipped, SZ, 1.0)
+        assert np.allclose(m, np.zeros((2, 2)), atol=1e-12)
+
+    def test_hermitian_output(self, rng):
+        us = []
+        total = ID2.copy()
+        for _ in range(6):
+            h = rng.normal(size=(2, 2)) + 1j * rng.normal(size=(2, 2))
+            h = h + h.conj().T
+            total = expm_hermitian(h, 0.1) @ total
+            us.append(total)
+        m = toggled_frame_integral(us, SZ, 0.1)
+        assert np.allclose(m, m.conj().T)
+
+
+class TestHelpers:
+    def test_evolve_state(self):
+        hams = np.array([(np.pi / 4) * SX])  # theta = 2*area = pi/2... over dt=1
+        psi = evolve_state_piecewise(hams, 1.0, np.array([1.0, 0.0], complex))
+        expected = rx(np.pi / 2) @ np.array([1.0, 0.0])
+        assert np.allclose(psi, expected)
+
+    def test_hamiltonian_samples_midpoint(self):
+        hams = hamiltonian_samples(lambda t: t * SZ, 1.0, 2)
+        assert np.allclose(hams[0], 0.25 * SZ)
+        assert np.allclose(hams[1], 0.75 * SZ)

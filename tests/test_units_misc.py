@@ -1,0 +1,51 @@
+import numpy as np
+
+from repro.units import (
+    GHZ,
+    KHZ,
+    MHZ,
+    US,
+    khz_to_rad_ns,
+    mhz_to_rad_ns,
+    rad_ns_to_khz,
+    rad_ns_to_mhz,
+)
+
+
+class TestUnits:
+    def test_mhz_roundtrip(self):
+        assert np.isclose(rad_ns_to_mhz(mhz_to_rad_ns(1.7)), 1.7)
+
+    def test_khz_roundtrip(self):
+        assert np.isclose(rad_ns_to_khz(khz_to_rad_ns(200.0)), 200.0)
+
+    def test_mhz_value(self):
+        # 1 MHz -> 2 pi * 1e-3 rad/ns
+        assert np.isclose(MHZ, 2.0 * np.pi * 1e-3)
+
+    def test_khz_is_milli_mhz(self):
+        assert np.isclose(KHZ * 1000.0, MHZ)
+
+    def test_ghz_is_kilo_mhz(self):
+        assert np.isclose(GHZ, MHZ * 1000.0)
+
+    def test_us_in_ns(self):
+        assert US == 1e3
+
+    def test_period_consistency(self):
+        # A strength of lambda/2pi = 1 MHz means a 2 pi phase in 1000 ns.
+        lam = mhz_to_rad_ns(1.0)
+        assert np.isclose(lam * 1000.0, 2.0 * np.pi)
+
+
+class TestVersion:
+    def test_version_exposed(self):
+        import repro
+
+        assert repro.__version__ == "1.0.0"
+
+    def test_public_api_importable(self):
+        import repro
+
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None

@@ -4,22 +4,52 @@
 Writes ``src/repro/pulses/data/pulse_cache.json``.  Run this after changing
 any optimizer defaults; tests and benchmarks load pulses from the cache so
 they stay fast and deterministic.
+
+The ``methods x gates`` optimization jobs are independent, so they fan out
+across a process pool (``--jobs``, default: one worker per core).  See
+EXPERIMENTS.md for the recorded rebuild times.
 """
 
+import argparse
 from pathlib import Path
 import sys
 import time
 
-from repro.pulses.library import rebuild_cache
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.pulses.library import rebuild_cache  # noqa: E402
 
 ROOT = Path(__file__).resolve().parent.parent
 CACHE = ROOT / "src" / "repro" / "pulses" / "data" / "pulse_cache.json"
 
 
-def main() -> int:
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--methods",
+        nargs="+",
+        default=("optctrl", "pert"),
+        help="optimizing methods to rebuild (default: optctrl pert)",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes (default: one per core; 0 = serial)",
+    )
+    parser.add_argument(
+        "--output", type=Path, default=CACHE, help="cache path to write"
+    )
+    args = parser.parse_args(argv)
+
     start = time.time()
-    cache = rebuild_cache(CACHE)
-    print(f"wrote {len(cache)} pulses to {CACHE} in {time.time() - start:.0f}s")
+    cache = rebuild_cache(
+        args.output, methods=tuple(args.methods), max_workers=args.jobs
+    )
+    print(
+        f"wrote {len(cache)} pulses to {args.output} "
+        f"in {time.time() - start:.0f}s"
+    )
     return 0
 
 

@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Dump microbenchmark timings to ``BENCH_<n>.json`` for trend tracking.
+
+Runs the ``benchmarks/bench_micro.py`` suite through pytest-benchmark,
+extracts per-benchmark statistics, and writes them (plus environment
+metadata) to the first free ``BENCH_<n>.json`` in the repo root — so each
+PR's perf snapshot lands in a new numbered file and the trajectory is
+diffable across the stack.
+
+Usage::
+
+    PYTHONPATH=src python scripts/dump_bench.py [--output BENCH_3.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+
+
+def next_bench_path() -> Path:
+    n = 0
+    while (ROOT / f"BENCH_{n}.json").exists():
+        n += 1
+    return ROOT / f"BENCH_{n}.json"
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--output", type=Path, default=None)
+    parser.add_argument(
+        "--bench-file",
+        default="benchmarks/bench_micro.py",
+        help="benchmark module to run (default: benchmarks/bench_micro.py)",
+    )
+    args = parser.parse_args(argv)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        raw = Path(tmp) / "bench.json"
+        cmd = [
+            sys.executable,
+            "-m",
+            "pytest",
+            args.bench_file,
+            "-q",
+            "--benchmark-min-rounds=3",
+            "--benchmark-warmup=off",
+            f"--benchmark-json={raw}",
+        ]
+        proc = subprocess.run(cmd, cwd=ROOT)
+        if proc.returncode != 0:
+            print("benchmark run failed", file=sys.stderr)
+            return proc.returncode
+        data = json.loads(raw.read_text())
+
+    git_rev = subprocess.run(
+        ["git", "rev-parse", "--short", "HEAD"],
+        cwd=ROOT,
+        capture_output=True,
+        text=True,
+    ).stdout.strip()
+
+    summary = {
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "git_rev": git_rev or None,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "benchmarks": {
+            b["name"]: {
+                "mean_s": b["stats"]["mean"],
+                "median_s": b["stats"]["median"],
+                "min_s": b["stats"]["min"],
+                "stddev_s": b["stats"]["stddev"],
+                "rounds": b["stats"]["rounds"],
+            }
+            for b in data.get("benchmarks", [])
+        },
+    }
+
+    out = args.output or next_bench_path()
+    out.write_text(json.dumps(summary, indent=1) + "\n")
+    print(f"wrote {len(summary['benchmarks'])} benchmark timings to {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

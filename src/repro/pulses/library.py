@@ -14,6 +14,7 @@ fresh optimization.
 from __future__ import annotations
 
 import json
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from importlib import resources
 from pathlib import Path
@@ -180,11 +181,14 @@ def build_library(
     use_cache: bool = True,
     cache_path: Path | None = None,
     fast: bool = False,
+    max_workers: int | None = 0,
 ) -> PulseLibrary:
     """Build (or load) the pulse library for ``method``.
 
     ``fast=True`` uses reduced optimizer budgets — handy in tests, not for
-    measurements.
+    measurements.  On cache misses the remaining optimizations fan out
+    across ``max_workers`` processes (default 0 = in-process, the right
+    choice when the committed cache makes misses exceptional).
     """
     if method not in METHODS:
         raise ValueError(f"unknown method {method!r}; expected one of {METHODS}")
@@ -210,22 +214,64 @@ def build_library(
         )
     cache = load_cache(cache_path) if use_cache else {}
     pulses: dict[str, GatePulse] = {}
+    missing: list[str] = []
     for gate_name in PHYSICAL_GATES:
-        key = f"{method}/{gate_name}"
-        record = cache.get(key)
+        record = cache.get(f"{method}/{gate_name}")
         if record is not None:
             pulses[gate_name] = _pulse_from_record(record, _gate_target(gate_name))
         else:
-            pulses[gate_name] = _optimize(method, gate_name, fast)
+            missing.append(gate_name)
+    if missing:
+        for gate_name, record in _optimize_many(
+            [(method, g) for g in missing], fast, max_workers
+        ):
+            pulses[gate_name] = _pulse_from_record(record, _gate_target(gate_name))
     return PulseLibrary(method, pulses)
 
 
-def rebuild_cache(path: Path, methods=("optctrl", "pert")) -> dict:
-    """Re-run all optimizations at full budget and store them at ``path``."""
+def _optimize_record(method: str, gate_name: str, fast: bool) -> dict:
+    """Picklable worker: optimize one gate and return its cache record."""
+    return _pulse_to_record(_optimize(method, gate_name, fast))
+
+
+def _optimize_many(
+    jobs: list[tuple[str, str]], fast: bool, max_workers: int | None
+) -> list[tuple[str, dict]]:
+    """Run ``(method, gate)`` optimizations, fanning out across processes.
+
+    Each job is an independent L-BFGS-B run, so the fan-out is
+    embarrassingly parallel; ``max_workers=0`` (or a single job) keeps
+    everything in-process, which is what tests want.
+    """
+    if max_workers == 0 or len(jobs) <= 1:
+        return [
+            (gate, _optimize_record(method, gate, fast)) for method, gate in jobs
+        ]
+    with ProcessPoolExecutor(max_workers=max_workers) as pool:
+        futures = [
+            pool.submit(_optimize_record, method, gate, fast)
+            for method, gate in jobs
+        ]
+        return [(jobs[i][1], f.result()) for i, f in enumerate(futures)]
+
+
+def rebuild_cache(
+    path: Path,
+    methods=("optctrl", "pert"),
+    *,
+    max_workers: int | None = None,
+) -> dict:
+    """Re-run all optimizations at full budget and store them at ``path``.
+
+    The ``len(methods) x len(PHYSICAL_GATES)`` jobs fan out across a
+    process pool (``max_workers=None`` uses one worker per core;
+    ``max_workers=0`` forces serial execution).
+    """
+    jobs = [(method, gate) for method in methods for gate in PHYSICAL_GATES]
     cache: dict = {}
-    for method in methods:
-        library = build_library(method, use_cache=False, fast=False)
-        for gate_name, pulse in library.pulses.items():
-            cache[f"{method}/{gate_name}"] = _pulse_to_record(pulse)
+    for (method, gate), (_, record) in zip(
+        jobs, _optimize_many(jobs, False, max_workers)
+    ):
+        cache[f"{method}/{gate}"] = record
     save_cache(cache, path)
     return cache

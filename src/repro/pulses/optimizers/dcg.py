@@ -36,22 +36,23 @@ def _segment(theta: float, duration: float, dt: float) -> Waveform:
 
 def dcg_rx90(dt: float = DEFAULT_DT) -> GatePulse:
     """The 120 ns DCG sequence for ``Rx(pi/2)`` (Fig. 28c)."""
-    parts = [
-        _segment(np.pi, SEGMENT_NS, dt),
-        _segment(np.pi / 2.0, SEGMENT_NS, dt),
-        _segment(-np.pi / 2.0, SEGMENT_NS, dt),
-        _segment(np.pi, SEGMENT_NS, dt),
-        _segment(np.pi / 2.0, 2.0 * SEGMENT_NS, dt),
-    ]
-    wx = parts[0]
-    for part in parts[1:]:
-        wx = wx.concatenated(part)
+    wx = Waveform.concatenate(
+        [
+            _segment(np.pi, SEGMENT_NS, dt),
+            _segment(np.pi / 2.0, SEGMENT_NS, dt),
+            _segment(-np.pi / 2.0, SEGMENT_NS, dt),
+            _segment(np.pi, SEGMENT_NS, dt),
+            _segment(np.pi / 2.0, 2.0 * SEGMENT_NS, dt),
+        ]
+    )
     wy = Waveform.zeros(wx.num_steps, dt)
     return one_qubit_pulse("rx90", "dcg", wx, wy, rx(np.pi / 2.0))
 
 
 def dcg_identity(dt: float = DEFAULT_DT) -> GatePulse:
     """The 40 ns DCG echo identity: two back-to-back Gaussian pi pulses."""
-    wx = _segment(np.pi, SEGMENT_NS, dt).concatenated(_segment(np.pi, SEGMENT_NS, dt))
+    wx = Waveform.concatenate(
+        [_segment(np.pi, SEGMENT_NS, dt), _segment(np.pi, SEGMENT_NS, dt)]
+    )
     wy = Waveform.zeros(wx.num_steps, dt)
     return one_qubit_pulse("id", "dcg", wx, wy, np.eye(2, dtype=complex))

@@ -8,6 +8,8 @@ pulse area ``INT Omega dt = theta / 2`` under the drive convention
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 import numpy as np
 
 from repro.pulses.pulse import GatePulse, one_qubit_pulse, two_qubit_pulse
@@ -19,6 +21,12 @@ DEFAULT_DURATION = 20.0
 DEFAULT_DT = 0.25
 
 
+@lru_cache(maxsize=32)
+def _unit_gaussian(duration: float, dt: float) -> Waveform:
+    """Unit-area Gaussian envelope, shared by every rotation on this grid."""
+    return gaussian(duration, dt, area=1.0)
+
+
 def gaussian_rotation(
     theta: float,
     name: str,
@@ -26,7 +34,7 @@ def gaussian_rotation(
     dt: float = DEFAULT_DT,
 ) -> GatePulse:
     """Gaussian X-rotation by ``theta``."""
-    wx = gaussian(duration, dt, area=theta / 2.0)
+    wx = _unit_gaussian(duration, dt).scaled(theta / 2.0)
     wy = Waveform.zeros(wx.num_steps, dt)
     return one_qubit_pulse(name, "gaussian", wx, wy, rx(theta))
 
@@ -47,7 +55,7 @@ def gaussian_rzx90(
     duration: float = DEFAULT_DURATION, dt: float = DEFAULT_DT
 ) -> GatePulse:
     """``Rzx(pi/2)`` driven by a Gaussian on the ZX coupling channel."""
-    wzx = gaussian(duration, dt, area=np.pi / 4.0)
+    wzx = _unit_gaussian(duration, dt).scaled(np.pi / 4.0)
     zeros = Waveform.zeros(wzx.num_steps, dt)
     controls = {"x0": zeros, "y0": zeros, "x1": zeros, "y1": zeros, "zx": wzx}
     return two_qubit_pulse("rzx90", "gaussian", controls, rzx(np.pi / 2.0))

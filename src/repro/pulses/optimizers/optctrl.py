@@ -24,7 +24,7 @@ from repro.pulses.optimizers.engine import (
     ControlProblem,
     FidelityScenario,
     OptimizationResult,
-    fidelity_loss_and_grad,
+    fidelity_sum_loss_and_grad,
 )
 from repro.pulses.optimizers.pert import spread_initial_coeffs
 from repro.pulses.pulse import GatePulse, one_qubit_pulse, two_qubit_pulse
@@ -49,14 +49,11 @@ DEFAULT_FTOL = 1e-9
 
 
 def _scenario_loss(scenarios, problem: ControlProblem):
+    """Weighted-sum loss; each scenario runs the batched engine kernels."""
+
     def loss_and_grad(theta: np.ndarray):
         amps = problem.amplitudes(theta)
-        total = 0.0
-        grad = np.zeros_like(amps)
-        for scenario in scenarios:
-            value, grad_amps = fidelity_loss_and_grad(scenario, amps, problem.dt)
-            total += scenario.weight * value
-            grad += scenario.weight * grad_amps
+        total, grad = fidelity_sum_loss_and_grad(scenarios, amps, problem.dt)
         return total, problem.grad_to_theta(grad)
 
     return loss_and_grad

@@ -54,6 +54,16 @@ class Waveform:
             raise ValueError("cannot concatenate waveforms with different dt")
         return Waveform(np.concatenate([self.samples, other.samples]), self.dt)
 
+    @staticmethod
+    def concatenate(parts: "list[Waveform]") -> "Waveform":
+        """Join many waveforms with one allocation (used by DCG sequences)."""
+        if not parts:
+            raise ValueError("cannot concatenate an empty list of waveforms")
+        dt = parts[0].dt
+        if any(abs(p.dt - dt) > 1e-12 for p in parts):
+            raise ValueError("cannot concatenate waveforms with different dt")
+        return Waveform(np.concatenate([p.samples for p in parts]), dt)
+
     def derivative(self) -> "Waveform":
         """Central-difference time derivative (same grid)."""
         grad = np.gradient(self.samples, self.dt)

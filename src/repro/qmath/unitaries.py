@@ -85,7 +85,13 @@ def expm_hermitian(h: np.ndarray, t: float = 1.0) -> np.ndarray:
     Much faster than ``scipy.linalg.expm`` for the small (<= 32 x 32) dense
     Hamiltonians used by the pulse optimizers, and exactly unitary up to
     floating point.
+
+    Accepts a stack ``(..., d, d)`` of Hamiltonians and exponentiates all
+    of them with a single batched ``np.linalg.eigh`` — the shared hot path
+    of the pulse optimizers, the Trotter engine, and the pulse-level
+    experiments.
     """
+    h = np.asarray(h)
     evals, evecs = np.linalg.eigh(h)
     phases = np.exp(-1.0j * evals * t)
-    return (evecs * phases) @ evecs.conj().T
+    return (evecs * phases[..., None, :]) @ np.conj(np.swapaxes(evecs, -1, -2))

@@ -1,0 +1,73 @@
+"""Campaign runner throughput: serial vs process-pool dispatch.
+
+The grid is a reduced Fig. 20 slice (5 benchmarks x 2 sizes x 2 configs =
+20 statevector cells) with no result store, so every run evaluates every
+cell.  On a >=4-core host the 4-worker pool must clear 2.5x the serial
+throughput; single-core CI containers skip the speedup assertion (there is
+no parallelism to measure) but still record both timings for the trend
+file.
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.campaigns import SweepSpec, run_campaign
+
+BENCH_SPEC = SweepSpec(
+    name="bench-campaign",
+    benchmarks=("HS", "QFT", "QAOA", "Ising", "GRC"),
+    sizes=(4, 6),
+    configs=("gau+par", "pert+zzx"),
+)
+
+PARALLEL_WORKERS = 4
+
+#: worker count -> wall-clock seconds, so the speedup assertion reuses the
+#: timings the two benchmark tests already measured instead of re-running
+#: the whole grid.
+_timings: dict[int, float] = {}
+
+
+def _timed_run(workers: int) -> float:
+    if workers not in _timings:
+        start = time.perf_counter()
+        campaign = run_campaign(BENCH_SPEC, workers=workers)
+        _timings[workers] = time.perf_counter() - start
+        assert campaign.computed == len(BENCH_SPEC.cells())
+    return _timings[workers]
+
+
+def test_campaign_serial(benchmark, show):
+    benchmark.pedantic(lambda: _timed_run(1), rounds=1, iterations=1)
+
+
+def test_campaign_parallel_4w(benchmark, show):
+    benchmark.pedantic(
+        lambda: _timed_run(PARALLEL_WORKERS), rounds=1, iterations=1
+    )
+
+
+def test_parallel_speedup(show):
+    """Acceptance: >=2.5x throughput at 4 workers (needs >=4 cores)."""
+    serial_s = _timed_run(1)
+    parallel_s = _timed_run(PARALLEL_WORKERS)
+    cells = len(BENCH_SPEC.cells())
+    speedup = serial_s / parallel_s
+
+    class _Report:
+        def render(self):
+            return (
+                f"== bench-campaign: {cells} cells ==\n"
+                f"serial    {serial_s:7.2f}s  {cells / serial_s:6.2f} cells/s\n"
+                f"4 workers {parallel_s:7.2f}s  {cells / parallel_s:6.2f} cells/s\n"
+                f"speedup   {speedup:7.2f}x  (cores: {os.cpu_count()})"
+            )
+
+    show(_Report())
+    if (os.cpu_count() or 1) < PARALLEL_WORKERS:
+        pytest.skip(
+            f"{os.cpu_count()} core(s): cannot measure {PARALLEL_WORKERS}-way speedup"
+        )
+    assert speedup >= 2.5

@@ -1,11 +1,13 @@
 #!/usr/bin/env python3
 """Dump microbenchmark timings to ``BENCH_<n>.json`` for trend tracking.
 
-Runs the ``benchmarks/bench_micro.py`` suite through pytest-benchmark,
-extracts per-benchmark statistics, and writes them (plus environment
-metadata) to the first free ``BENCH_<n>.json`` in the repo root — so each
-PR's perf snapshot lands in a new numbered file and the trajectory is
-diffable across the stack.
+Runs the microbenchmark suites (``benchmarks/bench_micro.py`` plus the
+campaign serial-vs-parallel throughput bench
+``benchmarks/bench_campaign.py``) through pytest-benchmark, extracts
+per-benchmark statistics, and writes them (plus environment metadata) to
+the first free ``BENCH_<n>.json`` in the repo root — so each PR's perf
+snapshot lands in a new numbered file and the trajectory is diffable
+across the stack.
 
 Usage::
 
@@ -38,10 +40,16 @@ def main(argv=None) -> int:
     parser.add_argument("--output", type=Path, default=None)
     parser.add_argument(
         "--bench-file",
-        default="benchmarks/bench_micro.py",
-        help="benchmark module to run (default: benchmarks/bench_micro.py)",
+        action="append",
+        default=None,
+        help="benchmark module(s) to run; repeatable "
+        "(default: bench_micro.py and bench_campaign.py)",
     )
     args = parser.parse_args(argv)
+    bench_files = args.bench_file or [
+        "benchmarks/bench_micro.py",
+        "benchmarks/bench_campaign.py",
+    ]
 
     with tempfile.TemporaryDirectory() as tmp:
         raw = Path(tmp) / "bench.json"
@@ -49,7 +57,7 @@ def main(argv=None) -> int:
             sys.executable,
             "-m",
             "pytest",
-            args.bench_file,
+            *bench_files,
             "-q",
             "--benchmark-min-rounds=3",
             "--benchmark-warmup=off",

@@ -1,0 +1,61 @@
+"""Campaign runner: parallel sweep execution with a persistent result store.
+
+The paper's evaluation is a grid — benchmarks x sizes x configs x device
+seeds.  This subsystem turns that grid into first-class objects:
+
+- :mod:`repro.campaigns.spec` — :class:`Cell` (one evaluation point) and
+  :class:`SweepSpec` (a declarative grid, deterministically expanded);
+- :mod:`repro.campaigns.store` — an append-only JSONL
+  :class:`ResultStore` keyed by content hash + library fingerprint, so
+  campaigns resume after interruption and skip completed cells;
+- :mod:`repro.campaigns.runner` — :func:`run_campaign`, a process-pool
+  engine with chunked dispatch and per-worker warm caches whose
+  ``workers=1`` path is bit-identical to the inline experiment loops;
+- :mod:`repro.campaigns.report` — pivots stored cells back into
+  :class:`~repro.experiments.result.ExperimentResult` tables.
+
+Quickstart::
+
+    from repro.campaigns import ResultStore, SweepSpec, run_campaign, sweep_table
+
+    spec = SweepSpec(benchmarks=("QAOA", "Ising"), device_seeds=(7, 8, 9))
+    store = ResultStore("campaign.jsonl")
+    campaign = run_campaign(spec, store, workers=4)   # resumable
+    print(sweep_table(spec, campaign).render())
+"""
+
+from repro.campaigns.fingerprint import library_fingerprint
+from repro.campaigns.report import (
+    campaign_results,
+    report_from_store,
+    store_summary,
+    sweep_table,
+)
+from repro.campaigns.runner import CampaignResult, evaluate_cell, run_campaign
+from repro.campaigns.spec import (
+    CONFIGS,
+    Cell,
+    DeviceSpec,
+    SweepSpec,
+    cell_key,
+    paper_sizes,
+)
+from repro.campaigns.store import ResultStore
+
+__all__ = [
+    "CONFIGS",
+    "CampaignResult",
+    "Cell",
+    "DeviceSpec",
+    "ResultStore",
+    "SweepSpec",
+    "campaign_results",
+    "cell_key",
+    "evaluate_cell",
+    "library_fingerprint",
+    "paper_sizes",
+    "report_from_store",
+    "run_campaign",
+    "store_summary",
+    "sweep_table",
+]

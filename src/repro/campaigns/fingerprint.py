@@ -1,0 +1,36 @@
+"""Fingerprint of the code + pulse data that produced a stored result.
+
+Store keys mix this fingerprint into the cell hash, so results computed
+against a different package version or a different committed pulse cache
+are never served as hits — a changed optimizer invalidates the store
+automatically instead of silently reporting stale fidelities.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from functools import lru_cache
+from pathlib import Path
+
+from repro.pulses.library import _default_cache_path
+from repro.version import __version__
+
+
+@lru_cache(maxsize=8)
+def _digest_file(path: str, mtime_ns: int, size: int) -> str:
+    # mtime/size participate in the cache key so an edited pulse cache is
+    # re-hashed within one process.
+    return hashlib.sha256(Path(path).read_bytes()).hexdigest()
+
+
+def library_fingerprint() -> str:
+    """Short digest of the package version + committed pulse cache."""
+    h = hashlib.sha256()
+    h.update(__version__.encode())
+    path = _default_cache_path()
+    if path is not None and Path(path).exists():
+        stat = Path(path).stat()
+        h.update(_digest_file(str(path), stat.st_mtime_ns, stat.st_size).encode())
+    else:
+        h.update(b"no-pulse-cache")
+    return h.hexdigest()[:12]

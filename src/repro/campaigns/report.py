@@ -1,0 +1,149 @@
+"""Aggregate stored campaign cells into the repo's experiment tables.
+
+The runner produces flat per-cell records; this module pivots them back
+into :class:`~repro.experiments.result.ExperimentResult` rows (one row per
+grid point, one column per config) so sweeps render exactly like the
+inline figure reproductions, and offline ``report`` invocations can
+re-render a store without recomputing anything.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.campaigns.fingerprint import library_fingerprint
+from repro.campaigns.runner import CampaignResult, run_campaign
+from repro.campaigns.spec import Cell, SweepSpec, cell_key
+from repro.campaigns.store import ResultStore
+from repro.experiments.result import ExperimentResult
+
+#: cell kind -> the scalar each config column reports.
+KIND_METRIC = {
+    "statevector": "fidelity",
+    "density": "fidelity",
+    "exec_time": "execution_time_ns",
+    "couplings": "value",
+}
+
+
+def as_store(store: ResultStore | str | Path | None) -> ResultStore | None:
+    """Accept a ready store, a path, or None (no persistence)."""
+    if store is None or isinstance(store, ResultStore):
+        return store
+    return ResultStore(store)
+
+
+def campaign_results(
+    cells,
+    *,
+    store: ResultStore | str | Path | None = None,
+    workers: int = 1,
+    fingerprint: str | None = None,
+) -> CampaignResult:
+    """Run (or resume) a campaign; the figure modules' single entry point."""
+    return run_campaign(
+        cells, as_store(store), workers=workers, fingerprint=fingerprint
+    )
+
+
+def _grid_rows(spec: SweepSpec, lookup) -> tuple[list[dict], list[Cell]]:
+    """Pivot per-cell results into per-point rows via ``lookup(cell)``."""
+    metric = KIND_METRIC[spec.kind]
+    multi_seed = len(spec.device_seeds) > 1
+    multi_circuit = len(spec.circuit_seeds) > 1
+    rows: list[dict] = []
+    missing: list[Cell] = []
+    for point in _grid_points(spec):
+        row: dict = {"benchmark": point[0].label}
+        if multi_seed:
+            row["seed"] = point[0].device.seed
+        if multi_circuit:
+            row["circuit_seed"] = point[0].circuit_seed
+        if point[0].t1_us is not None:
+            row["t1_t2_us"] = point[0].t1_us
+        for cell in point:
+            result = lookup(cell)
+            if result is None:
+                missing.append(cell)
+                row[cell.config] = float("nan")
+            else:
+                row[cell.config] = result[metric]
+        rows.append(row)
+    return rows, missing
+
+
+def _grid_points(spec: SweepSpec) -> list[tuple[Cell, ...]]:
+    """Cells grouped per grid point (configs are the innermost axis)."""
+    cells = spec.cells()
+    width = len(spec.configs)
+    return [tuple(cells[i : i + width]) for i in range(0, len(cells), width)]
+
+
+def sweep_table(spec: SweepSpec, campaign: CampaignResult) -> ExperimentResult:
+    """Render a completed campaign as one pivoted experiment table."""
+
+    def lookup(cell: Cell):
+        try:
+            return campaign[cell]
+        except KeyError:
+            return None
+
+    rows, _ = _grid_rows(spec, lookup)
+    return ExperimentResult(
+        spec.name,
+        f"sweep {spec.kind}: {', '.join(spec.configs)}",
+        rows=rows,
+        notes=campaign.summary,
+    )
+
+
+def report_from_store(
+    spec: SweepSpec,
+    store: ResultStore | str | Path,
+    *,
+    fingerprint: str | None = None,
+) -> tuple[ExperimentResult, list[Cell]]:
+    """Offline aggregation: render whatever the store holds, run nothing.
+
+    Returns the table plus the cells of the spec that have no stored
+    result (rendered as NaN columns).
+    """
+    store = as_store(store)
+    fingerprint = fingerprint or library_fingerprint()
+
+    def lookup(cell: Cell):
+        return store.result_for(cell, fingerprint)
+
+    rows, missing = _grid_rows(spec, lookup)
+    done = sum(len(point) for point in _grid_points(spec)) - len(missing)
+    result = ExperimentResult(
+        spec.name,
+        f"stored sweep {spec.kind}: {', '.join(spec.configs)}",
+        rows=rows,
+        notes=f"{done} stored, {len(missing)} missing "
+        f"[store={store.path}, fingerprint={fingerprint}]",
+    )
+    return result, missing
+
+
+def store_summary(store: ResultStore | str | Path) -> ExperimentResult:
+    """Per-(benchmark, kind, config) record counts — the ``list --store`` view."""
+    store = as_store(store)
+    counts: dict[tuple[str, str, str], int] = {}
+    fingerprints: set[str] = set()
+    for record in store.records():
+        cell = record["cell"]
+        key = (cell["benchmark"], cell.get("kind", "statevector"), cell["config"])
+        counts[key] = counts.get(key, 0) + 1
+        fingerprints.add(record.get("fingerprint", "?"))
+    rows = [
+        {"benchmark": b, "kind": k, "config": c, "cells": n}
+        for (b, k, c), n in sorted(counts.items())
+    ]
+    return ExperimentResult(
+        "store",
+        f"result store {store.path}",
+        rows=rows,
+        notes=f"{len(store)} records, fingerprints: "
+        f"{', '.join(sorted(fingerprints)) or 'none'}",
+    )

@@ -1,0 +1,285 @@
+"""Campaign execution engine: run sweep cells serially or across processes.
+
+The runner takes an iterable of :class:`~repro.campaigns.spec.Cell` (or a
+:class:`~repro.campaigns.spec.SweepSpec`), skips every cell the store
+already holds, evaluates the rest, and returns records in the *original
+cell order* regardless of completion order — parallel runs are
+reproducible and byte-compatible with serial ones.
+
+Two dispatch paths:
+
+- ``workers=1`` (default) evaluates in-process through this module's
+  warm caches — which the experiments harness (``experiments/common.py``)
+  also delegates to, so the serial path is bit-identical to the
+  historical inline loops and nothing is compiled or sampled twice;
+- ``workers>1`` fans chunks of cells out over a
+  :class:`~concurrent.futures.ProcessPoolExecutor`.  Each worker process
+  keeps its own warm device/pulse-library/schedule caches (the pool
+  initializer pre-builds the pulse libraries the campaign needs), so the
+  per-cell cost after warm-up is the simulation itself.  Completed chunks
+  are appended to the store as they land, preserving resumability even
+  when the campaign is killed mid-flight.
+
+Numerically the two paths are identical: every worker executes the same
+pure evaluation function on the same inputs.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from functools import lru_cache
+
+from repro.campaigns.fingerprint import library_fingerprint
+from repro.campaigns.spec import Cell, DeviceSpec, SweepSpec, cell_key
+from repro.campaigns.store import ResultStore
+from repro.circuits.compile import compile_circuit
+from repro.circuits.library import BENCHMARKS
+from repro.device.device import Device, make_device
+from repro.device.presets import grid
+from repro.pulses.library import PulseLibrary, build_library
+from repro.runtime.executor import execute_density, execute_statevector
+from repro.scheduling.analysis import couplings_to_turn_off, execution_time
+from repro.scheduling.layer import Schedule
+from repro.scheduling.parsched import par_schedule
+from repro.scheduling.zzxsched import ZZXConfig, zzx_schedule
+from repro.sim.density import DecoherenceModel
+from repro.units import US
+
+# -- per-process warm caches ------------------------------------------------
+# Module-level lru_caches double as the "per-worker warm cache": the first
+# cell a worker evaluates pays for device sampling / library load / compile
+# + schedule, every later cell on the same grid point reuses them.
+
+
+@lru_cache(maxsize=None)
+def cached_device(spec: DeviceSpec) -> Device:
+    return make_device(
+        grid(spec.rows, spec.cols),
+        mean_khz=spec.mean_khz,
+        std_khz=spec.std_khz,
+        seed=spec.seed,
+    )
+
+
+@lru_cache(maxsize=8)
+def cached_library(method: str) -> PulseLibrary:
+    return build_library(method)
+
+
+@lru_cache(maxsize=None)
+def _cached_compiled(benchmark: str, num_qubits: int, circuit_seed: int, rows: int, cols: int):
+    topology = grid(rows, cols)
+    circuit = BENCHMARKS[benchmark](num_qubits, seed=circuit_seed)
+    return compile_circuit(circuit, topology)
+
+
+@lru_cache(maxsize=None)
+def _cached_schedule(
+    benchmark: str,
+    num_qubits: int,
+    circuit_seed: int,
+    rows: int,
+    cols: int,
+    scheduler: str,
+    zzx: tuple[tuple[str, object], ...],
+) -> Schedule:
+    compiled = _cached_compiled(benchmark, num_qubits, circuit_seed, rows, cols)
+    if scheduler == "par":
+        return par_schedule(compiled.circuit)
+    if scheduler == "zzx":
+        topology = grid(rows, cols)
+        config = ZZXConfig(**dict(zzx)) if zzx else None
+        return zzx_schedule(compiled.circuit, topology, config=config)
+    raise ValueError(f"unknown scheduler {scheduler!r}")
+
+
+def schedule_for_cell(cell: Cell) -> Schedule:
+    return _cached_schedule(
+        cell.benchmark,
+        cell.num_qubits,
+        cell.circuit_seed,
+        cell.device.rows,
+        cell.device.cols,
+        cell.scheduler,
+        cell.zzx,
+    )
+
+
+def evaluate_cell(cell: Cell) -> dict:
+    """Evaluate one cell; pure in its inputs, so safe on any worker."""
+    schedule = schedule_for_cell(cell)
+    device = cached_device(cell.device)
+    if cell.kind == "couplings":
+        value = couplings_to_turn_off(
+            schedule, device.topology, baseline=cell.scheduler == "par"
+        )
+        return {"value": value, "num_layers": schedule.num_layers}
+    library = cached_library(cell.method)
+    if cell.kind == "exec_time":
+        return {
+            "execution_time_ns": execution_time(schedule, library),
+            "num_layers": schedule.num_layers,
+        }
+    if cell.kind == "density":
+        decoherence = DecoherenceModel(
+            t1_ns=cell.t1_us * US, t2_ns=cell.t2_us * US
+        )
+        out = execute_density(schedule, device, library, decoherence)
+    else:
+        out = execute_statevector(schedule, device, library)
+    return {
+        "fidelity": out.fidelity,
+        "execution_time_ns": out.execution_time_ns,
+        "num_layers": out.num_layers,
+    }
+
+
+# -- parallel plumbing ------------------------------------------------------
+
+
+def _warm_worker(methods: tuple[str, ...]) -> None:
+    """Pool initializer: pre-load the pulse libraries a campaign needs."""
+    for method in methods:
+        cached_library(method)
+
+
+def _evaluate_chunk(cells: tuple[Cell, ...]) -> list[tuple[dict, float]]:
+    out = []
+    for cell in cells:
+        start = time.perf_counter()
+        result = evaluate_cell(cell)
+        out.append((result, time.perf_counter() - start))
+    return out
+
+
+def _chunked(items: list, chunksize: int) -> list[list]:
+    return [items[i : i + chunksize] for i in range(0, len(items), chunksize)]
+
+
+@dataclass
+class CampaignResult:
+    """Outcome of one :func:`run_campaign` call.
+
+    ``records`` follows the order of the (deduplicated) input cells;
+    ``computed``/``cached`` count fresh evaluations vs store hits.
+    """
+
+    cells: tuple[Cell, ...]
+    records: list[dict]
+    fingerprint: str
+    computed: int = 0
+    cached: int = 0
+    workers: int = 1
+    elapsed_s: float = 0.0
+    _by_key: dict[str, dict] = field(default_factory=dict, repr=False)
+
+    def __post_init__(self):
+        if not self._by_key:
+            self._by_key = {r["key"]: r for r in self.records}
+
+    def __getitem__(self, cell: Cell) -> dict:
+        """The result payload for ``cell`` (KeyError when not part of the run)."""
+        return self._by_key[cell_key(cell, self.fingerprint)]["result"]
+
+    def record_for(self, cell: Cell) -> dict:
+        return self._by_key[cell_key(cell, self.fingerprint)]
+
+    @property
+    def summary(self) -> str:
+        return (
+            f"{len(self.records)} cells: {self.computed} computed, "
+            f"{self.cached} cached [workers={self.workers}, "
+            f"{self.elapsed_s:.1f}s]"
+        )
+
+
+def run_campaign(
+    cells,
+    store: ResultStore | None = None,
+    *,
+    workers: int = 1,
+    chunksize: int | None = None,
+    fingerprint: str | None = None,
+) -> CampaignResult:
+    """Evaluate every cell not already in ``store``; return ordered records.
+
+    ``cells`` may be a :class:`SweepSpec` or any iterable of cells
+    (duplicates are evaluated once).  ``store=None`` uses a throwaway
+    in-memory store.  ``workers=1`` is the exact serial path; ``workers>1``
+    dispatches chunks to a process pool and appends each chunk's records to
+    the store as it completes.
+    """
+    if isinstance(cells, SweepSpec):
+        cells = cells.cells()
+    ordered: list[Cell] = []
+    seen: set[Cell] = set()
+    for cell in cells:
+        if cell not in seen:
+            seen.add(cell)
+            ordered.append(cell)
+    store = store if store is not None else ResultStore(None)
+    fingerprint = fingerprint or library_fingerprint()
+    start = time.perf_counter()
+
+    pending = store.pending(ordered, fingerprint)
+    if workers <= 1 or len(pending) <= 1:
+        for cell in pending:
+            t0 = time.perf_counter()
+            result = evaluate_cell(cell)
+            store.put(
+                cell, result, fingerprint=fingerprint,
+                elapsed_s=time.perf_counter() - t0,
+            )
+    else:
+        _run_parallel(pending, store, workers, chunksize, fingerprint)
+
+    records = []
+    for cell in ordered:
+        record = store.get(cell_key(cell, fingerprint))
+        if record is None:  # pragma: no cover - defensive
+            raise RuntimeError(f"campaign finished but cell missing: {cell}")
+        records.append(record)
+    return CampaignResult(
+        cells=tuple(ordered),
+        records=records,
+        fingerprint=fingerprint,
+        computed=len(pending),
+        cached=len(ordered) - len(pending),
+        workers=max(1, workers),
+        elapsed_s=time.perf_counter() - start,
+    )
+
+
+def _run_parallel(
+    pending: list[Cell],
+    store: ResultStore,
+    workers: int,
+    chunksize: int | None,
+    fingerprint: str,
+) -> None:
+    workers = min(workers, len(pending))
+    if chunksize is None:
+        # ~4 chunks per worker balances scheduling slack against dispatch
+        # overhead; small campaigns degrade to one cell per chunk.
+        chunksize = max(1, len(pending) // (workers * 4))
+    chunks = _chunked(pending, chunksize)
+    methods = tuple(sorted({cell.method for cell in pending}))
+    with ProcessPoolExecutor(
+        max_workers=workers, initializer=_warm_worker, initargs=(methods,)
+    ) as pool:
+        futures = {
+            pool.submit(_evaluate_chunk, tuple(chunk)): chunk for chunk in chunks
+        }
+        remaining = set(futures)
+        while remaining:
+            done, remaining = wait(remaining, return_when=FIRST_COMPLETED)
+            # Store each finished chunk immediately: a killed campaign
+            # keeps everything that completed before the kill.
+            for future in done:
+                chunk = futures[future]
+                for cell, (result, elapsed) in zip(chunk, future.result()):
+                    store.put(
+                        cell, result, fingerprint=fingerprint, elapsed_s=elapsed
+                    )

@@ -1,0 +1,259 @@
+"""Sweep specification: the cells of the paper's evaluation grid.
+
+The evaluation (Figs 20-25) is a grid — benchmarks x sizes x configs x
+device seeds — and every point of it is a :class:`Cell`: one fully
+determined, hashable, picklable unit of work.  A :class:`SweepSpec`
+declares a grid and expands it to cells in a deterministic order, so the
+same spec always produces the same cell sequence (and therefore the same
+store keys and report layout).
+
+Four cell *kinds* cover the paper's figures:
+
+- ``statevector`` — coherent Hamiltonian-level execution (Figs 20-22);
+- ``density`` — adds T1/T2 decoherence channels (Fig. 23);
+- ``exec_time`` — pure scheduling analysis, no simulation (Fig. 24);
+- ``couplings`` — tunable-coupler turn-off counts (Fig. 25).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field, replace
+
+from repro.circuits.library import BENCHMARKS, PAPER_SIZES
+
+#: config name -> (pulse method, scheduler); the canonical table shared by
+#: the experiments harness (``experiments.common`` re-exports it).
+CONFIGS = {
+    "gau+par": ("gaussian", "par"),
+    "optctrl+zzx": ("optctrl", "zzx"),
+    "pert+zzx": ("pert", "zzx"),
+    "pert+par": ("pert", "par"),
+    "gau+zzx": ("gaussian", "zzx"),
+}
+
+KINDS = ("statevector", "density", "exec_time", "couplings")
+
+DEFAULT_SEED = 7
+DEFAULT_BENCHMARKS = ("HS", "QFT", "QPE", "QAOA", "Ising", "GRC")
+DEFAULT_CONFIGS = ("gau+par", "optctrl+zzx", "pert+zzx")
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """A reproducible device: grid shape + crosstalk sampling parameters.
+
+    The paper's evaluation device is the 3x4 grid with crosstalk sampled at
+    200 +/- 50 kHz from seed 7; Fig. 23 substitutes the 2x3 subgrid.
+    """
+
+    rows: int = 3
+    cols: int = 4
+    seed: int = DEFAULT_SEED
+    mean_khz: float = 200.0
+    std_khz: float = 50.0
+
+    @property
+    def num_qubits(self) -> int:
+        return self.rows * self.cols
+
+    @property
+    def label(self) -> str:
+        return f"grid{self.rows}x{self.cols}/s{self.seed}"
+
+    def payload(self) -> dict:
+        return {
+            "rows": self.rows,
+            "cols": self.cols,
+            "seed": self.seed,
+            "mean_khz": self.mean_khz,
+            "std_khz": self.std_khz,
+        }
+
+    @staticmethod
+    def from_payload(data: dict) -> "DeviceSpec":
+        return DeviceSpec(**data)
+
+
+PAPER_DEVICE = DeviceSpec()
+FIG23_DEVICE = DeviceSpec(rows=2, cols=3)
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One fully determined evaluation point of a sweep grid."""
+
+    benchmark: str
+    num_qubits: int
+    config: str
+    kind: str = "statevector"
+    device: DeviceSpec = field(default=PAPER_DEVICE)
+    circuit_seed: int = 0
+    t1_us: float | None = None
+    t2_us: float | None = None
+    #: ZZXConfig overrides as a sorted item tuple (kept hashable).
+    zzx: tuple[tuple[str, object], ...] = ()
+
+    def __post_init__(self):
+        if self.benchmark not in BENCHMARKS:
+            raise ValueError(
+                f"unknown benchmark {self.benchmark!r}; "
+                f"known: {', '.join(sorted(BENCHMARKS))}"
+            )
+        if self.config not in CONFIGS:
+            raise ValueError(
+                f"unknown config {self.config!r}; known: {', '.join(CONFIGS)}"
+            )
+        if self.kind not in KINDS:
+            raise ValueError(f"unknown cell kind {self.kind!r}; known: {KINDS}")
+        if self.kind == "density" and (self.t1_us is None or self.t2_us is None):
+            raise ValueError("density cells need t1_us and t2_us")
+        object.__setattr__(self, "zzx", tuple(sorted(self.zzx)))
+
+    @property
+    def label(self) -> str:
+        return f"{self.benchmark}-{self.num_qubits}"
+
+    @property
+    def method(self) -> str:
+        return CONFIGS[self.config][0]
+
+    @property
+    def scheduler(self) -> str:
+        return CONFIGS[self.config][1]
+
+    def with_config(self, config: str) -> "Cell":
+        return replace(self, config=config)
+
+    def payload(self) -> dict:
+        """Canonical JSON-able form — the content that is hashed and stored."""
+        data = {
+            "benchmark": self.benchmark,
+            "num_qubits": self.num_qubits,
+            "config": self.config,
+            "kind": self.kind,
+            "device": self.device.payload(),
+            "circuit_seed": self.circuit_seed,
+        }
+        if self.t1_us is not None:
+            data["t1_us"] = self.t1_us
+        if self.t2_us is not None:
+            data["t2_us"] = self.t2_us
+        if self.zzx:
+            data["zzx"] = [list(item) for item in self.zzx]
+        return data
+
+    @staticmethod
+    def from_payload(data: dict) -> "Cell":
+        return Cell(
+            benchmark=data["benchmark"],
+            num_qubits=data["num_qubits"],
+            config=data["config"],
+            kind=data.get("kind", "statevector"),
+            device=DeviceSpec.from_payload(data["device"]),
+            circuit_seed=data.get("circuit_seed", 0),
+            t1_us=data.get("t1_us"),
+            t2_us=data.get("t2_us"),
+            zzx=tuple(tuple(item) for item in data.get("zzx", ())),
+        )
+
+
+def cell_key(cell: Cell, fingerprint: str) -> str:
+    """Content hash of a cell + code/data fingerprint — the store key.
+
+    Two cells share a key iff they describe the same computation *and* were
+    produced by the same pulse library / package version, so a store never
+    serves stale results across library changes.
+    """
+    blob = json.dumps(
+        {"cell": cell.payload(), "fingerprint": fingerprint},
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(blob.encode()).hexdigest()[:24]
+
+
+def paper_sizes(benchmark: str, full: bool = False) -> tuple[int, ...]:
+    """The paper's size list for a benchmark; first two in reduced mode."""
+    sizes = PAPER_SIZES[benchmark]
+    return sizes if full else sizes[:2]
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """A declarative evaluation grid, expanded deterministically to cells.
+
+    ``sizes=None`` uses the paper's per-benchmark size lists (truncated to
+    the first two unless ``full``).  Sweeping ``device_seeds`` is how
+    multi-seed robustness studies are declared — each seed is a fresh
+    crosstalk sample on the same topology.
+    """
+
+    name: str = "sweep"
+    benchmarks: tuple[str, ...] = DEFAULT_BENCHMARKS
+    configs: tuple[str, ...] = DEFAULT_CONFIGS
+    sizes: tuple[int, ...] | None = None
+    full: bool = False
+    kind: str = "statevector"
+    device: DeviceSpec = field(default=PAPER_DEVICE)
+    device_seeds: tuple[int, ...] = (DEFAULT_SEED,)
+    circuit_seeds: tuple[int, ...] = (0,)
+    t1_values_us: tuple[float, ...] = ()
+
+    def __post_init__(self):
+        if self.kind not in KINDS:
+            raise ValueError(f"unknown cell kind {self.kind!r}; known: {KINDS}")
+        if self.kind == "density" and not self.t1_values_us:
+            raise ValueError("density sweeps need t1_values_us (CLI: --t1)")
+        if self.kind != "density" and self.t1_values_us:
+            raise ValueError(
+                f"t1_values_us only applies to density sweeps, not {self.kind!r} "
+                "(it would multiply the grid with identical cells)"
+            )
+        unknown = [b for b in self.benchmarks if b not in BENCHMARKS]
+        if unknown:
+            raise ValueError(
+                f"unknown benchmark(s) {', '.join(unknown)}; "
+                f"known: {', '.join(sorted(BENCHMARKS))}"
+            )
+        unknown = [c for c in self.configs if c not in CONFIGS]
+        if unknown:
+            raise ValueError(
+                f"unknown config(s) {', '.join(unknown)}; "
+                f"known: {', '.join(CONFIGS)}"
+            )
+
+    def sizes_for(self, benchmark: str) -> tuple[int, ...]:
+        sizes = self.sizes if self.sizes is not None else paper_sizes(benchmark, self.full)
+        return tuple(s for s in sizes if s <= self.device.num_qubits)
+
+    def cells(self) -> tuple[Cell, ...]:
+        """Expand the grid in a fixed, documented order.
+
+        Order: benchmark -> size -> device seed -> circuit seed -> T1 ->
+        config.  Keeping config innermost groups the per-point configs
+        adjacently, which is what the pivoted reports consume.
+        """
+        t1_axis: tuple[float | None, ...] = self.t1_values_us or (None,)
+        out: list[Cell] = []
+        for benchmark in self.benchmarks:
+            for size in self.sizes_for(benchmark):
+                for dev_seed in self.device_seeds:
+                    device = replace(self.device, seed=dev_seed)
+                    for circ_seed in self.circuit_seeds:
+                        for t1 in t1_axis:
+                            for config in self.configs:
+                                out.append(
+                                    Cell(
+                                        benchmark=benchmark,
+                                        num_qubits=size,
+                                        config=config,
+                                        kind=self.kind,
+                                        device=device,
+                                        circuit_seed=circ_seed,
+                                        t1_us=t1,
+                                        t2_us=t1,
+                                    )
+                                )
+        return tuple(out)

@@ -1,0 +1,120 @@
+"""Persistent, resumable result store for campaign cells.
+
+The store is a JSONL file: one record per line, appended and flushed as
+each cell (or chunk of cells) completes, so a killed sweep loses at most
+the in-flight work.  Records are keyed by :func:`~repro.campaigns.spec.cell_key`
+— a content hash of the cell plus the library/device fingerprint — which
+makes re-running a campaign skip every completed cell and makes the file
+safe to share between sweeps whose grids overlap.
+
+A truncated trailing line (the signature of a kill mid-append) is
+tolerated on load; duplicate keys resolve to the last record written.
+``ResultStore(None)`` is a process-local in-memory store with the same
+interface, used when no ``--store`` is given.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from repro.campaigns.spec import Cell, cell_key
+
+
+class ResultStore:
+    """Append-only JSONL store mapping cell keys to result records."""
+
+    def __init__(self, path: str | Path | None):
+        self.path = Path(path) if path is not None else None
+        self._records: dict[str, dict] = {}
+        self._loaded = self.path is None
+        self.skipped_lines = 0
+
+    # -- loading ---------------------------------------------------------
+
+    def load(self) -> "ResultStore":
+        """(Re-)read the JSONL file, skipping malformed lines."""
+        self._records = {}
+        self.skipped_lines = 0
+        self._loaded = True
+        if self.path is None or not self.path.exists():
+            return self
+        with open(self.path) as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                    key = record["key"]
+                except (json.JSONDecodeError, KeyError, TypeError):
+                    self.skipped_lines += 1
+                    continue
+                self._records[key] = record
+        return self
+
+    def _ensure_loaded(self) -> None:
+        if not self._loaded:
+            self.load()
+
+    # -- queries ---------------------------------------------------------
+
+    def __len__(self) -> int:
+        self._ensure_loaded()
+        return len(self._records)
+
+    def __contains__(self, key: str) -> bool:
+        self._ensure_loaded()
+        return key in self._records
+
+    def get(self, key: str) -> dict | None:
+        self._ensure_loaded()
+        return self._records.get(key)
+
+    def records(self) -> list[dict]:
+        self._ensure_loaded()
+        return list(self._records.values())
+
+    def result_for(self, cell: Cell, fingerprint: str) -> dict | None:
+        record = self.get(cell_key(cell, fingerprint))
+        return None if record is None else record["result"]
+
+    def pending(self, cells, fingerprint: str) -> list[Cell]:
+        """The sub-list of ``cells`` without a stored result."""
+        self._ensure_loaded()
+        return [c for c in cells if cell_key(c, fingerprint) not in self._records]
+
+    # -- writes ----------------------------------------------------------
+
+    def put(
+        self,
+        cell: Cell,
+        result: dict,
+        *,
+        fingerprint: str,
+        elapsed_s: float | None = None,
+    ) -> dict:
+        record = {
+            "key": cell_key(cell, fingerprint),
+            "fingerprint": fingerprint,
+            "cell": cell.payload(),
+            "result": result,
+            "elapsed_s": elapsed_s,
+            "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        }
+        self.put_record(record)
+        return record
+
+    def put_record(self, record: dict) -> None:
+        self._ensure_loaded()
+        self._records[record["key"]] = record
+        if self.path is not None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            with open(self.path, "a") as fh:
+                fh.write(json.dumps(record, sort_keys=True) + "\n")
+                fh.flush()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        where = str(self.path) if self.path else "<memory>"
+        return f"ResultStore({where}, {len(self)} records)"

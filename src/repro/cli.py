@@ -1,6 +1,17 @@
-"""Command-line entry point: ``python -m repro <experiment-id>``.
+"""Command-line entry point: ``python -m repro <command>``.
 
-Runs one (or all) of the paper's experiments and prints its table.
+Subcommands:
+
+- ``run [ids|all]`` — reproduce paper experiments (the historical default;
+  a bare ``python -m repro fig20`` still works);
+- ``sweep`` — execute a declarative campaign grid, resumably, across
+  worker processes;
+- ``report`` — re-render a stored sweep without computing anything;
+- ``list`` — list experiments, or summarize a result store.
+
+Campaign options (``--workers``, ``--store``, ``--seeds``, ``--full``) are
+shared by ``run`` and ``sweep``; ``--full`` replaces the deprecated
+``REPRO_FULL=1`` environment toggle.
 """
 
 from __future__ import annotations
@@ -11,40 +22,268 @@ import time
 
 from repro.experiments.registry import EXPERIMENTS, run_experiment
 
+SUBCOMMANDS = ("run", "sweep", "report", "list")
 
-def main(argv: list[str] | None = None) -> int:
+#: Grid axes shared by ``sweep`` and ``report`` (must build identical specs).
+def _add_grid_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--benchmarks",
+        default="HS,QFT,QPE,QAOA,Ising,GRC",
+        help="comma-separated benchmark names",
+    )
+    parser.add_argument(
+        "--configs",
+        default="gau+par,optctrl+zzx,pert+zzx",
+        help="comma-separated config names (pulse+scheduler)",
+    )
+    parser.add_argument(
+        "--sizes",
+        default=None,
+        help="comma-separated qubit counts (default: the paper's per-benchmark lists)",
+    )
+    parser.add_argument(
+        "--kind",
+        default="statevector",
+        choices=("statevector", "density", "exec_time", "couplings"),
+        help="cell kind (density needs --t1)",
+    )
+    parser.add_argument(
+        "--t1",
+        default=None,
+        help="comma-separated T1=T2 values in us (density sweeps)",
+    )
+    parser.add_argument(
+        "--grid",
+        default="3x4",
+        help="device grid shape ROWSxCOLS (default 3x4)",
+    )
+    parser.add_argument(
+        "--name", default="sweep", help="sweep name used as the table id"
+    )
+    _add_campaign_arguments(parser)
+
+
+def _add_campaign_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes (1 = exact serial path)",
+    )
+    parser.add_argument(
+        "--store",
+        default=None,
+        metavar="PATH",
+        help="JSONL result store; completed cells are skipped on re-runs",
+    )
+    parser.add_argument(
+        "--seeds",
+        default=None,
+        help="comma-separated device crosstalk seeds (default: the paper's 7)",
+    )
+    parser.add_argument(
+        "--full",
+        action="store_true",
+        default=None,
+        help="run the paper's complete 4-12 qubit sweep "
+        "(replaces the deprecated REPRO_FULL=1 env var)",
+    )
+
+
+def _csv(text: str | None, convert=str) -> tuple | None:
+    if text is None:
+        return None
+    return tuple(convert(part.strip()) for part in text.split(",") if part.strip())
+
+
+def _build_spec(args):
+    from repro.campaigns.spec import DeviceSpec, SweepSpec
+
+    rows, sep, cols = args.grid.lower().partition("x")
+    if not sep or not rows.isdigit() or not cols.isdigit():
+        raise ValueError(f"--grid expects ROWSxCOLS (e.g. 3x4), got {args.grid!r}")
+    device = DeviceSpec(rows=int(rows), cols=int(cols))
+    return SweepSpec(
+        name=args.name,
+        benchmarks=_csv(args.benchmarks),
+        configs=_csv(args.configs),
+        sizes=_csv(args.sizes, int),
+        full=bool(args.full),
+        kind=args.kind,
+        device=device,
+        device_seeds=_csv(args.seeds, int) or (device.seed,),
+        t1_values_us=_csv(args.t1, float) or (),
+    )
+
+
+def _cmd_run(args) -> int:
+    targets = (
+        sorted(EXPERIMENTS)
+        if "all" in args.experiments
+        else list(args.experiments)
+    )
+    unknown = [t for t in targets if t not in EXPERIMENTS]
+    if unknown:
+        print(
+            f"unknown experiment(s): {', '.join(unknown)}", file=sys.stderr
+        )
+        print(
+            f"known experiments: {', '.join(sorted(EXPERIMENTS))}",
+            file=sys.stderr,
+        )
+        return 2
+    for target in targets:
+        start = time.perf_counter()
+        result = run_experiment(
+            target,
+            full=args.full,
+            seeds=_csv(args.seeds, int),
+            store=args.store,
+            # Only forward an explicit parallelism request, so experiments
+            # without campaign options don't warn about the default.
+            workers=args.workers if args.workers != 1 else None,
+        )
+        elapsed = time.perf_counter() - start
+        print(result.render())
+        print(f"[{target} took {elapsed:.1f}s]\n")
+    return 0
+
+
+def _checked_spec(args):
+    """Build the sweep spec or fail with the CLI's exit-2 convention."""
+    try:
+        spec = _build_spec(args)
+    except ValueError as exc:
+        print(f"invalid sweep: {exc}", file=sys.stderr)
+        return None
+    if not spec.cells():
+        if not spec.benchmarks or not spec.configs:
+            reason = "--benchmarks or --configs is empty"
+        else:
+            reason = (
+                f"every requested size exceeds the "
+                f"{spec.device.num_qubits}-qubit "
+                f"{spec.device.rows}x{spec.device.cols} device"
+            )
+        print(
+            f"invalid sweep: grid expands to 0 cells — {reason}",
+            file=sys.stderr,
+        )
+        return None
+    if spec.sizes is not None:
+        dropped = sorted(s for s in spec.sizes if s > spec.device.num_qubits)
+        if dropped:
+            print(
+                f"note: size(s) {', '.join(map(str, dropped))} exceed the "
+                f"{spec.device.num_qubits}-qubit device — dropped",
+                file=sys.stderr,
+            )
+    return spec
+
+
+def _cmd_sweep(args) -> int:
+    from repro.campaigns.report import as_store, sweep_table
+    from repro.campaigns.runner import run_campaign
+
+    spec = _checked_spec(args)
+    if spec is None:
+        return 2
+    campaign = run_campaign(
+        spec, as_store(args.store), workers=args.workers
+    )
+    print(sweep_table(spec, campaign).render())
+    print(f"[{campaign.summary}]")
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from repro.campaigns.report import report_from_store
+
+    spec = _checked_spec(args)
+    if spec is None:
+        return 2
+    result, missing = report_from_store(spec, args.store)
+    print(result.render())
+    if missing:
+        print(
+            f"[{len(missing)} cells missing — re-run "
+            f"'repro sweep ... --store {args.store}' to fill them]"
+        )
+    return 0
+
+
+def _cmd_list(args) -> int:
+    if getattr(args, "store", None):
+        from repro.campaigns.report import store_summary
+
+        print(store_summary(args.store).render())
+        return 0
+    for key in sorted(EXPERIMENTS):
+        print(key)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
-        prog="repro-experiment",
+        prog="repro",
         description=(
             "Reproduce tables/figures from 'Suppressing ZZ Crosstalk of "
             "Quantum Computers through Pulse and Scheduling Co-Optimization' "
             "(ASPLOS 2022)."
         ),
     )
-    parser.add_argument(
-        "experiment",
-        nargs="?",
-        default=None,
-        help=f"experiment id ({', '.join(sorted(EXPERIMENTS))} or 'all')",
-    )
-    parser.add_argument(
-        "--list", action="store_true", help="list available experiments"
-    )
-    args = parser.parse_args(argv)
+    sub = parser.add_subparsers(dest="command")
 
-    if args.list or args.experiment is None:
+    run_parser = sub.add_parser(
+        "run", help="run paper experiments and print their tables"
+    )
+    run_parser.add_argument(
+        "experiments",
+        nargs="+",
+        help=f"experiment ids ({', '.join(sorted(EXPERIMENTS))} or 'all')",
+    )
+    _add_campaign_arguments(run_parser)
+    run_parser.set_defaults(func=_cmd_run)
+
+    sweep_parser = sub.add_parser(
+        "sweep", help="execute a campaign grid (resumable with --store)"
+    )
+    _add_grid_arguments(sweep_parser)
+    sweep_parser.set_defaults(func=_cmd_sweep)
+
+    report_parser = sub.add_parser(
+        "report", help="aggregate a stored sweep without recomputing"
+    )
+    _add_grid_arguments(report_parser)
+    report_parser.set_defaults(func=_cmd_report)
+
+    list_parser = sub.add_parser(
+        "list", help="list experiments (or a store's contents with --store)"
+    )
+    list_parser.add_argument("--store", default=None, metavar="PATH")
+    list_parser.set_defaults(func=_cmd_list)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if not argv or argv == ["--list"]:
+        # Historical behavior: bare invocation lists the experiments.
         for key in sorted(EXPERIMENTS):
             print(key)
         return 0
-
-    targets = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
-    for target in targets:
-        start = time.perf_counter()
-        result = run_experiment(target)
-        elapsed = time.perf_counter() - start
-        print(result.render())
-        print(f"[{target} took {elapsed:.1f}s]\n")
-    return 0
+    if argv[0] not in SUBCOMMANDS and not argv[0].startswith("-"):
+        # Legacy form: ``python -m repro fig20 [fig21 ...]``.
+        argv = ["run", *argv]
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if getattr(args, "command", None) is None:
+        parser.print_help()
+        return 0
+    if args.command == "report" and not args.store:
+        print("report requires --store PATH", file=sys.stderr)
+        return 2
+    return args.func(args)
 
 
 if __name__ == "__main__":

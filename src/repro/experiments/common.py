@@ -4,59 +4,101 @@ A *config* pairs a pulse method with a scheduler, e.g. the paper's baseline
 ``gau+par`` (Gaussian pulses, parallelism-maximizing scheduling) and our
 ``pert+zzx``.  The harness compiles each benchmark once per device, schedules
 it under each config and simulates at the Hamiltonian level.
+
+The grid-shaped experiments (Figs 20-25) express their evaluation points as
+:class:`repro.campaigns.spec.Cell` objects and execute them through the
+campaign runner, which adds store-backed resume and multi-process dispatch;
+``run_config`` remains the direct single-cell path for interactive use.
 """
 
 from __future__ import annotations
 
 import os
+import warnings
 from dataclasses import dataclass
-from functools import lru_cache
 
 import numpy as np
 
+from repro.campaigns.runner import (
+    cached_device,
+    cached_library,
+    schedule_for_cell,
+)
+from repro.campaigns.spec import (
+    CONFIGS,
+    DEFAULT_SEED,
+    PAPER_DEVICE,
+    Cell,
+    DeviceSpec,
+    paper_sizes,
+)
 from repro.circuits.compile import CompiledCircuit, compile_circuit
-from repro.circuits.library import BENCHMARKS, PAPER_SIZES
-from repro.device.device import Device, make_device
-from repro.device.presets import grid
-from repro.pulses.library import PulseLibrary, build_library
+from repro.circuits.library import BENCHMARKS
+from repro.device.device import Device
 from repro.runtime.executor import ExecutionResult, execute_density, execute_statevector
 from repro.scheduling.layer import Schedule
-from repro.scheduling.parsched import par_schedule
-from repro.scheduling.zzxsched import ZZXConfig, zzx_schedule
 from repro.sim.density import DecoherenceModel
 
-#: config name -> (pulse method, scheduler)
-CONFIGS = {
-    "gau+par": ("gaussian", "par"),
-    "optctrl+zzx": ("optctrl", "zzx"),
-    "pert+zzx": ("pert", "zzx"),
-    "pert+par": ("pert", "par"),
-    "gau+zzx": ("gaussian", "zzx"),
-}
-
-DEFAULT_SEED = 7
+__all__ = [
+    "CONFIGS",
+    "DEFAULT_SEED",
+    "BenchmarkCase",
+    "benchmark_sizes",
+    "default_cases",
+    "fidelity_grid",
+    "full_mode",
+    "geometric_mean",
+    "grid_cell",
+    "improvement",
+    "library",
+    "paper_device",
+    "resolve_full",
+    "run_config",
+    "schedule_for",
+]
 
 
 def full_mode() -> bool:
-    """True when REPRO_FULL=1: run the paper's complete 4-12 qubit sweep."""
+    """Deprecated: the ``REPRO_FULL=1`` env toggle for the full 4-12 sweep.
+
+    Prefer the explicit ``full=`` parameter (CLI: ``--full``); the env var
+    is only consulted when no explicit choice was made.
+    """
     return os.environ.get("REPRO_FULL", "0") == "1"
 
 
-def benchmark_sizes(name: str) -> tuple[int, ...]:
+def resolve_full(full: bool | None) -> bool:
+    """Explicit ``full`` flag, falling back to the deprecated env var."""
+    if full is not None:
+        return full
+    if full_mode():
+        # FutureWarning so the note survives Python's default filters,
+        # which hide DeprecationWarning outside __main__.
+        warnings.warn(
+            "REPRO_FULL=1 is deprecated; pass full=True (CLI: --full) instead",
+            FutureWarning,
+            stacklevel=3,
+        )
+        return True
+    return False
+
+
+def benchmark_sizes(name: str, full: bool | None = None) -> tuple[int, ...]:
     """Sizes to evaluate: the paper's list, or its first two in fast mode."""
-    sizes = PAPER_SIZES[name]
-    return sizes if full_mode() else sizes[:2]
+    return paper_sizes(name, resolve_full(full))
 
 
-@lru_cache(maxsize=None)
 def paper_device(seed: int = DEFAULT_SEED) -> Device:
-    """The paper's evaluation device: a 3x4 grid with sampled crosstalk."""
-    return make_device(grid(3, 4), seed=seed)
+    """The paper's evaluation device: a 3x4 grid with sampled crosstalk.
+
+    Delegates to the campaign runner's warm cache so the interactive path
+    and campaign workers share one device instance per process.
+    """
+    return cached_device(DeviceSpec(seed=seed))
 
 
-@lru_cache(maxsize=8)
-def library(method: str) -> PulseLibrary:
-    return build_library(method)
+#: Per-method pulse libraries, shared with the campaign runner's cache.
+library = cached_library
 
 
 @dataclass(frozen=True)
@@ -78,28 +120,54 @@ class BenchmarkCase:
 
 def default_cases(
     benchmarks: tuple[str, ...] = ("HS", "QFT", "QPE", "QAOA", "Ising", "GRC"),
+    full: bool | None = None,
 ) -> list[BenchmarkCase]:
-    """The Fig. 20 case grid (reduced sizes unless REPRO_FULL=1)."""
+    """The Fig. 20 case grid (reduced sizes unless ``full``)."""
     cases = []
     for name in benchmarks:
-        for size in benchmark_sizes(name):
+        for size in benchmark_sizes(name, full):
             cases.append(BenchmarkCase(name, size))
     return cases
 
 
-@lru_cache(maxsize=None)
-def _compiled(case: BenchmarkCase) -> CompiledCircuit:
-    return case.build()
+def grid_cell(
+    case: BenchmarkCase,
+    config: str,
+    *,
+    kind: str = "statevector",
+    device_seed: int = DEFAULT_SEED,
+    device: DeviceSpec | None = None,
+    t1_us: float | None = None,
+    t2_us: float | None = None,
+) -> Cell:
+    """The campaign cell for one (case, config) point on the paper device."""
+    if device is None:
+        device = DeviceSpec(
+            rows=PAPER_DEVICE.rows, cols=PAPER_DEVICE.cols, seed=device_seed
+        )
+    return Cell(
+        benchmark=case.name,
+        num_qubits=case.num_qubits,
+        config=config,
+        kind=kind,
+        device=device,
+        circuit_seed=case.seed,
+        t1_us=t1_us,
+        t2_us=t2_us,
+    )
 
 
 def schedule_for(case: BenchmarkCase, scheduler: str) -> Schedule:
-    compiled = _compiled(case)
-    device = paper_device()
+    """Schedule a case on the paper device through the shared runner cache."""
     if scheduler == "par":
-        return par_schedule(compiled.circuit)
-    if scheduler == "zzx":
-        return zzx_schedule(compiled.circuit, device.topology)
-    raise ValueError(f"unknown scheduler {scheduler!r}")
+        config = "gau+par"
+    elif scheduler == "zzx":
+        config = "pert+zzx"
+    else:
+        raise ValueError(f"unknown scheduler {scheduler!r}")
+    # Schedules depend only on the circuit + topology, not the pulse
+    # method, so any config with the right scheduler names the same cell.
+    return schedule_for_cell(grid_cell(case, config))
 
 
 def run_config(
@@ -115,6 +183,47 @@ def run_config(
     if decoherence is None:
         return execute_statevector(schedule, device, lib)
     return execute_density(schedule, device, lib, decoherence)
+
+
+def fidelity_grid(
+    cases: list[BenchmarkCase],
+    configs: tuple[str, ...],
+    seeds: tuple[int, ...],
+    *,
+    store=None,
+    workers: int = 1,
+) -> list[tuple[int, BenchmarkCase, dict[str, float]]]:
+    """Run the (seed x case x config) statevector grid through a campaign.
+
+    Shared by the Fig. 20-22 fidelity tables: returns one
+    ``(seed, case, {config: fidelity})`` triple per grid point, in
+    deterministic seed-major order.
+    """
+    # Imported here: report pulls in ExperimentResult, which would cycle
+    # back into this module during ``import repro.campaigns``.
+    from repro.campaigns.report import campaign_results
+
+    cells = [
+        grid_cell(case, config, device_seed=seed)
+        for seed in seeds
+        for case in cases
+        for config in configs
+    ]
+    campaign = campaign_results(cells, store=store, workers=workers)
+    return [
+        (
+            seed,
+            case,
+            {
+                config: campaign[grid_cell(case, config, device_seed=seed)][
+                    "fidelity"
+                ]
+                for config in configs
+            },
+        )
+        for seed in seeds
+        for case in cases
+    ]
 
 
 def improvement(ours: float, baseline: float) -> float:

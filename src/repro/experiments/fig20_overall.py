@@ -4,38 +4,48 @@ Benchmarks x {Gau+ParSched, OptCtrl+ZZXSched, Pert+ZZXSched} on the 3x4
 grid.  Expected shape: our configs reach >0.9 fidelity on most benchmarks;
 improvement over the baseline grows with qubit count, up to ~2 orders of
 magnitude; OptCtrl and Pert behave similarly (pulse-insensitivity claim).
+
+The grid executes through the campaign runner: pass ``store=`` to make the
+run resumable, ``workers=`` to parallelize, and ``seeds=`` to sweep device
+crosstalk samples (a robustness axis the paper evaluates only once).
 """
 
 from __future__ import annotations
 
 from repro.experiments.common import (
+    DEFAULT_SEED,
     BenchmarkCase,
     default_cases,
+    fidelity_grid,
     improvement,
-    run_config,
 )
 from repro.experiments.result import ExperimentResult
 
 CONFIG_ORDER = ("gau+par", "optctrl+zzx", "pert+zzx")
 
 
-def run(cases: list[BenchmarkCase] | None = None) -> ExperimentResult:
+def run(
+    cases: list[BenchmarkCase] | None = None,
+    *,
+    full: bool | None = None,
+    seeds: tuple[int, ...] | None = None,
+    store=None,
+    workers: int = 1,
+) -> ExperimentResult:
     result = ExperimentResult(
         "fig20",
         "Overall fidelity improvements under ZZ crosstalk",
         notes="improvement = F(pert+zzx) / F(gau+par)",
     )
-    cases = cases if cases is not None else default_cases()
-    for case in cases:
-        fidelities: dict[str, float] = {}
-        times: dict[str, float] = {}
-        for config in CONFIG_ORDER:
-            out = run_config(case, config)
-            fidelities[config] = out.fidelity
-            times[config] = out.execution_time_ns
-        result.rows.append(
+    cases = cases if cases is not None else default_cases(full=full)
+    seeds = tuple(seeds) if seeds else (DEFAULT_SEED,)
+    grid = fidelity_grid(cases, CONFIG_ORDER, seeds, store=store, workers=workers)
+    for seed, case, fidelities in grid:
+        row: dict = {"benchmark": case.label}
+        if len(seeds) > 1:
+            row["seed"] = seed
+        row.update(
             {
-                "benchmark": case.label,
                 "gau+par": fidelities["gau+par"],
                 "optctrl+zzx": fidelities["optctrl+zzx"],
                 "pert+zzx": fidelities["pert+zzx"],
@@ -44,6 +54,7 @@ def run(cases: list[BenchmarkCase] | None = None) -> ExperimentResult:
                 ),
             }
         )
+        result.rows.append(row)
     return result
 
 

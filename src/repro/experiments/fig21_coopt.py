@@ -7,21 +7,36 @@ every benchmark (synergy claim).
 
 from __future__ import annotations
 
-from repro.experiments.common import BenchmarkCase, default_cases, run_config
+from repro.experiments.common import (
+    DEFAULT_SEED,
+    BenchmarkCase,
+    default_cases,
+    fidelity_grid,
+)
 from repro.experiments.result import ExperimentResult
 
 CONFIG_ORDER = ("pert+par", "gau+zzx", "pert+zzx")
 
 
-def run(cases: list[BenchmarkCase] | None = None) -> ExperimentResult:
+def run(
+    cases: list[BenchmarkCase] | None = None,
+    *,
+    full: bool | None = None,
+    seeds: tuple[int, ...] | None = None,
+    store=None,
+    workers: int = 1,
+) -> ExperimentResult:
     result = ExperimentResult(
         "fig21",
         "Pulse-only and scheduling-only vs co-optimization",
     )
-    cases = cases if cases is not None else default_cases()
-    for case in cases:
+    cases = cases if cases is not None else default_cases(full=full)
+    seeds = tuple(seeds) if seeds else (DEFAULT_SEED,)
+    grid = fidelity_grid(cases, CONFIG_ORDER, seeds, store=store, workers=workers)
+    for seed, case, fidelities in grid:
         row: dict = {"benchmark": case.label}
-        for config in CONFIG_ORDER:
-            row[config] = run_config(case, config).fidelity
+        if len(seeds) > 1:
+            row["seed"] = seed
+        row.update(fidelities)
         result.rows.append(row)
     return result

@@ -11,37 +11,49 @@ from __future__ import annotations
 import numpy as np
 
 from repro.experiments.common import (
+    DEFAULT_SEED,
     BenchmarkCase,
     default_cases,
+    fidelity_grid,
     improvement,
-    run_config,
 )
 from repro.experiments.result import ExperimentResult
 
+CONFIG_ORDER = ("gau+par", "pert+par", "pert+zzx")
 
-def run(cases: list[BenchmarkCase] | None = None) -> ExperimentResult:
+
+def run(
+    cases: list[BenchmarkCase] | None = None,
+    *,
+    full: bool | None = None,
+    seeds: tuple[int, ...] | None = None,
+    store=None,
+    workers: int = 1,
+) -> ExperimentResult:
     result = ExperimentResult(
         "fig22",
         "Contribution of pulse optimization vs scheduling",
     )
-    cases = cases if cases is not None else default_cases()
-    for case in cases:
-        base = run_config(case, "gau+par").fidelity
-        pulses_only = run_config(case, "pert+par").fidelity
-        full = run_config(case, "pert+zzx").fidelity
-        imp_pulse = improvement(pulses_only, base)
-        imp_full = improvement(full, base)
+    cases = cases if cases is not None else default_cases(full=full)
+    seeds = tuple(seeds) if seeds else (DEFAULT_SEED,)
+    grid = fidelity_grid(cases, CONFIG_ORDER, seeds, store=store, workers=workers)
+    for seed, case, fid in grid:
+        imp_pulse = improvement(fid["pert+par"], fid["gau+par"])
+        imp_full = improvement(fid["pert+zzx"], fid["gau+par"])
         # Ratio of log-improvements so contributions sum to 100%.
         log_pulse = max(np.log(max(imp_pulse, 1.0)), 0.0)
         log_full = max(np.log(max(imp_full, 1.0)), 1e-9)
         share = float(min(log_pulse / log_full, 1.0))
-        result.rows.append(
+        row: dict = {"benchmark": case.label}
+        if len(seeds) > 1:
+            row["seed"] = seed
+        row.update(
             {
-                "benchmark": case.label,
                 "pulse_contribution_pct": 100.0 * share,
                 "scheduling_contribution_pct": 100.0 * (1.0 - share),
             }
         )
+        result.rows.append(row)
     return result
 
 

@@ -12,68 +12,77 @@ stability of the improvement across T1/T2 — is unaffected.
 
 from __future__ import annotations
 
-from functools import lru_cache
+from dataclasses import replace
 
-from repro.circuits.compile import compile_circuit
-from repro.circuits.library import BENCHMARKS
-from repro.device.device import make_device
-from repro.device.presets import grid
-from repro.experiments.common import CONFIGS, improvement, library
+from repro.campaigns.report import campaign_results
+from repro.campaigns.spec import FIG23_DEVICE, Cell
+from repro.experiments.common import (
+    DEFAULT_SEED,
+    BenchmarkCase,
+    grid_cell,
+    improvement,
+)
 from repro.experiments.result import ExperimentResult
-from repro.runtime.executor import execute_density
-from repro.scheduling.parsched import par_schedule
-from repro.scheduling.zzxsched import zzx_schedule
-from repro.sim.density import DecoherenceModel
-from repro.units import US
 
 T1_VALUES_US = (100.0, 200.0, 500.0, 1000.0)
 DEFAULT_BENCHMARKS = ("HS", "QFT", "QPE", "QAOA", "Ising", "GRC")
 CONFIG_ORDER = ("gau+par", "optctrl+zzx", "pert+zzx")
 
 
-@lru_cache(maxsize=1)
-def _device():
-    return make_device(grid(2, 3), seed=7)
+def _cell(name: str, t1_us: float, config: str, seed: int) -> Cell:
+    return grid_cell(
+        BenchmarkCase(name, 6),
+        config,
+        kind="density",
+        device=replace(FIG23_DEVICE, seed=seed),
+        t1_us=t1_us,
+        t2_us=t1_us,
+    )
 
 
-@lru_cache(maxsize=None)
-def _schedules(name: str):
-    device = _device()
-    compiled = compile_circuit(BENCHMARKS[name](6), device.topology)
-    return {
-        "par": par_schedule(compiled.circuit),
-        "zzx": zzx_schedule(compiled.circuit, device.topology),
-    }
-
-
-def run(benchmarks=DEFAULT_BENCHMARKS, t1_values_us=T1_VALUES_US) -> ExperimentResult:
+def run(
+    benchmarks=DEFAULT_BENCHMARKS,
+    t1_values_us=T1_VALUES_US,
+    *,
+    seeds: tuple[int, ...] | None = None,
+    store=None,
+    workers: int = 1,
+) -> ExperimentResult:
     result = ExperimentResult(
         "fig23",
         "6-qubit benchmarks under ZZ crosstalk and decoherence (T1 = T2)",
         notes="density-matrix backend on the 2x3 subgrid (see DESIGN.md)",
     )
-    device = _device()
-    for name in benchmarks:
-        schedules = _schedules(name)
-        for t1_us in t1_values_us:
-            deco = DecoherenceModel(t1_ns=t1_us * US, t2_ns=t1_us * US)
-            fidelities: dict[str, float] = {}
-            for config in CONFIG_ORDER:
-                method, scheduler = CONFIGS[config]
-                out = execute_density(
-                    schedules[scheduler], device, library(method), deco
-                )
-                fidelities[config] = out.fidelity
-            result.rows.append(
-                {
-                    "benchmark": f"{name}-6",
-                    "t1_t2_us": t1_us,
-                    "gau+par": fidelities["gau+par"],
-                    "optctrl+zzx": fidelities["optctrl+zzx"],
-                    "pert+zzx": fidelities["pert+zzx"],
-                    "improvement": improvement(
-                        fidelities["pert+zzx"], fidelities["gau+par"]
-                    ),
+    seeds = tuple(seeds) if seeds else (DEFAULT_SEED,)
+    cells = [
+        _cell(name, t1_us, config, seed)
+        for seed in seeds
+        for name in benchmarks
+        for t1_us in t1_values_us
+        for config in CONFIG_ORDER
+    ]
+    campaign = campaign_results(cells, store=store, workers=workers)
+    for seed in seeds:
+        for name in benchmarks:
+            for t1_us in t1_values_us:
+                fidelities = {
+                    config: campaign[_cell(name, t1_us, config, seed)][
+                        "fidelity"
+                    ]
+                    for config in CONFIG_ORDER
                 }
-            )
+                row: dict = {"benchmark": f"{name}-6", "t1_t2_us": t1_us}
+                if len(seeds) > 1:
+                    row["seed"] = seed
+                row.update(
+                    {
+                        "gau+par": fidelities["gau+par"],
+                        "optctrl+zzx": fidelities["optctrl+zzx"],
+                        "pert+zzx": fidelities["pert+zzx"],
+                        "improvement": improvement(
+                            fidelities["pert+zzx"], fidelities["gau+par"]
+                        ),
+                    }
+                )
+                result.rows.append(row)
     return result

@@ -8,26 +8,39 @@ notes ("results are irrelevant of pulses used").
 
 from __future__ import annotations
 
-from repro.experiments.common import (
-    BenchmarkCase,
-    default_cases,
-    library,
-    schedule_for,
-)
+from repro.campaigns.report import campaign_results
+from repro.experiments.common import BenchmarkCase, default_cases, grid_cell
 from repro.experiments.result import ExperimentResult
-from repro.scheduling.analysis import execution_time
+
+# Uniform 20 ns pulses, as in the paper's plot; only the scheduler differs.
+CONFIG_ORDER = ("pert+par", "pert+zzx")
 
 
-def run(cases: list[BenchmarkCase] | None = None) -> ExperimentResult:
+def run(
+    cases: list[BenchmarkCase] | None = None,
+    *,
+    full: bool | None = None,
+    store=None,
+    workers: int = 1,
+) -> ExperimentResult:
     result = ExperimentResult(
         "fig24",
         "Relative execution time (ZZXSched / ParSched)",
     )
-    cases = cases if cases is not None else default_cases()
-    lib = library("pert")  # uniform 20 ns pulses, as in the paper's plot
+    cases = cases if cases is not None else default_cases(full=full)
+    cells = [
+        grid_cell(case, config, kind="exec_time")
+        for case in cases
+        for config in CONFIG_ORDER
+    ]
+    campaign = campaign_results(cells, store=store, workers=workers)
     for case in cases:
-        par_time = execution_time(schedule_for(case, "par"), lib)
-        zzx_time = execution_time(schedule_for(case, "zzx"), lib)
+        par_time = campaign[grid_cell(case, "pert+par", kind="exec_time")][
+            "execution_time_ns"
+        ]
+        zzx_time = campaign[grid_cell(case, "pert+zzx", kind="exec_time")][
+            "execution_time_ns"
+        ]
         result.rows.append(
             {
                 "benchmark": case.label,

@@ -9,36 +9,49 @@ includes the QV benchmarks.
 
 from __future__ import annotations
 
-from repro.experiments.common import BenchmarkCase, benchmark_sizes, schedule_for
-from repro.experiments.common import paper_device
+from repro.campaigns.report import campaign_results
+from repro.experiments.common import BenchmarkCase, benchmark_sizes, grid_cell
 from repro.experiments.result import ExperimentResult
-from repro.scheduling.analysis import couplings_to_turn_off
 
 DEFAULT_BENCHMARKS = ("HS", "QFT", "QPE", "QAOA", "Ising", "QV", "GRC")
 
+# The couplings metric depends on the scheduler only; the baseline column
+# models Gau+ParSched's turn-everything-off policy.
+CONFIG_ORDER = ("gau+par", "pert+zzx")
 
-def run(benchmarks=DEFAULT_BENCHMARKS) -> ExperimentResult:
+
+def run(
+    benchmarks=DEFAULT_BENCHMARKS,
+    *,
+    full: bool | None = None,
+    store=None,
+    workers: int = 1,
+) -> ExperimentResult:
     result = ExperimentResult(
         "fig25",
         "#Couplings to turn off per layer (tunable couplers)",
         notes="mean over layers; improvement = baseline / ours",
     )
-    topology = paper_device().topology
-    for name in benchmarks:
-        for size in benchmark_sizes(name):
-            case = BenchmarkCase(name, size)
-            baseline = couplings_to_turn_off(
-                schedule_for(case, "par"), topology, baseline=True
-            )
-            ours = couplings_to_turn_off(
-                schedule_for(case, "zzx"), topology, baseline=False
-            )
-            result.rows.append(
-                {
-                    "benchmark": case.label,
-                    "gau+par": baseline,
-                    "zzxsched": ours,
-                    "improvement": baseline / max(ours, 1e-9),
-                }
-            )
+    cases = [
+        BenchmarkCase(name, size)
+        for name in benchmarks
+        for size in benchmark_sizes(name, full)
+    ]
+    cells = [
+        grid_cell(case, config, kind="couplings")
+        for case in cases
+        for config in CONFIG_ORDER
+    ]
+    campaign = campaign_results(cells, store=store, workers=workers)
+    for case in cases:
+        baseline = campaign[grid_cell(case, "gau+par", kind="couplings")]["value"]
+        ours = campaign[grid_cell(case, "pert+zzx", kind="couplings")]["value"]
+        result.rows.append(
+            {
+                "benchmark": case.label,
+                "gau+par": baseline,
+                "zzxsched": ours,
+                "improvement": baseline / max(ours, 1e-9),
+            }
+        )
     return result

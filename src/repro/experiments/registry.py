@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import inspect
+import sys
 from collections.abc import Callable
 
 from repro.experiments import (
@@ -21,6 +23,9 @@ from repro.experiments import (
 )
 from repro.experiments.result import ExperimentResult
 
+#: option sets already reported as ignored (avoid repeating on `run all`).
+_WARNED_DROPPED: set[tuple[str, ...]] = set()
+
 EXPERIMENTS: dict[str, Callable[[], ExperimentResult]] = {
     "fig16": fig16_single_qubit.run,
     "fig17": fig17_drive_noise.run,
@@ -38,7 +43,13 @@ EXPERIMENTS: dict[str, Callable[[], ExperimentResult]] = {
 }
 
 
-def run_experiment(experiment_id: str) -> ExperimentResult:
+def run_experiment(experiment_id: str, **options) -> ExperimentResult:
+    """Run one experiment, forwarding only the options its runner accepts.
+
+    The grid-shaped experiments take campaign options (``full``, ``seeds``,
+    ``store``, ``workers``); the single-figure ones take none.  Filtering on
+    the runner's signature lets the CLI pass a uniform option set.
+    """
     try:
         runner = EXPERIMENTS[experiment_id]
     except KeyError:
@@ -46,4 +57,16 @@ def run_experiment(experiment_id: str) -> ExperimentResult:
         raise ValueError(
             f"unknown experiment {experiment_id!r}; known: {known}"
         ) from None
-    return runner()
+    accepted = inspect.signature(runner).parameters
+    given = {k: v for k, v in options.items() if v is not None}
+    dropped = tuple(sorted(set(given) - set(accepted)))
+    if dropped and dropped not in _WARNED_DROPPED:
+        # Warn once per option set, not once per experiment — `run all
+        # --workers 4` would otherwise repeat this for every non-grid figure.
+        _WARNED_DROPPED.add(dropped)
+        print(
+            f"note: {experiment_id} does not take "
+            f"{', '.join(dropped)} — ignored",
+            file=sys.stderr,
+        )
+    return runner(**{k: v for k, v in given.items() if k in accepted})

@@ -1,0 +1,241 @@
+"""Campaign subsystem tests: spec expansion, store resume, parallel dispatch."""
+
+import json
+
+import pytest
+
+from repro.campaigns import (
+    Cell,
+    DeviceSpec,
+    ResultStore,
+    SweepSpec,
+    cell_key,
+    evaluate_cell,
+    library_fingerprint,
+    run_campaign,
+    sweep_table,
+)
+from repro.campaigns.report import report_from_store, store_summary
+from repro.experiments import fig20_overall
+from repro.experiments.common import BenchmarkCase, run_config
+
+FP = "test-fingerprint"
+
+SMALL_SPEC = SweepSpec(
+    name="small",
+    benchmarks=("QAOA", "Ising"),
+    sizes=(4,),
+    configs=("gau+par", "pert+zzx"),
+)
+
+
+def _fake_result(i: int) -> dict:
+    return {"fidelity": 0.5 + i / 100.0, "execution_time_ns": 100.0 * i}
+
+
+class TestSpec:
+    def test_grid_expansion_order_is_deterministic(self):
+        spec = SweepSpec(
+            benchmarks=("QAOA",),
+            sizes=(4, 6),
+            configs=("gau+par", "pert+zzx"),
+            device_seeds=(7, 8),
+        )
+        cells = spec.cells()
+        assert len(cells) == 2 * 2 * 2
+        assert cells == spec.cells()
+        # config is the innermost axis; size outermost after benchmark.
+        assert [c.config for c in cells[:2]] == ["gau+par", "pert+zzx"]
+        assert cells[0].num_qubits == 4 and cells[-1].num_qubits == 6
+        assert {c.device.seed for c in cells} == {7, 8}
+
+    def test_paper_sizes_respect_full_flag(self):
+        reduced = SweepSpec(benchmarks=("QAOA",)).sizes_for("QAOA")
+        full = SweepSpec(benchmarks=("QAOA",), full=True).sizes_for("QAOA")
+        assert len(reduced) == 2
+        assert len(full) > len(reduced)
+        assert max(full) <= 12  # bounded by the 3x4 device
+
+    def test_cell_validation(self):
+        with pytest.raises(ValueError):
+            Cell("nope", 4, "gau+par")
+        with pytest.raises(ValueError):
+            Cell("QAOA", 4, "nope")
+        with pytest.raises(ValueError):
+            Cell("QAOA", 4, "gau+par", kind="density")  # missing t1/t2
+
+    def test_key_depends_on_cell_and_fingerprint(self):
+        a = Cell("QAOA", 4, "gau+par")
+        b = Cell("QAOA", 4, "pert+zzx")
+        assert cell_key(a, FP) != cell_key(b, FP)
+        assert cell_key(a, FP) != cell_key(a, "other")
+        assert cell_key(a, FP) == cell_key(Cell("QAOA", 4, "gau+par"), FP)
+
+    def test_cell_payload_round_trip(self):
+        cell = Cell(
+            "QAOA",
+            6,
+            "pert+zzx",
+            kind="density",
+            device=DeviceSpec(2, 3, seed=9),
+            t1_us=100.0,
+            t2_us=100.0,
+            zzx=(("alpha", 0.5),),
+        )
+        assert Cell.from_payload(cell.payload()) == cell
+
+
+class TestStore:
+    def test_round_trip_through_disk(self, tmp_path):
+        path = tmp_path / "store.jsonl"
+        store = ResultStore(path)
+        cells = SMALL_SPEC.cells()
+        for i, cell in enumerate(cells):
+            store.put(cell, _fake_result(i), fingerprint=FP, elapsed_s=0.1)
+        reloaded = ResultStore(path)
+        assert len(reloaded) == len(cells)
+        for i, cell in enumerate(cells):
+            assert reloaded.result_for(cell, FP) == _fake_result(i)
+        assert reloaded.pending(cells, FP) == []
+        assert reloaded.pending(cells, "other-fp") == list(cells)
+
+    def test_last_record_wins(self, tmp_path):
+        path = tmp_path / "store.jsonl"
+        cell = Cell("QAOA", 4, "gau+par")
+        store = ResultStore(path)
+        store.put(cell, {"fidelity": 0.1}, fingerprint=FP)
+        store.put(cell, {"fidelity": 0.2}, fingerprint=FP)
+        assert ResultStore(path).result_for(cell, FP) == {"fidelity": 0.2}
+
+    def test_truncated_trailing_line_is_tolerated(self, tmp_path):
+        path = tmp_path / "store.jsonl"
+        store = ResultStore(path)
+        cells = SMALL_SPEC.cells()
+        for i, cell in enumerate(cells):
+            store.put(cell, _fake_result(i), fingerprint=FP)
+        # Simulate a kill mid-append: chop the file inside the last record.
+        raw = path.read_text()
+        path.write_text(raw[: len(raw) - 25])
+        reloaded = ResultStore(path).load()
+        assert len(reloaded) == len(cells) - 1
+        assert reloaded.skipped_lines == 1
+        assert reloaded.pending(cells, FP) == [cells[-1]]
+
+    def test_memory_store(self):
+        store = ResultStore(None)
+        cell = Cell("QAOA", 4, "gau+par")
+        store.put(cell, {"fidelity": 0.9}, fingerprint=FP)
+        assert store.result_for(cell, FP) == {"fidelity": 0.9}
+
+
+class TestRunner:
+    def test_serial_matches_inline_harness_exactly(self):
+        campaign = run_campaign(SMALL_SPEC)
+        for cell in SMALL_SPEC.cells():
+            legacy = run_config(
+                BenchmarkCase(cell.benchmark, cell.num_qubits), cell.config
+            )
+            assert campaign[cell]["fidelity"] == legacy.fidelity
+            assert campaign[cell]["execution_time_ns"] == legacy.execution_time_ns
+
+    def test_resume_skips_completed_cells(self, tmp_path):
+        path = tmp_path / "store.jsonl"
+        first = run_campaign(SMALL_SPEC, ResultStore(path))
+        assert first.computed == 4 and first.cached == 0
+
+        # Simulate an interrupted sweep: drop the last two records.
+        lines = path.read_text().splitlines()
+        path.write_text("\n".join(lines[:2]) + "\n")
+
+        second = run_campaign(SMALL_SPEC, ResultStore(path))
+        assert second.computed == 2 and second.cached == 2
+        for cell in SMALL_SPEC.cells():
+            assert second[cell] == first[cell]
+
+        third = run_campaign(SMALL_SPEC, ResultStore(path))
+        assert third.computed == 0 and third.cached == 4
+
+    def test_fingerprint_change_invalidates_store(self, tmp_path):
+        path = tmp_path / "store.jsonl"
+        run_campaign(SMALL_SPEC, ResultStore(path), fingerprint="fp-a")
+        again = run_campaign(SMALL_SPEC, ResultStore(path), fingerprint="fp-b")
+        assert again.computed == 4 and again.cached == 0
+
+    def test_parallel_equals_serial_on_fig20_grid(self, tmp_path):
+        """Acceptance: workers=4 fidelities identical to workers=1."""
+        spec = SweepSpec(
+            name="fig20-reduced",
+            benchmarks=("QAOA", "Ising", "GRC"),
+            sizes=(4,),
+            configs=("gau+par", "optctrl+zzx", "pert+zzx"),
+        )
+        serial = run_campaign(spec, workers=1)
+        parallel = run_campaign(
+            spec, ResultStore(tmp_path / "par.jsonl"), workers=4
+        )
+        assert parallel.computed == len(spec.cells())
+        for cell in spec.cells():
+            assert parallel[cell] == serial[cell]
+
+    def test_duplicate_cells_evaluated_once(self):
+        cells = list(SMALL_SPEC.cells())
+        campaign = run_campaign(cells + cells)
+        assert campaign.computed == len(cells)
+        assert len(campaign.records) == len(cells)
+
+    def test_analysis_kinds(self):
+        exec_cell = Cell("QAOA", 4, "pert+zzx", kind="exec_time")
+        out = evaluate_cell(exec_cell)
+        assert out["execution_time_ns"] > 0
+        coup = evaluate_cell(Cell("QAOA", 4, "gau+par", kind="couplings"))
+        assert coup["value"] > 0
+
+
+class TestReport:
+    def test_sweep_table_pivot(self):
+        campaign = run_campaign(SMALL_SPEC)
+        table = sweep_table(SMALL_SPEC, campaign)
+        assert len(table.rows) == 2
+        assert set(table.rows[0]) == {"benchmark", "gau+par", "pert+zzx"}
+        assert table.rows[0]["pert+zzx"] > table.rows[0]["gau+par"]
+
+    def test_report_from_store_flags_missing(self, tmp_path):
+        path = tmp_path / "store.jsonl"
+        run_campaign(SMALL_SPEC, ResultStore(path))
+        bigger = SweepSpec(
+            name="bigger",
+            benchmarks=("QAOA", "Ising", "GRC"),
+            sizes=(4,),
+            configs=("gau+par", "pert+zzx"),
+        )
+        result, missing = report_from_store(bigger, path)
+        assert len(result.rows) == 3
+        assert len(missing) == 2  # the GRC cells were never run
+
+    def test_store_summary_counts(self, tmp_path):
+        path = tmp_path / "store.jsonl"
+        run_campaign(SMALL_SPEC, ResultStore(path))
+        summary = store_summary(path)
+        assert sum(r["cells"] for r in summary.rows) == 4
+
+    def test_fingerprint_is_stable_within_process(self):
+        assert library_fingerprint() == library_fingerprint()
+        assert len(library_fingerprint()) == 12
+
+
+class TestExperimentIntegration:
+    def test_fig20_through_store_resumes(self, tmp_path):
+        path = tmp_path / "fig20.jsonl"
+        cases = [BenchmarkCase("QAOA", 4)]
+        first = fig20_overall.run(cases=cases, store=path)
+        second = fig20_overall.run(cases=cases, store=path)
+        assert first.rows == second.rows
+        assert len(ResultStore(path)) == 3  # one case x three configs
+
+    def test_fig20_multi_seed_rows(self):
+        cases = [BenchmarkCase("QAOA", 4)]
+        result = fig20_overall.run(cases=cases, seeds=(7, 8))
+        assert len(result.rows) == 2
+        assert [r["seed"] for r in result.rows] == [7, 8]
+        # Different crosstalk samples -> different baseline fidelities.
+        assert result.rows[0]["gau+par"] != result.rows[1]["gau+par"]

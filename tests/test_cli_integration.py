@@ -27,9 +27,45 @@ class TestCLI:
         out = capsys.readouterr().out
         assert "pert" in out and "dcg" in out
 
-    def test_unknown_experiment(self):
-        with pytest.raises(ValueError):
-            main(["fig99"])
+    def test_unknown_experiment_exits_2_with_known_list(self, capsys):
+        assert main(["fig99"]) == 2
+        err = capsys.readouterr().err
+        assert "fig99" in err
+        assert "fig20" in err  # the known-experiment list is printed
+
+    def test_sweep_and_report_subcommands(self, tmp_path, capsys):
+        store = str(tmp_path / "store.jsonl")
+        grid = [
+            "--benchmarks", "QAOA", "--sizes", "4",
+            "--configs", "gau+par,pert+zzx", "--store", store,
+        ]
+        assert main(["sweep", *grid]) == 0
+        assert "2 computed" in capsys.readouterr().out
+        assert main(["sweep", *grid]) == 0
+        assert "0 computed, 2 cached" in capsys.readouterr().out
+        assert main(["report", *grid]) == 0
+        assert "QAOA-4" in capsys.readouterr().out
+        assert main(["list", "--store", store]) == 0
+        assert "2 records" in capsys.readouterr().out
+
+    def test_report_requires_store(self, capsys):
+        assert main(["report"]) == 2
+
+    def test_sweep_rejects_bad_inputs(self, capsys):
+        assert main(["sweep", "--configs", "gau+zzz"]) == 2
+        assert "known:" in capsys.readouterr().err
+        assert main(["sweep", "--kind", "density"]) == 2  # missing --t1
+        assert main(["sweep", "--grid", "3x"]) == 2
+        assert main(["sweep", "--sizes", "12", "--grid", "2x3"]) == 2
+        assert "0 cells" in capsys.readouterr().err
+
+    def test_run_warns_on_ignored_options(self, capsys):
+        assert main(["run", "tab-compile", "--seeds", "11"]) == 0
+        assert "does not take seeds" in capsys.readouterr().err
+
+    def test_run_subcommand_with_workers(self, capsys):
+        assert main(["run", "fig24", "--workers", "2"]) == 0
+        assert "fig24" in capsys.readouterr().out
 
 
 class TestEndToEnd:

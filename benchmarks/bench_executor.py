@@ -1,0 +1,85 @@
+"""Layer-walk driver throughput: cached vs uncached, statevector vs density.
+
+The workload is a 6-qubit, 6-Trotter-step Ising schedule on the 2x3 grid —
+bond and transverse layers repeat every step, which is exactly the pattern
+the layer-propagator cache amortizes.  Acceptance (from the PR issue): the cache must deliver a
+>= 1.5x speedup on the repeated-layer *density* walk with bit-identical
+fidelities, since the density path rebuilds the dominant ``4^n`` layer
+unitary on every repetition when uncached.
+"""
+
+import time
+
+from repro.circuits import compile_circuit
+from repro.circuits.library.ising import ising
+from repro.device import grid, make_device
+from repro.pulses import build_library
+from repro.runtime import execute
+from repro.scheduling import zzx_schedule
+from repro.sim.density import DecoherenceModel
+from repro.units import US
+
+_DECO = DecoherenceModel(t1_ns=200.0 * US, t2_ns=200.0 * US)
+
+
+def _stack():
+    device = make_device(grid(2, 3), seed=7)
+    library = build_library("pert")
+    compiled = compile_circuit(ising(6, steps=6), device.topology)
+    schedule = zzx_schedule(compiled.circuit, device.topology)
+    return device, library, schedule
+
+
+#: (backend, cache) -> (wall seconds, fidelity); reused by the speedup
+#: assertion so the grid is timed once, not per test.
+_timings: dict[tuple[str, bool], tuple[float, float]] = {}
+
+
+def _timed(backend: str, cache: bool) -> tuple[float, float]:
+    key = (backend, cache)
+    if key not in _timings:
+        device, library, schedule = _stack()
+        kwargs = {}
+        if backend == "density":
+            kwargs["decoherence"] = _DECO
+        start = time.perf_counter()
+        out = execute(schedule, device, library, backend, cache=cache, **kwargs)
+        _timings[key] = (time.perf_counter() - start, out.fidelity)
+    return _timings[key]
+
+
+def test_statevector_cached(benchmark, show):
+    benchmark.pedantic(lambda: _timed("statevector", True), rounds=1, iterations=1)
+
+
+def test_statevector_uncached(benchmark, show):
+    benchmark.pedantic(lambda: _timed("statevector", False), rounds=1, iterations=1)
+
+
+def test_density_cached(benchmark, show):
+    benchmark.pedantic(lambda: _timed("density", True), rounds=1, iterations=1)
+
+
+def test_density_uncached(benchmark, show):
+    benchmark.pedantic(lambda: _timed("density", False), rounds=1, iterations=1)
+
+
+def test_cache_speedup_and_equivalence(show):
+    """Acceptance: >=1.5x on the repeated-layer density walk, bit-identical."""
+    cached_s, cached_f = _timed("density", True)
+    uncached_s, uncached_f = _timed("density", False)
+    sv_cached_s, _ = _timed("statevector", True)
+    speedup = uncached_s / cached_s
+
+    class _Report:
+        def render(self):
+            return (
+                "== bench-executor: Ising-6 on grid 2x3 (repeated layers) ==\n"
+                f"density   uncached {uncached_s:7.3f}s\n"
+                f"density   cached   {cached_s:7.3f}s  ({speedup:.2f}x)\n"
+                f"statevec  cached   {sv_cached_s:7.3f}s"
+            )
+
+    show(_Report())
+    assert cached_f == uncached_f  # bit-identical, not approximate
+    assert speedup >= 1.5

@@ -1,9 +1,10 @@
 #!/usr/bin/env python3
 """Dump microbenchmark timings to ``BENCH_<n>.json`` for trend tracking.
 
-Runs the microbenchmark suites (``benchmarks/bench_micro.py`` plus the
+Runs the microbenchmark suites (``benchmarks/bench_micro.py``, the
 campaign serial-vs-parallel throughput bench
-``benchmarks/bench_campaign.py``) through pytest-benchmark, extracts
+``benchmarks/bench_campaign.py``, and the layer-walk cached-vs-uncached
+bench ``benchmarks/bench_executor.py``) through pytest-benchmark, extracts
 per-benchmark statistics, and writes them (plus environment metadata) to
 the first free ``BENCH_<n>.json`` in the repo root — so each PR's perf
 snapshot lands in a new numbered file and the trajectory is diffable
@@ -43,12 +44,13 @@ def main(argv=None) -> int:
         action="append",
         default=None,
         help="benchmark module(s) to run; repeatable "
-        "(default: bench_micro.py and bench_campaign.py)",
+        "(default: bench_micro.py, bench_campaign.py and bench_executor.py)",
     )
     args = parser.parse_args(argv)
     bench_files = args.bench_file or [
         "benchmarks/bench_micro.py",
         "benchmarks/bench_campaign.py",
+        "benchmarks/bench_executor.py",
     ]
 
     with tempfile.TemporaryDirectory() as tmp:

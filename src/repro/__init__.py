@@ -44,7 +44,12 @@ from repro.scheduling import (
     zzx_schedule,
 )
 from repro.graphs import SuppressionPlan, alpha_optimal_suppression
-from repro.runtime import ExecutionResult, execute_density, execute_statevector
+from repro.runtime import (
+    ExecutionResult,
+    execute,
+    execute_density,
+    execute_statevector,
+)
 
 __all__ = [
     "__version__",
@@ -66,6 +71,7 @@ __all__ = [
     "SuppressionPlan",
     "alpha_optimal_suppression",
     "ExecutionResult",
+    "execute",
     "execute_density",
     "execute_statevector",
 ]

@@ -33,6 +33,7 @@ from repro.campaigns.report import (
 )
 from repro.campaigns.runner import CampaignResult, evaluate_cell, run_campaign
 from repro.campaigns.spec import (
+    BACKENDS,
     CONFIGS,
     Cell,
     DeviceSpec,
@@ -43,6 +44,7 @@ from repro.campaigns.spec import (
 from repro.campaigns.store import ResultStore
 
 __all__ = [
+    "BACKENDS",
     "CONFIGS",
     "CampaignResult",
     "Cell",

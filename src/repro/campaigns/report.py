@@ -9,11 +9,12 @@ re-render a store without recomputing anything.
 
 from __future__ import annotations
 
+from dataclasses import replace
 from pathlib import Path
 
 from repro.campaigns.fingerprint import library_fingerprint
-from repro.campaigns.runner import CampaignResult, run_campaign
-from repro.campaigns.spec import Cell, SweepSpec, cell_key
+from repro.campaigns.runner import CampaignResult, cached_device, run_campaign
+from repro.campaigns.spec import Cell, SweepSpec, cell_key, default_backend
 from repro.campaigns.store import ResultStore
 from repro.experiments.result import ExperimentResult
 
@@ -79,6 +80,23 @@ def _grid_points(spec: SweepSpec) -> list[tuple[Cell, ...]]:
     return [tuple(cells[i : i + width]) for i in range(0, len(cells), width)]
 
 
+def _device_note(spec: SweepSpec) -> str:
+    """Crosstalk context for a sweep's device axis (worst coupling in kHz).
+
+    Goes through the runner's device cache — warm after a serial run;
+    parallel runs sample in their workers, so the parent re-samples here
+    (seed-deterministic and cheap).
+    """
+    peak = max(
+        cached_device(replace(spec.device, seed=seed)).max_coupling_khz
+        for seed in spec.device_seeds
+    )
+    return (
+        f"device {spec.device.rows}x{spec.device.cols}, "
+        f"{len(spec.device_seeds)} seed(s), max coupling {peak:.0f} kHz"
+    )
+
+
 def sweep_table(spec: SweepSpec, campaign: CampaignResult) -> ExperimentResult:
     """Render a completed campaign as one pivoted experiment table."""
 
@@ -89,11 +107,14 @@ def sweep_table(spec: SweepSpec, campaign: CampaignResult) -> ExperimentResult:
             return None
 
     rows, _ = _grid_rows(spec, lookup)
+    title = f"sweep {spec.kind}: {', '.join(spec.configs)}"
+    if spec.backend != "statevector":
+        title += f" [backend={spec.backend}]"
     return ExperimentResult(
         spec.name,
-        f"sweep {spec.kind}: {', '.join(spec.configs)}",
+        title,
         rows=rows,
-        notes=campaign.summary,
+        notes=f"{campaign.summary} | {_device_note(spec)}",
     )
 
 
@@ -129,16 +150,18 @@ def report_from_store(
 def store_summary(store: ResultStore | str | Path) -> ExperimentResult:
     """Per-(benchmark, kind, config) record counts — the ``list --store`` view."""
     store = as_store(store)
-    counts: dict[tuple[str, str, str], int] = {}
+    counts: dict[tuple[str, str, str, str], int] = {}
     fingerprints: set[str] = set()
     for record in store.records():
         cell = record["cell"]
-        key = (cell["benchmark"], cell.get("kind", "statevector"), cell["config"])
+        kind = cell.get("kind", "statevector")
+        backend = cell.get("backend", default_backend(kind))
+        key = (cell["benchmark"], kind, backend, cell["config"])
         counts[key] = counts.get(key, 0) + 1
         fingerprints.add(record.get("fingerprint", "?"))
     rows = [
-        {"benchmark": b, "kind": k, "config": c, "cells": n}
-        for (b, k, c), n in sorted(counts.items())
+        {"benchmark": b, "kind": k, "backend": be, "config": c, "cells": n}
+        for (b, k, be, c), n in sorted(counts.items())
     ]
     return ExperimentResult(
         "store",

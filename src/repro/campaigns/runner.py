@@ -39,7 +39,7 @@ from repro.circuits.library import BENCHMARKS
 from repro.device.device import Device, make_device
 from repro.device.presets import grid
 from repro.pulses.library import PulseLibrary, build_library
-from repro.runtime.executor import execute_density, execute_statevector
+from repro.runtime.executor import execute
 from repro.scheduling.analysis import couplings_to_turn_off, execution_time
 from repro.scheduling.layer import Schedule
 from repro.scheduling.parsched import par_schedule
@@ -122,18 +122,28 @@ def evaluate_cell(cell: Cell) -> dict:
             "execution_time_ns": execution_time(schedule, library),
             "num_layers": schedule.num_layers,
         }
-    if cell.kind == "density":
+    decoherence = None
+    if cell.t1_us is not None:
         decoherence = DecoherenceModel(
             t1_ns=cell.t1_us * US, t2_ns=cell.t2_us * US
         )
-        out = execute_density(schedule, device, library, decoherence)
-    else:
-        out = execute_statevector(schedule, device, library)
-    return {
+    out = execute(
+        schedule,
+        device,
+        library,
+        cell.backend,
+        decoherence=decoherence,
+        trajectories=cell.trajectories,
+    )
+    record = {
         "fidelity": out.fidelity,
         "execution_time_ns": out.execution_time_ns,
         "num_layers": out.num_layers,
     }
+    if out.stderr is not None:
+        record["stderr"] = out.stderr
+        record["num_trajectories"] = out.num_trajectories
+    return record
 
 
 # -- parallel plumbing ------------------------------------------------------

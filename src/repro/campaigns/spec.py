@@ -13,6 +13,15 @@ Four cell *kinds* cover the paper's figures:
 - ``density`` — adds T1/T2 decoherence channels (Fig. 23);
 - ``exec_time`` — pure scheduling analysis, no simulation (Fig. 24);
 - ``couplings`` — tunable-coupler turn-off counts (Fig. 25).
+
+Orthogonally to the kind, the **backend** axis picks the simulation engine
+(:mod:`repro.runtime.backends`): ``statevector`` (coherent, the default),
+``density`` (exact T1/T2, <= 8 qubits) or ``trajectories`` (Monte Carlo
+T1/T2 at statevector cost; ``trajectories=N`` sets the sample count).
+Cells normalize the two axes to one canonical spelling — a decoherent
+backend implies ``kind="density"``, and legacy ``kind="density"`` cells
+resolve to the density backend — so every computation has exactly one
+store key.
 """
 
 from __future__ import annotations
@@ -34,6 +43,47 @@ CONFIGS = {
 }
 
 KINDS = ("statevector", "density", "exec_time", "couplings")
+
+#: Simulation engines the ``backend`` axis accepts (mirrors
+#: ``repro.runtime.backends.BACKEND_NAMES``; kept literal so spec stays a
+#: leaf module with no simulator imports).
+BACKENDS = ("statevector", "density", "trajectories")
+
+#: Default Monte Carlo sample count for ``backend="trajectories"`` cells.
+DEFAULT_TRAJECTORIES = 100
+
+
+def default_backend(kind: str) -> str:
+    """The engine a kind historically implied (pre-backend-axis spelling)."""
+    return "density" if kind == "density" else "statevector"
+
+
+def normalize_backend_axis(kind: str, backend: str, what: str) -> tuple[str, str]:
+    """Resolve the (kind, backend) pair to its one canonical spelling.
+
+    Shared by :class:`Cell` and :class:`SweepSpec` so the two stay in
+    lockstep; ``what`` names the caller ("cells"/"sweeps") in errors.
+    """
+    backend = backend or default_backend(kind)
+    if backend not in BACKENDS:
+        raise ValueError(
+            f"unknown backend {backend!r}; known: {', '.join(BACKENDS)}"
+        )
+    if backend in ("density", "trajectories"):
+        if kind in ("exec_time", "couplings"):
+            raise ValueError(
+                f"{kind} {what} are pure analysis and take no "
+                "simulation backend"
+            )
+        # Canonical spelling: a decoherent backend is a density study.
+        kind = "density"
+    elif kind == "density":
+        raise ValueError(
+            f"density {what} simulate with the density or trajectories "
+            "backend, not statevector"
+        )
+    return kind, backend
+
 
 DEFAULT_SEED = 7
 DEFAULT_BENCHMARKS = ("HS", "QFT", "QPE", "QAOA", "Ising", "GRC")
@@ -94,6 +144,10 @@ class Cell:
     t2_us: float | None = None
     #: ZZXConfig overrides as a sorted item tuple (kept hashable).
     zzx: tuple[tuple[str, object], ...] = ()
+    #: Simulation engine; "" infers it from ``kind`` (see module docs).
+    backend: str = ""
+    #: Monte Carlo sample count (trajectories backend only).
+    trajectories: int | None = None
 
     def __post_init__(self):
         if self.benchmark not in BENCHMARKS:
@@ -107,8 +161,32 @@ class Cell:
             )
         if self.kind not in KINDS:
             raise ValueError(f"unknown cell kind {self.kind!r}; known: {KINDS}")
-        if self.kind == "density" and (self.t1_us is None or self.t2_us is None):
-            raise ValueError("density cells need t1_us and t2_us")
+        kind, backend = normalize_backend_axis(self.kind, self.backend, "cells")
+        object.__setattr__(self, "kind", kind)
+        object.__setattr__(self, "backend", backend)
+        if backend in ("density", "trajectories"):
+            if self.t1_us is None or self.t2_us is None:
+                raise ValueError(
+                    "density/trajectories cells need t1_us and t2_us"
+                )
+        elif self.t1_us is not None or self.t2_us is not None:
+            # Fail at construction, not mid-campaign on a worker.
+            raise ValueError(
+                "t1_us/t2_us only apply to density/trajectories cells"
+            )
+        if backend == "trajectories":
+            count = (
+                DEFAULT_TRAJECTORIES
+                if self.trajectories is None
+                else self.trajectories
+            )
+            if count < 1:
+                raise ValueError("trajectories count must be >= 1")
+            object.__setattr__(self, "trajectories", count)
+        elif self.trajectories is not None:
+            raise ValueError(
+                "a trajectories count only applies to the trajectories backend"
+            )
         object.__setattr__(self, "zzx", tuple(sorted(self.zzx)))
 
     @property
@@ -142,6 +220,12 @@ class Cell:
             data["t2_us"] = self.t2_us
         if self.zzx:
             data["zzx"] = [list(item) for item in self.zzx]
+        # Only non-default backends enter the payload, so cells that predate
+        # the backend axis keep their historical store keys.
+        if self.backend != default_backend(self.kind):
+            data["backend"] = self.backend
+        if self.trajectories is not None:
+            data["trajectories"] = self.trajectories
         return data
 
     @staticmethod
@@ -156,6 +240,8 @@ class Cell:
             t1_us=data.get("t1_us"),
             t2_us=data.get("t2_us"),
             zzx=tuple(tuple(item) for item in data.get("zzx", ())),
+            backend=data.get("backend", ""),
+            trajectories=data.get("trajectories"),
         )
 
 
@@ -200,12 +286,22 @@ class SweepSpec:
     device_seeds: tuple[int, ...] = (DEFAULT_SEED,)
     circuit_seeds: tuple[int, ...] = (0,)
     t1_values_us: tuple[float, ...] = ()
+    #: Simulation engine; "" infers it from ``kind`` (as on :class:`Cell`).
+    backend: str = ""
+    trajectories: int | None = None
 
     def __post_init__(self):
         if self.kind not in KINDS:
             raise ValueError(f"unknown cell kind {self.kind!r}; known: {KINDS}")
-        if self.kind == "density" and not self.t1_values_us:
+        kind, backend = normalize_backend_axis(self.kind, self.backend, "sweeps")
+        object.__setattr__(self, "kind", kind)
+        object.__setattr__(self, "backend", backend)
+        if backend in ("density", "trajectories") and not self.t1_values_us:
             raise ValueError("density sweeps need t1_values_us (CLI: --t1)")
+        if backend != "trajectories" and self.trajectories is not None:
+            raise ValueError(
+                "a trajectories count only applies to the trajectories backend"
+            )
         if self.kind != "density" and self.t1_values_us:
             raise ValueError(
                 f"t1_values_us only applies to density sweeps, not {self.kind!r} "
@@ -254,6 +350,8 @@ class SweepSpec:
                                         circuit_seed=circ_seed,
                                         t1_us=t1,
                                         t2_us=t1,
+                                        backend=self.backend,
+                                        trajectories=self.trajectories,
                                     )
                                 )
         return tuple(out)

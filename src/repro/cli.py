@@ -9,9 +9,11 @@ Subcommands:
 - ``report`` — re-render a stored sweep without computing anything;
 - ``list`` — list experiments, or summarize a result store.
 
-Campaign options (``--workers``, ``--store``, ``--seeds``, ``--full``) are
-shared by ``run`` and ``sweep``; ``--full`` replaces the deprecated
-``REPRO_FULL=1`` environment toggle.
+Campaign options (``--workers``, ``--store``, ``--seeds``, ``--full``,
+``--backend``, ``--trajectories``) are shared by ``run`` and ``sweep``;
+``--full`` replaces the deprecated ``REPRO_FULL=1`` environment toggle,
+and ``--backend`` selects the simulation engine (statevector, density, or
+Monte Carlo trajectories) as a first-class sweep axis.
 """
 
 from __future__ import annotations
@@ -50,7 +52,7 @@ def _add_grid_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--t1",
         default=None,
-        help="comma-separated T1=T2 values in us (density sweeps)",
+        help="comma-separated T1=T2 values in us (density/trajectory sweeps)",
     )
     parser.add_argument(
         "--grid",
@@ -88,6 +90,22 @@ def _add_campaign_arguments(parser: argparse.ArgumentParser) -> None:
         help="run the paper's complete 4-12 qubit sweep "
         "(replaces the deprecated REPRO_FULL=1 env var)",
     )
+    from repro.campaigns.spec import BACKENDS
+
+    parser.add_argument(
+        "--backend",
+        default=None,
+        choices=BACKENDS,
+        help="simulation backend (default: statevector, or density when "
+        "--kind density / --t1 is given)",
+    )
+    parser.add_argument(
+        "--trajectories",
+        type=int,
+        default=None,
+        metavar="N",
+        help="Monte Carlo sample count (trajectories backend only)",
+    )
 
 
 def _csv(text: str | None, convert=str) -> tuple | None:
@@ -103,6 +121,10 @@ def _build_spec(args):
     if not sep or not rows.isdigit() or not cols.isdigit():
         raise ValueError(f"--grid expects ROWSxCOLS (e.g. 3x4), got {args.grid!r}")
     device = DeviceSpec(rows=int(rows), cols=int(cols))
+    backend = args.backend or ""
+    if not backend and args.t1 and args.kind == "statevector":
+        # As documented on --backend: --t1 alone means a density sweep.
+        backend = "density"
     return SweepSpec(
         name=args.name,
         benchmarks=_csv(args.benchmarks),
@@ -113,10 +135,33 @@ def _build_spec(args):
         device=device,
         device_seeds=_csv(args.seeds, int) or (device.seed,),
         t1_values_us=_csv(args.t1, float) or (),
+        backend=backend,
+        trajectories=args.trajectories,
     )
 
 
+def _invalid_run_options(args) -> str | None:
+    """Backend option combos rejected before any compute (exit-2 path).
+
+    Validated here rather than by catching ValueError around the whole
+    experiment run, so mid-run errors keep their tracebacks.
+    """
+    if args.trajectories is not None and args.backend != "trajectories":
+        return "a trajectories count only applies to the trajectories backend"
+    if args.backend == "statevector":
+        return (
+            "--backend statevector is the coherent default — omit the flag; "
+            "the override only applies to density experiments "
+            "(fig23: density or trajectories)"
+        )
+    return None
+
+
 def _cmd_run(args) -> int:
+    problem = _invalid_run_options(args)
+    if problem:
+        print(f"invalid run: {problem}", file=sys.stderr)
+        return 2
     targets = (
         sorted(EXPERIMENTS)
         if "all" in args.experiments
@@ -139,6 +184,8 @@ def _cmd_run(args) -> int:
             full=args.full,
             seeds=_csv(args.seeds, int),
             store=args.store,
+            backend=args.backend,
+            trajectories=args.trajectories,
             # Only forward an explicit parallelism request, so experiments
             # without campaign options don't warn about the default.
             workers=args.workers if args.workers != 1 else None,

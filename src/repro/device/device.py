@@ -7,6 +7,7 @@ from dataclasses import dataclass, field
 from repro.device.crosstalk import sample_crosstalk
 from repro.device.topology import Topology, edge_key
 from repro.sim.density import DecoherenceModel
+from repro.units import rad_ns_to_khz
 
 
 @dataclass
@@ -30,19 +31,29 @@ class Device:
                 f"crosstalk map mismatch: missing={sorted(missing)}, "
                 f"extra={sorted(extra)}"
             )
+        # The triple list is consumed by every executor/engine construction;
+        # build it once (the crosstalk map is fixed after validation).
+        self._couplings = tuple(
+            (u, v, self.crosstalk[edge_key(u, v)]) for u, v in self.topology.edges
+        )
 
     @property
     def num_qubits(self) -> int:
         return self.topology.num_qubits
 
-    def couplings(self) -> list[tuple[int, int, float]]:
+    def couplings(self) -> tuple[tuple[int, int, float], ...]:
         """``(i, j, lambda)`` triples for the simulator (rad/ns)."""
-        return [
-            (u, v, self.crosstalk[edge_key(u, v)]) for u, v in self.topology.edges
-        ]
+        return self._couplings
 
     def coupling_strength(self, u: int, v: int) -> float:
         return self.crosstalk[edge_key(u, v)]
+
+    @property
+    def max_coupling_khz(self) -> float:
+        """Strongest ZZ coupling as ``lambda/2pi`` in kHz (0 if uncoupled)."""
+        if not self._couplings:
+            return 0.0
+        return rad_ns_to_khz(max(s for _, _, s in self._couplings))
 
 
 def make_device(

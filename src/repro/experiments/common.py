@@ -35,7 +35,7 @@ from repro.campaigns.spec import (
 from repro.circuits.compile import CompiledCircuit, compile_circuit
 from repro.circuits.library import BENCHMARKS
 from repro.device.device import Device
-from repro.runtime.executor import ExecutionResult, execute_density, execute_statevector
+from repro.runtime.executor import ExecutionResult, execute
 from repro.scheduling.layer import Schedule
 from repro.sim.density import DecoherenceModel
 
@@ -139,6 +139,8 @@ def grid_cell(
     device: DeviceSpec | None = None,
     t1_us: float | None = None,
     t2_us: float | None = None,
+    backend: str = "",
+    trajectories: int | None = None,
 ) -> Cell:
     """The campaign cell for one (case, config) point on the paper device."""
     if device is None:
@@ -154,6 +156,8 @@ def grid_cell(
         circuit_seed=case.seed,
         t1_us=t1_us,
         t2_us=t2_us,
+        backend=backend,
+        trajectories=trajectories,
     )
 
 
@@ -174,15 +178,28 @@ def run_config(
     case: BenchmarkCase,
     config: str,
     decoherence: DecoherenceModel | None = None,
+    backend: str = "",
+    trajectories: int | None = None,
 ) -> ExecutionResult:
-    """Simulate one (case, config) cell of the evaluation grid."""
+    """Simulate one (case, config) cell of the evaluation grid.
+
+    ``backend=""`` picks the historical default: statevector when coherent,
+    density when a :class:`DecoherenceModel` is given.
+    """
     method, scheduler = CONFIGS[config]
     schedule = schedule_for(case, scheduler)
     lib = library(method)
     device = paper_device()
-    if decoherence is None:
-        return execute_statevector(schedule, device, lib)
-    return execute_density(schedule, device, lib, decoherence)
+    if not backend:
+        backend = "statevector" if decoherence is None else "density"
+    return execute(
+        schedule,
+        device,
+        lib,
+        backend,
+        decoherence=decoherence,
+        trajectories=trajectories,
+    )
 
 
 def fidelity_grid(

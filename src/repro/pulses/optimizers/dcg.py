@@ -22,8 +22,8 @@ from repro.pulses.pulse import GatePulse, one_qubit_pulse
 from repro.pulses.shapes import gaussian
 from repro.pulses.waveform import Waveform
 from repro.qmath.unitaries import rx
+from repro.sim import DEFAULT_DT
 
-DEFAULT_DT = 0.25
 SEGMENT_NS = 20.0
 
 

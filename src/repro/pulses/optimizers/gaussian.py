@@ -16,9 +16,9 @@ from repro.pulses.pulse import GatePulse, one_qubit_pulse, two_qubit_pulse
 from repro.pulses.shapes import gaussian
 from repro.pulses.waveform import Waveform
 from repro.qmath.unitaries import rx, rzx
+from repro.sim import DEFAULT_DT
 
 DEFAULT_DURATION = 20.0
-DEFAULT_DT = 0.25
 
 
 @lru_cache(maxsize=32)

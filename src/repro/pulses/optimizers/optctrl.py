@@ -32,9 +32,9 @@ from repro.pulses.waveform import Waveform
 from repro.qmath.paulis import ID2, SX, SY, SZ
 from repro.qmath.tensor import kron_all
 from repro.units import MHZ
+from repro.sim import DEFAULT_DT
 
 DEFAULT_DURATION = 20.0
-DEFAULT_DT = 0.25
 DEFAULT_NUM_COEFFS = 5
 #: Per-coefficient bound keeping peaks near the paper's Fig. 28 range.
 DEFAULT_MAX_AMPLITUDE = 0.15

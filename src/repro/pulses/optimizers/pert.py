@@ -37,9 +37,9 @@ from repro.pulses.pulse import (
 )
 from repro.pulses.waveform import Waveform
 from repro.qmath.paulis import ID2, SX, SY, SZ
+from repro.sim import DEFAULT_DT
 
 DEFAULT_DURATION = 20.0
-DEFAULT_DT = 0.25
 DEFAULT_NUM_COEFFS = 5
 #: ~ 2pi * 80 MHz — keeps amplitudes in the "reasonable" range of Fig. 28.
 #: Per-coefficient amplitude bound (rad/ns).  0.15 keeps waveform peaks in

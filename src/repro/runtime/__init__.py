@@ -1,21 +1,39 @@
 """Execution runtime: pulse binding and Hamiltonian-level simulation."""
 
+from repro.runtime.backends import (
+    BACKEND_NAMES,
+    DensityBackend,
+    LayerPropagatorCache,
+    SimBackend,
+    StatevectorBackend,
+    TrajectoryBackend,
+    resolve_backend,
+)
 from repro.runtime.binding import drives_for_layer, virtual_matrix
 from repro.runtime.executor import (
     DEFAULT_DT,
     ExecutionResult,
+    execute,
     execute_density,
     execute_statevector,
 )
 from repro.runtime.ideal import ideal_circuit_state, ideal_schedule_state
 
 __all__ = [
-    "drives_for_layer",
-    "virtual_matrix",
+    "BACKEND_NAMES",
     "DEFAULT_DT",
+    "DensityBackend",
     "ExecutionResult",
+    "LayerPropagatorCache",
+    "SimBackend",
+    "StatevectorBackend",
+    "TrajectoryBackend",
+    "drives_for_layer",
+    "execute",
     "execute_density",
     "execute_statevector",
     "ideal_circuit_state",
     "ideal_schedule_state",
+    "resolve_backend",
+    "virtual_matrix",
 ]

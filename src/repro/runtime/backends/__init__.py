@@ -1,0 +1,89 @@
+"""Pluggable simulation backends for Hamiltonian-level execution.
+
+One schedule walk, three state representations:
+
+- :class:`StatevectorBackend` — coherent errors only (Figs 20-22, 24-25);
+- :class:`DensityBackend` — exact T1/T2 channels, ``4^n``, <= 8 qubits
+  (Fig. 23);
+- :class:`TrajectoryBackend` — Monte Carlo unraveling of the same noise
+  model at ``2^n``, for decoherence beyond the density cap.
+
+:func:`resolve_backend` turns a backend *name* (the CLI / campaign axis
+value) plus its parameters into a backend instance; passing an already
+constructed :class:`SimBackend` through is allowed, which is how a future
+multilevel/leakage backend plugs in without touching the executor.
+"""
+
+from __future__ import annotations
+
+from repro.sim.density import DecoherenceModel
+
+from repro.runtime.backends.base import BackendOutcome, LayerStep, SimBackend
+from repro.runtime.backends.cache import LayerPropagatorCache
+from repro.runtime.backends.density import MAX_DENSITY_QUBITS, DensityBackend
+from repro.runtime.backends.statevector import StatevectorBackend
+from repro.runtime.backends.trajectory import (
+    DEFAULT_TRAJECTORIES,
+    DEFAULT_TRAJECTORY_SEED,
+    TrajectoryBackend,
+)
+
+#: The names the ``backend`` axis accepts, in CLI/choices order.
+BACKEND_NAMES = ("statevector", "density", "trajectories")
+
+
+def resolve_backend(
+    backend: str | SimBackend,
+    *,
+    decoherence: DecoherenceModel | None = None,
+    num_trajectories: int | None = None,
+    seed: int = DEFAULT_TRAJECTORY_SEED,
+) -> SimBackend:
+    """Build the backend named ``backend`` (instances pass through)."""
+    if isinstance(backend, SimBackend):
+        if decoherence is not None or num_trajectories is not None:
+            raise ValueError(
+                "pass decoherence/trajectories to the backend constructor "
+                "when providing a SimBackend instance; the keyword forms "
+                "only configure name-based dispatch"
+            )
+        return backend
+    if num_trajectories is not None and backend != "trajectories":
+        raise ValueError(
+            "a trajectories count only applies to the trajectories backend, "
+            f"not {backend!r}"
+        )
+    if backend == "statevector":
+        if decoherence is not None:
+            raise ValueError(
+                "the statevector backend is coherent-only; use the density "
+                "or trajectories backend for T1/T2 decoherence"
+            )
+        return StatevectorBackend()
+    if backend == "density":
+        return DensityBackend(decoherence)
+    if backend == "trajectories":
+        return TrajectoryBackend(
+            decoherence,
+            DEFAULT_TRAJECTORIES if num_trajectories is None else num_trajectories,
+            seed,
+        )
+    raise ValueError(
+        f"unknown backend {backend!r}; known: {', '.join(BACKEND_NAMES)}"
+    )
+
+
+__all__ = [
+    "BACKEND_NAMES",
+    "BackendOutcome",
+    "DEFAULT_TRAJECTORIES",
+    "DEFAULT_TRAJECTORY_SEED",
+    "DensityBackend",
+    "LayerPropagatorCache",
+    "LayerStep",
+    "MAX_DENSITY_QUBITS",
+    "SimBackend",
+    "StatevectorBackend",
+    "TrajectoryBackend",
+    "resolve_backend",
+]

@@ -1,0 +1,98 @@
+"""The :class:`SimBackend` contract shared by all Hamiltonian backends.
+
+The executor (:mod:`repro.runtime.executor`) owns the *schedule walk* —
+virtual gates at layer boundaries, pulsed evolution per layer, trailing
+virtuals, fidelity against the ideal state.  A backend owns the *state
+representation* that walk threads through: what the initial state looks
+like, how a virtual unitary and a layer propagator act on it, and how the
+final object is scored.  New simulation modes (e.g. a multilevel/leakage
+backend) plug in by implementing this interface; the walk itself never
+changes.
+
+Monte-Carlo backends override :meth:`SimBackend.outcome` to repeat the walk
+(the executor hands it a zero-argument ``walk`` closure precisely so a
+backend may run it as many times as its estimator needs).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from collections.abc import Callable, Sequence
+
+import numpy as np
+
+from repro.sim.trotter import LayerDrive, TrotterEngine
+
+from repro.runtime.backends.cache import LayerPropagatorCache
+
+
+@dataclass(frozen=True)
+class LayerStep:
+    """One scheduled layer, resolved to concrete evolution inputs.
+
+    ``virtuals`` holds the pre-built ``(unitary, qubits)`` pairs of the
+    layer's leading virtual gates; ``key`` is the layer's propagator-cache
+    key (``None`` when caching is disabled).
+    """
+
+    virtuals: tuple[tuple[np.ndarray, tuple[int, ...]], ...]
+    duration: float
+    drives: tuple[LayerDrive, ...]
+    key: tuple | None = None
+
+
+@dataclass
+class BackendOutcome:
+    """What one backend run reports back to the executor."""
+
+    fidelity: float
+    state: np.ndarray | None = None
+    density: np.ndarray | None = None
+    stderr: float | None = None
+    num_trajectories: int | None = None
+
+
+class SimBackend(ABC):
+    """A pluggable state representation for the shared layer walk."""
+
+    #: the name the CLI / campaign ``backend`` axis resolves (overridden).
+    name = "?"
+
+    def validate(self, num_qubits: int) -> None:
+        """Reject device sizes the representation cannot afford."""
+
+    @abstractmethod
+    def initial_state(self, num_qubits: int) -> np.ndarray:
+        """The |0...0> state in this backend's representation."""
+
+    @abstractmethod
+    def apply_virtual(
+        self,
+        state: np.ndarray,
+        op: np.ndarray,
+        qubits: Sequence[int],
+        num_qubits: int,
+    ) -> np.ndarray:
+        """Apply an exact (virtual-gate) unitary at a layer boundary."""
+
+    @abstractmethod
+    def evolve_layer(
+        self,
+        state: np.ndarray,
+        engine: TrotterEngine,
+        step: LayerStep,
+        cache: LayerPropagatorCache | None,
+    ) -> np.ndarray:
+        """Evolve through one pulsed layer (drives + always-on ZZ)."""
+
+    def outcome(
+        self, walk: Callable[[], np.ndarray], ideal: np.ndarray
+    ) -> BackendOutcome:
+        """Run the walk and score the final state (single pass by default)."""
+        state = walk()
+        return self.score(state, ideal)
+
+    @abstractmethod
+    def score(self, state: np.ndarray, ideal: np.ndarray) -> BackendOutcome:
+        """Fidelity of one finished walk against the ideal output state."""

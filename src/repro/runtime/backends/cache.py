@@ -1,0 +1,82 @@
+"""Layer-propagator cache: reuse the work of identical scheduled layers.
+
+Scheduled circuits repeat layers constantly — QAOA/Ising cost layers, QV
+rounds, echo sequences — and each repetition used to rebuild the same
+per-layer artifacts from scratch.  Two of them are worth memoizing:
+
+- the **drive list** (one step-op stack per pulsed gate), shared by every
+  backend; and
+- the full ``2^n x 2^n`` **layer unitary**, the dominant ``4^n`` cost of
+  density-matrix execution (Fig. 23).
+
+Entries are keyed by ``(drive signature, duration, dt)`` where the drive
+signature is the layer's multiset of ``(gate name, qubits)`` — the exact
+inputs :func:`repro.runtime.binding.drives_for_layer` and
+:meth:`repro.sim.trotter.TrotterEngine.layer_unitary` consume once the
+pulse library, device and noise model are fixed.  Those three are *not*
+part of the key, so a cache instance must not outlive one
+(library, device couplings, noise) combination; the executor creates a
+fresh cache per execution by default and only shares one when the caller
+explicitly passes it.
+
+Reuse is bit-exact: a hit returns the very arrays a miss computed, so
+cached and uncached runs produce identical fidelities.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.scheduling.layer import Layer
+
+
+class LayerPropagatorCache:
+    """Memoizes per-layer drives and (density-path) layer unitaries."""
+
+    def __init__(self):
+        self._drives: dict[tuple, tuple] = {}
+        self._unitaries: dict[tuple, np.ndarray] = {}
+        self.hits = 0
+        self.misses = 0
+
+    @staticmethod
+    def layer_key(layer: Layer, duration: float, dt: float) -> tuple:
+        """(drive signature, duration, dt) — identical layers collide."""
+        signature = tuple(
+            (gate.name, tuple(gate.qubits)) for gate in layer.physical_gates
+        )
+        return (signature, duration, dt)
+
+    def drives(self, key: tuple, build) -> tuple:
+        """The drive list for ``key``, built once via ``build()``."""
+        found = self._drives.get(key)
+        if found is not None:
+            self.hits += 1
+            return found
+        self.misses += 1
+        built = tuple(build())
+        self._drives[key] = built
+        return built
+
+    def unitary(self, key: tuple, build) -> np.ndarray:
+        """The full layer unitary for ``key``, built once via ``build()``."""
+        found = self._unitaries.get(key)
+        if found is not None:
+            self.hits += 1
+            return found
+        self.misses += 1
+        built = build()
+        self._unitaries[key] = built
+        return built
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"LayerPropagatorCache({len(self._drives)} drive lists, "
+            f"{len(self._unitaries)} unitaries, "
+            f"{self.hits} hits / {self.misses} misses)"
+        )

@@ -1,0 +1,31 @@
+"""Coherent statevector backend: ZZ crosstalk and pulse error only."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.qmath.fidelity import state_fidelity
+from repro.qmath.states import zero_state
+from repro.sim.statevector import apply_gate
+
+from repro.runtime.backends.base import BackendOutcome, SimBackend
+
+
+class StatevectorBackend(SimBackend):
+    """Pure-state evolution through the Trotter engine (``2^n`` memory)."""
+
+    name = "statevector"
+
+    def initial_state(self, num_qubits):
+        return zero_state(num_qubits)
+
+    def apply_virtual(self, state, op, qubits, num_qubits):
+        return apply_gate(state, op, qubits, num_qubits)
+
+    def evolve_layer(self, state, engine, step, cache):
+        return engine.evolve_layer(state, step.duration, step.drives)
+
+    def score(self, state, ideal):
+        return BackendOutcome(
+            fidelity=state_fidelity(ideal, state), state=state
+        )

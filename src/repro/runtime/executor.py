@@ -5,10 +5,20 @@ through the Trotter engine with the device's always-on ZZ crosstalk; virtual
 ``rz`` gates apply exactly at layer boundaries.  The output fidelity against
 the ideal state is the paper's evaluation metric (Sec 7.3).
 
-Two backends:
+:func:`execute` is the single layer-walk driver — virtual gates, layer
+evolution, trailing virtuals, fidelity — parameterized over a pluggable
+:class:`~repro.runtime.backends.SimBackend`:
 
-- statevector (default) — coherent errors only (ZZ crosstalk, pulse error);
-- density matrix — additionally applies T1/T2 channels per layer (Fig. 23).
+- ``"statevector"`` (default) — coherent errors only (ZZ crosstalk, pulse
+  error);
+- ``"density"`` — additionally applies T1/T2 channels per layer (Fig. 23);
+- ``"trajectories"`` — Monte Carlo unraveling of the same noise model for
+  devices beyond the 8-qubit density cap.
+
+Repeated layers (ubiquitous in QAOA/QV/Ising schedules) reuse their drive
+lists and — on the density path — their full layer unitaries through a
+:class:`~repro.runtime.backends.LayerPropagatorCache`; reuse is bit-exact,
+so cached and uncached runs report identical fidelities.
 """
 
 from __future__ import annotations
@@ -19,19 +29,21 @@ import numpy as np
 
 from repro.device.device import Device
 from repro.pulses.library import PulseLibrary
-from repro.qmath.fidelity import state_fidelity
-from repro.qmath.fidelity import state_fidelity_dm
-from repro.qmath.states import zero_state
+from repro.runtime.backends import (
+    DEFAULT_TRAJECTORY_SEED,
+    LayerPropagatorCache,
+    LayerStep,
+    SimBackend,
+    resolve_backend,
+)
 from repro.runtime.binding import drives_for_layer, virtual_matrix
 from repro.runtime.ideal import ideal_schedule_state
 from repro.scheduling.analysis import execution_time, layer_duration
 from repro.scheduling.layer import Schedule
+from repro.sim import DEFAULT_DT
 from repro.sim.density import DecoherenceModel
 from repro.sim.noise import DriveNoise
-from repro.sim.statevector import apply_gate, apply_gate_matrix
 from repro.sim.trotter import TrotterEngine
-
-DEFAULT_DT = 0.25
 
 
 @dataclass
@@ -43,6 +55,99 @@ class ExecutionResult:
     num_layers: int
     state: np.ndarray | None = None
     density: np.ndarray | None = None
+    #: Monte Carlo statistics (trajectory backend only).
+    stderr: float | None = None
+    num_trajectories: int | None = None
+
+
+def _plan_layers(
+    schedule: Schedule,
+    library: PulseLibrary,
+    dt: float,
+    noise: DriveNoise | None,
+    cache: LayerPropagatorCache | None,
+) -> list[LayerStep]:
+    """Resolve every layer to its drives/virtuals once, before the walk."""
+    steps: list[LayerStep] = []
+    for layer in schedule.layers:
+        virtuals = tuple(
+            (virtual_matrix(gate), tuple(gate.qubits)) for gate in layer.virtual
+        )
+        duration = layer_duration(layer, library)
+        if cache is not None:
+            key = LayerPropagatorCache.layer_key(layer, duration, dt)
+            drives = cache.drives(
+                key, lambda: drives_for_layer(layer, library, dt, noise)
+            )
+        else:
+            key = None
+            drives = tuple(drives_for_layer(layer, library, dt, noise))
+        steps.append(LayerStep(virtuals, duration, drives, key))
+    return steps
+
+
+def execute(
+    schedule: Schedule,
+    device: Device,
+    library: PulseLibrary,
+    backend: str | SimBackend = "statevector",
+    *,
+    decoherence: DecoherenceModel | None = None,
+    trajectories: int | None = None,
+    seed: int = DEFAULT_TRAJECTORY_SEED,
+    dt: float = DEFAULT_DT,
+    noise: DriveNoise | None = None,
+    keep_state: bool = False,
+    cache: bool | LayerPropagatorCache = True,
+) -> ExecutionResult:
+    """Run ``schedule`` on ``device`` through the named (or given) backend.
+
+    ``cache=True`` memoizes repeated layers within this execution;
+    ``cache=False`` disables that; passing a
+    :class:`~repro.runtime.backends.LayerPropagatorCache` shares one across
+    executions (caller must keep library/device/noise fixed).
+    """
+    n = schedule.num_qubits
+    if n != device.num_qubits:
+        raise ValueError("schedule and device disagree on qubit count")
+    backend = resolve_backend(
+        backend, decoherence=decoherence, num_trajectories=trajectories, seed=seed
+    )
+    backend.validate(n)
+    if cache is True:
+        cache = LayerPropagatorCache()
+    elif cache is False:
+        cache = None
+
+    engine = TrotterEngine(n, device.couplings(), dt)
+    steps = _plan_layers(schedule, library, dt, noise, cache)
+    trailing = tuple(
+        (virtual_matrix(gate), tuple(gate.qubits))
+        for gate in schedule.trailing_virtual
+    )
+    ideal = ideal_schedule_state(schedule)
+
+    def walk() -> np.ndarray:
+        state = backend.initial_state(n)
+        for step in steps:
+            for op, qubits in step.virtuals:
+                state = backend.apply_virtual(state, op, qubits, n)
+            if step.duration > 0:
+                state = backend.evolve_layer(state, engine, step, cache)
+        for op, qubits in trailing:
+            state = backend.apply_virtual(state, op, qubits, n)
+        return state
+
+    out = backend.outcome(walk, ideal)
+    return ExecutionResult(
+        fidelity=out.fidelity,
+        execution_time_ns=execution_time(schedule, library),
+        num_layers=schedule.num_layers,
+        state=out.state if keep_state else None,
+        density=out.density if keep_state else None,
+        stderr=out.stderr,
+        num_trajectories=out.num_trajectories,
+    )
 
 
 def execute_statevector(
@@ -52,29 +157,18 @@ def execute_statevector(
     dt: float = DEFAULT_DT,
     noise: DriveNoise | None = None,
     keep_state: bool = False,
+    cache: bool | LayerPropagatorCache = True,
 ) -> ExecutionResult:
     """Coherent Hamiltonian-level execution; returns output-state fidelity."""
-    n = schedule.num_qubits
-    if n != device.num_qubits:
-        raise ValueError("schedule and device disagree on qubit count")
-    engine = TrotterEngine(n, device.couplings(), dt)
-    psi = zero_state(n)
-    for layer in schedule.layers:
-        for gate in layer.virtual:
-            psi = apply_gate(psi, virtual_matrix(gate), gate.qubits, n)
-        drives = drives_for_layer(layer, library, dt, noise)
-        duration = layer_duration(layer, library)
-        if duration > 0:
-            psi = engine.evolve_layer(psi, duration, drives)
-    for gate in schedule.trailing_virtual:
-        psi = apply_gate(psi, virtual_matrix(gate), gate.qubits, n)
-
-    ideal = ideal_schedule_state(schedule)
-    return ExecutionResult(
-        fidelity=state_fidelity(ideal, psi),
-        execution_time_ns=execution_time(schedule, library),
-        num_layers=schedule.num_layers,
-        state=psi if keep_state else None,
+    return execute(
+        schedule,
+        device,
+        library,
+        "statevector",
+        dt=dt,
+        noise=noise,
+        keep_state=keep_state,
+        cache=cache,
     )
 
 
@@ -85,42 +179,16 @@ def execute_density(
     decoherence: DecoherenceModel,
     dt: float = DEFAULT_DT,
     keep_state: bool = False,
+    cache: bool | LayerPropagatorCache = True,
 ) -> ExecutionResult:
     """Execution with ZZ crosstalk *and* T1/T2 decoherence (Fig. 23)."""
-    n = schedule.num_qubits
-    if n > 8:
-        raise ValueError(
-            "density-matrix execution is limited to 8 qubits; "
-            "the paper's decoherence study (Fig. 23) uses 6"
-        )
-    engine = TrotterEngine(n, device.couplings(), dt)
-    dim = 2**n
-    rho = np.zeros((dim, dim), dtype=complex)
-    rho[0, 0] = 1.0
-    for layer in schedule.layers:
-        for gate in layer.virtual:
-            rho = _conjugate(rho, virtual_matrix(gate), gate.qubits, n)
-        drives = drives_for_layer(layer, library, dt)
-        duration = layer_duration(layer, library)
-        if duration > 0:
-            u_layer = engine.layer_unitary(duration, drives)
-            rho = u_layer @ rho @ u_layer.conj().T
-            rho = decoherence.apply(rho, duration, n)
-    for gate in schedule.trailing_virtual:
-        rho = _conjugate(rho, virtual_matrix(gate), gate.qubits, n)
-
-    ideal = ideal_schedule_state(schedule)
-    return ExecutionResult(
-        fidelity=state_fidelity_dm(rho, ideal),
-        execution_time_ns=execution_time(schedule, library),
-        num_layers=schedule.num_layers,
-        density=rho if keep_state else None,
+    return execute(
+        schedule,
+        device,
+        library,
+        "density",
+        decoherence=decoherence,
+        dt=dt,
+        keep_state=keep_state,
+        cache=cache,
     )
-
-
-def _conjugate(rho: np.ndarray, op: np.ndarray, qubits, n: int) -> np.ndarray:
-    # O rho O^dag via two column-applications: A = O rho, then O A^dag
-    # equals (O rho O^dag)^dag.
-    left = apply_gate_matrix(rho, op, qubits, n)
-    right = apply_gate_matrix(left.conj().T, op, qubits, n)
-    return right.conj().T

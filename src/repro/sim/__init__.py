@@ -14,6 +14,12 @@ the original).  This subpackage provides the equivalent machinery:
 - :mod:`repro.sim.noise` — drive-noise (detuning / amplitude) models.
 """
 
+#: Canonical simulation sample period (ns).  Pulse libraries are built and
+#: Trotter engines stepped at this dt; defined here (before the submodule
+#: imports, so they can ``from repro.sim import DEFAULT_DT`` during package
+#: initialization) as the single source of truth.
+DEFAULT_DT = 0.25
+
 from repro.sim.propagate import propagate_piecewise, propagate_with_zz
 from repro.sim.statevector import apply_diagonal_phase, apply_gate
 from repro.sim.trotter import TrotterEngine
@@ -27,6 +33,7 @@ from repro.sim.noise import DriveNoise
 from repro.sim.trajectories import TrajectoryResult, execute_trajectories
 
 __all__ = [
+    "DEFAULT_DT",
     "propagate_piecewise",
     "propagate_with_zz",
     "apply_diagonal_phase",

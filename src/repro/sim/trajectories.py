@@ -9,6 +9,12 @@ the decoherence study possible on the paper's full 3x4 grid.
 For each layer and qubit, one Kraus operator ``K_i`` of the channel is
 drawn with probability ``||K_i psi||^2`` and applied (renormalized) — the
 standard quantum-jump unraveling of a CPTP map.
+
+This module owns the stochastic primitive
+(:func:`apply_channel_stochastic`) and the :class:`TrajectoryResult`
+container; the schedule walk itself is the executor's shared driver, which
+:func:`execute_trajectories` invokes with the
+:class:`~repro.runtime.backends.TrajectoryBackend`.
 """
 
 from __future__ import annotations
@@ -18,22 +24,14 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
-from repro.qmath.fidelity import state_fidelity
-from repro.qmath.states import zero_state
-from repro.sim.density import (
-    DecoherenceModel,
-    amplitude_damping_kraus,
-    phase_damping_kraus,
-)
+from repro.sim import DEFAULT_DT
+from repro.sim.density import DecoherenceModel
 from repro.sim.statevector import apply_gate
-from repro.sim.trotter import TrotterEngine
 
 if TYPE_CHECKING:  # imported lazily at call time to avoid import cycles
     from repro.device.device import Device
     from repro.pulses.library import PulseLibrary
     from repro.scheduling.layer import Schedule
-
-DEFAULT_DT = 0.25
 
 
 @dataclass
@@ -83,50 +81,21 @@ def execute_trajectories(
     dt: float = DEFAULT_DT,
 ) -> TrajectoryResult:
     """Trajectory-averaged output fidelity under ZZ crosstalk + T1/T2."""
-    from repro.runtime.binding import drives_for_layer, virtual_matrix
-    from repro.runtime.ideal import ideal_schedule_state
-    from repro.scheduling.analysis import execution_time, layer_duration
+    from repro.runtime.executor import execute
 
-    if num_trajectories < 1:
-        raise ValueError("need at least one trajectory")
-    n = schedule.num_qubits
-    if n != device.num_qubits:
-        raise ValueError("schedule and device disagree on qubit count")
-    engine = TrotterEngine(n, device.couplings(), dt)
-    ideal = ideal_schedule_state(schedule)
-    rng = np.random.default_rng(seed)
-
-    # Precompute the per-layer coherent pieces and channel Kraus sets.
-    layer_plan = []
-    for layer in schedule.layers:
-        duration = layer_duration(layer, library)
-        drives = drives_for_layer(layer, library, dt)
-        amp = amplitude_damping_kraus(decoherence.damping_probability(duration))
-        p_phi = decoherence.dephasing_probability(duration)
-        phi = phase_damping_kraus(p_phi) if p_phi > 0.0 else None
-        layer_plan.append((layer, duration, drives, amp, phi))
-
-    fidelities = np.empty(num_trajectories)
-    for t in range(num_trajectories):
-        psi = zero_state(n)
-        for layer, duration, drives, amp, phi in layer_plan:
-            for gate in layer.virtual:
-                psi = apply_gate(psi, virtual_matrix(gate), gate.qubits, n)
-            if duration > 0:
-                psi = engine.evolve_layer(psi, duration, drives)
-                for q in range(n):
-                    psi = apply_channel_stochastic(psi, amp, q, n, rng)
-                    if phi is not None:
-                        psi = apply_channel_stochastic(psi, phi, q, n, rng)
-        for gate in schedule.trailing_virtual:
-            psi = apply_gate(psi, virtual_matrix(gate), gate.qubits, n)
-        fidelities[t] = state_fidelity(ideal, psi)
-
-    mean = float(np.mean(fidelities))
-    stderr = float(np.std(fidelities) / np.sqrt(num_trajectories))
+    out = execute(
+        schedule,
+        device,
+        library,
+        "trajectories",
+        decoherence=decoherence,
+        trajectories=num_trajectories,
+        seed=seed,
+        dt=dt,
+    )
     return TrajectoryResult(
-        fidelity=mean,
-        stderr=stderr,
-        num_trajectories=num_trajectories,
-        execution_time_ns=execution_time(schedule, library),
+        fidelity=out.fidelity,
+        stderr=out.stderr,
+        num_trajectories=out.num_trajectories,
+        execution_time_ns=out.execution_time_ns,
     )

@@ -23,6 +23,7 @@ from collections.abc import Sequence
 import numpy as np
 
 from repro.qmath.tensor import zz_diagonal
+from repro.sim import DEFAULT_DT
 from repro.sim.statevector import apply_gate, apply_gate_matrix
 
 
@@ -46,16 +47,16 @@ class TrotterEngine:
         self,
         num_qubits: int,
         couplings: Sequence[tuple[int, int, float]],
-        dt: float = 0.25,
+        dt: float = DEFAULT_DT,
     ):
         if dt <= 0:
             raise ValueError("dt must be positive")
         self.num_qubits = num_qubits
         self.dt = dt
         self.couplings = list(couplings)
-        diag = zz_diagonal(self.couplings, num_qubits)
-        self._phase_full = np.exp(-1.0j * diag * dt)
-        self._phase_half = np.exp(-1.0j * diag * dt / 2.0)
+        self._zz_diag = zz_diagonal(self.couplings, num_qubits)
+        self._phase_full = np.exp(-1.0j * self._zz_diag * dt)
+        self._phase_half = np.exp(-1.0j * self._zz_diag * dt / 2.0)
 
     def num_steps(self, duration: float) -> int:
         """Number of Trotter steps for a layer of ``duration`` ns."""
@@ -85,8 +86,7 @@ class TrotterEngine:
 
     def evolve_idle(self, state: np.ndarray, duration: float) -> np.ndarray:
         """Pure ZZ evolution (no drives) — exact, single diagonal multiply."""
-        diag = zz_diagonal(self.couplings, self.num_qubits)
-        return state * np.exp(-1.0j * diag * duration)
+        return state * np.exp(-1.0j * self._zz_diag * duration)
 
     def layer_unitary(
         self, duration: float, drives: Sequence[LayerDrive]

@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""Refresh (or check) the golden regression fixtures.
+
+Usage:
+
+    PYTHONPATH=src python scripts/refresh_golden.py            # refresh all
+    PYTHONPATH=src python scripts/refresh_golden.py --ids fig16,fig20
+    PYTHONPATH=src python scripts/refresh_golden.py --check    # diff only
+    PYTHONPATH=src python scripts/refresh_golden.py --check --report diff.json
+
+``--check`` recomputes every requested golden and exits 1 on any diff
+without touching the fixture file; ``--report`` additionally writes the
+machine-readable diff report (the CI artifact).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+from repro.verify import golden
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--ids",
+        default=None,
+        help=f"comma-separated golden ids (default: all — {', '.join(golden.GOLDENS)})",
+    )
+    parser.add_argument(
+        "--path", default=None, help="fixture file (default: the packaged one)"
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="compare only; exit 1 on diffs, never write fixtures",
+    )
+    parser.add_argument(
+        "--report", default=None, metavar="PATH", help="write a JSON diff report"
+    )
+    args = parser.parse_args(argv)
+    ids = (
+        [part.strip() for part in args.ids.split(",") if part.strip()]
+        if args.ids
+        else None
+    )
+
+    if args.check:
+        diffs = golden.compare_all(ids, args.path)
+        if args.report:
+            with open(args.report, "w") as fh:
+                json.dump(golden.diff_report(diffs), fh, indent=2)
+                fh.write("\n")
+        bad = 0
+        for golden_id, entries in sorted(diffs.items()):
+            status = "ok" if not entries else f"{len(entries)} diff(s)"
+            print(f"{golden_id}: {status}")
+            for diff in entries:
+                print(f"  {diff}")
+                bad += 1
+        return 1 if bad else 0
+
+    for golden_id in ids or list(golden.GOLDENS):
+        start = time.perf_counter()
+        golden.refresh([golden_id], args.path)
+        print(f"refreshed {golden_id} [{time.perf_counter() - start:.1f}s]")
+    print(f"fixtures written to {args.path or golden.fixture_path()}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

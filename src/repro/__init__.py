@@ -11,6 +11,8 @@ Public API tour:
 - :mod:`repro.graphs` — Algorithm 1 (alpha-optimal suppression).
 - :mod:`repro.runtime` — Hamiltonian-level execution and fidelities.
 - :mod:`repro.experiments` — one module per paper figure/table.
+- :mod:`repro.verify` — randomized differential verification (generators,
+  oracles, golden regression fixtures) behind ``repro verify``.
 
 Quickstart::
 

@@ -153,12 +153,20 @@ def store_summary(store: ResultStore | str | Path) -> ExperimentResult:
     counts: dict[tuple[str, str, str, str], int] = {}
     fingerprints: set[str] = set()
     for record in store.records():
+        fingerprints.add(record.get("fingerprint", "?"))
+        if "cell" not in record:
+            # Non-campaign records (e.g. `repro verify` scenarios) share
+            # the store file; summarize them by their payload kind.
+            kind = "verify" if "verify" in record else "other"
+            counts[(kind, kind, "-", "-")] = (
+                counts.get((kind, kind, "-", "-"), 0) + 1
+            )
+            continue
         cell = record["cell"]
         kind = cell.get("kind", "statevector")
         backend = cell.get("backend", default_backend(kind))
         key = (cell["benchmark"], kind, backend, cell["config"])
         counts[key] = counts.get(key, 0) + 1
-        fingerprints.add(record.get("fingerprint", "?"))
     rows = [
         {"benchmark": b, "kind": k, "backend": be, "config": c, "cells": n}
         for (b, k, be, c), n in sorted(counts.items())

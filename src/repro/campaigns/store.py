@@ -11,6 +11,11 @@ A truncated trailing line (the signature of a kill mid-append) is
 tolerated on load; duplicate keys resolve to the last record written.
 ``ResultStore(None)`` is a process-local in-memory store with the same
 interface, used when no ``--store`` is given.
+
+Records carry a ``format`` version (:data:`STORE_FORMAT`).  Loading a file
+holding records from a *newer* format raises :class:`StoreFormatError`
+instead of guessing at their layout; the CLI surfaces that as a clear
+exit-2 error.
 """
 
 from __future__ import annotations
@@ -20,6 +25,15 @@ import time
 from pathlib import Path
 
 from repro.campaigns.spec import Cell, cell_key
+
+#: Record-format version stamped on every new record.  Bump on breaking
+#: layout changes; readers refuse files from the future instead of
+#: misinterpreting them.
+STORE_FORMAT = 1
+
+
+class StoreFormatError(RuntimeError):
+    """The store was written by a newer repro than this checkout."""
 
 
 class ResultStore:
@@ -51,6 +65,13 @@ class ResultStore:
                 except (json.JSONDecodeError, KeyError, TypeError):
                     self.skipped_lines += 1
                     continue
+                fmt = record.get("format", 1)
+                if isinstance(fmt, int) and fmt > STORE_FORMAT:
+                    raise StoreFormatError(
+                        f"store {self.path} holds format-{fmt} records, but "
+                        f"this repro only reads format <= {STORE_FORMAT}; "
+                        "update the checkout or start a fresh --store file"
+                    )
                 self._records[key] = record
         return self
 
@@ -108,6 +129,7 @@ class ResultStore:
 
     def put_record(self, record: dict) -> None:
         self._ensure_loaded()
+        record.setdefault("format", STORE_FORMAT)
         self._records[record["key"]] = record
         if self.path is not None:
             self.path.parent.mkdir(parents=True, exist_ok=True)

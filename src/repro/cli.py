@@ -7,7 +7,10 @@ Subcommands:
 - ``sweep`` — execute a declarative campaign grid, resumably, across
   worker processes;
 - ``report`` — re-render a stored sweep without computing anything;
-- ``list`` — list experiments, or summarize a result store.
+- ``list`` — list experiments, or summarize a result store;
+- ``verify`` — run N seeded differential-verification scenarios (random
+  device + circuit through every oracle), optionally with the golden
+  regression fixtures.
 
 Campaign options (``--workers``, ``--store``, ``--seeds``, ``--full``,
 ``--backend``, ``--trajectories``) are shared by ``run`` and ``sweep``;
@@ -24,7 +27,7 @@ import time
 
 from repro.experiments.registry import EXPERIMENTS, run_experiment
 
-SUBCOMMANDS = ("run", "sweep", "report", "list")
+SUBCOMMANDS = ("run", "sweep", "report", "list", "verify")
 
 #: Grid axes shared by ``sweep`` and ``report`` (must build identical specs).
 def _add_grid_arguments(parser: argparse.ArgumentParser) -> None:
@@ -259,6 +262,91 @@ def _cmd_report(args) -> int:
     return 0
 
 
+def parse_seed_spec(text: str) -> tuple[int, ...]:
+    """Seeds for ``verify --seeds``: a count, ranges, or a mix.
+
+    ``"20"`` means seeds 0..19; ``"5-8"`` is the inclusive range; comma
+    lists combine both forms (``"3,7,10-12"``).  Malformed specs raise
+    ``ValueError`` with a message naming the offending part.
+    """
+    text = text.strip()
+    if not text:
+        raise ValueError("empty seed spec")
+    if "," not in text and "-" not in text:
+        count = _spec_int(text)
+        if count < 1:
+            raise ValueError(f"seed count must be >= 1, got {count}")
+        return tuple(range(count))
+    seeds: list[int] = []
+    for part in text.split(","):
+        part = part.strip()
+        if not part:
+            raise ValueError(f"empty element in seed spec {text!r}")
+        if "-" in part:
+            lo_text, _, hi_text = part.partition("-")
+            lo, hi = _spec_int(lo_text), _spec_int(hi_text)
+            if lo > hi:
+                raise ValueError(f"descending range {part!r}")
+            seeds.extend(range(lo, hi + 1))
+        else:
+            seeds.append(_spec_int(part))
+    return tuple(seeds)
+
+
+def _spec_int(text: str) -> int:
+    text = text.strip()
+    if not text.isdigit():
+        raise ValueError(f"expected a non-negative integer, got {text!r}")
+    return int(text)
+
+
+def _cmd_verify(args) -> int:
+    from repro.campaigns.report import as_store
+    from repro.verify import golden as golden_module
+    from repro.verify.runner import verify_scenarios
+
+    try:
+        seeds = parse_seed_spec(args.seeds)
+    except ValueError as exc:
+        print(f"invalid verify: --seeds {exc}", file=sys.stderr)
+        return 2
+    report = verify_scenarios(seeds, as_store(args.store))
+    print(report.render())
+    failed = not report.passed
+
+    if args.golden or args.golden_report:
+        try:
+            diffs = golden_module.compare_all()
+        except ValueError as exc:
+            # e.g. a fixture file written by a newer checkout.
+            print(f"invalid golden fixtures: {exc}", file=sys.stderr)
+            return 2
+        if args.golden_report:
+            import json
+
+            payload = golden_module.diff_report(diffs)
+            # The CI failure artifact must tell the whole story, so the
+            # scenario verdict rides along with the golden diffs.
+            payload["scenarios"] = {
+                "passed": report.passed,
+                "failures": report.failures,
+            }
+            payload["passed"] = payload["passed"] and report.passed
+            with open(args.golden_report, "w") as fh:
+                json.dump(payload, fh, indent=2)
+                fh.write("\n")
+        flat = [str(d) for entries in diffs.values() for d in entries]
+        ids = ", ".join(sorted(diffs))
+        if flat:
+            failed = True
+            print(f"\ngolden regression FAILED ({ids}):")
+            for line in flat:
+                print(f"  {line}")
+        else:
+            print(f"\ngolden regression ok ({ids})")
+    return 1 if failed else 0
+
+
 def _cmd_list(args) -> int:
     if getattr(args, "store", None):
         from repro.campaigns.report import store_summary
@@ -309,6 +397,34 @@ def build_parser() -> argparse.ArgumentParser:
     )
     list_parser.add_argument("--store", default=None, metavar="PATH")
     list_parser.set_defaults(func=_cmd_list)
+
+    verify_parser = sub.add_parser(
+        "verify",
+        help="run seeded differential-verification scenarios and oracles",
+    )
+    verify_parser.add_argument(
+        "--seeds",
+        default="10",
+        help="scenario count, or explicit seeds/ranges (e.g. 20, 0-19, 3,7,9-11)",
+    )
+    verify_parser.add_argument(
+        "--store",
+        default=None,
+        metavar="PATH",
+        help="JSONL result store; passing scenarios are skipped on re-runs",
+    )
+    verify_parser.add_argument(
+        "--golden",
+        action="store_true",
+        help="also compare the golden regression fixtures",
+    )
+    verify_parser.add_argument(
+        "--golden-report",
+        default=None,
+        metavar="PATH",
+        help="write the golden diff report as JSON (implies --golden)",
+    )
+    verify_parser.set_defaults(func=_cmd_verify)
     return parser
 
 
@@ -330,7 +446,13 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "report" and not args.store:
         print("report requires --store PATH", file=sys.stderr)
         return 2
-    return args.func(args)
+    from repro.campaigns.store import StoreFormatError
+
+    try:
+        return args.func(args)
+    except StoreFormatError as exc:
+        print(f"invalid store: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

@@ -1,0 +1,40 @@
+"""Differential verification subsystem.
+
+Turns the paper's headline claims into sweepable, CI-enforced properties:
+
+- :mod:`repro.verify.generators` — seeded random devices (grid /
+  heavy-hex / random-regular topologies with randomized ZZ couplings) and
+  random circuits layered on the benchmark library;
+- :mod:`repro.verify.reference` — independent brute-force / loop
+  reference implementations the production code is diffed against;
+- :mod:`repro.verify.oracles` — schedule-legality, suppression-invariant
+  and differential checkers;
+- :mod:`repro.verify.golden` — tolerance-tiered golden-fixture store
+  pinning headline figure numbers;
+- :mod:`repro.verify.runner` — the ``repro verify`` scenario engine,
+  store-backed so reruns are incremental.
+"""
+
+from repro.verify.generators import (
+    TOPOLOGY_FAMILIES,
+    Scenario,
+    make_scenario,
+    random_circuit,
+    random_device,
+    random_topology,
+)
+from repro.verify.oracles import OracleFailure, run_all_oracles
+from repro.verify.runner import VerificationReport, verify_scenarios
+
+__all__ = [
+    "TOPOLOGY_FAMILIES",
+    "OracleFailure",
+    "Scenario",
+    "VerificationReport",
+    "make_scenario",
+    "random_circuit",
+    "random_device",
+    "random_topology",
+    "run_all_oracles",
+    "verify_scenarios",
+]

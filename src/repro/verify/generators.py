@@ -1,0 +1,215 @@
+"""Seeded random device and circuit generators for differential verification.
+
+Every generator is a pure function of its seed: the same seed always yields
+the same topology, crosstalk sample and circuit, so a failing scenario is
+reproducible from the single integer printed in the report.
+
+Topology families (all connected and planar — Algorithm 1 needs the planar
+dual):
+
+- ``grid`` — the paper's evaluation family, random small shapes;
+- ``heavy_hex`` — a hexagonal ring with "heavy" pendant qubits attached,
+  the IBM-style lattice unit cell;
+- ``random_regular`` — 3-regular random graphs, resampled until connected
+  and planar (falling back to a grid when the family runs dry).
+
+Circuits mix two sources: fully random gate soups over the high-level gate
+set (compiled to the native set before scheduling) and the paper's seeded
+benchmark generators from :mod:`repro.circuits.library`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import zlib
+from dataclasses import dataclass
+
+import networkx as nx
+import numpy as np
+
+from repro.circuits.circuit import Circuit
+from repro.circuits.compile import compile_circuit
+from repro.circuits.library import BENCHMARKS
+from repro.device.device import Device, make_device
+from repro.device.presets import grid
+from repro.device.topology import Topology
+
+#: Bump when generator semantics change, so stored verification records
+#: computed against old scenarios are never served as hits.
+GENERATOR_VERSION = 1
+
+TOPOLOGY_FAMILIES = ("grid", "heavy_hex", "random_regular")
+
+#: Benchmarks cheap enough (and seedable enough) for randomized scenarios.
+_SCENARIO_BENCHMARKS = ("HS", "QAOA", "GRC", "QV")
+
+_GRID_SHAPES = ((2, 2), (2, 3), (3, 2), (1, 5), (1, 6))
+
+
+def _derived_rng(seed: int, *salt: object) -> np.random.Generator:
+    """An independent stream per (seed, purpose) pair.
+
+    The salt is hashed with crc32 (process-independent, unlike ``hash``)
+    so seeds reproduce across interpreter invocations.
+    """
+    tag = zlib.crc32(repr(salt).encode())
+    return np.random.default_rng(
+        np.random.SeedSequence([GENERATOR_VERSION, int(seed), tag])
+    )
+
+
+def _heavy_hex(rng: np.random.Generator, max_qubits: int) -> Topology:
+    """A hexagonal ring with pendant ("heavy") qubits on random ring sites."""
+    graph = nx.cycle_graph(6)
+    pendants = int(rng.integers(0, max(0, max_qubits - 6) + 1))
+    sites = rng.permutation(6)[:pendants]
+    for k, site in enumerate(sites):
+        graph.add_edge(int(site), 6 + k)
+    return Topology(graph, name=f"heavy-hex6+{pendants}")
+
+
+def _random_regular(rng: np.random.Generator, max_qubits: int) -> Topology:
+    """A connected planar 3-regular graph, or a grid when sampling runs dry."""
+    n = 6 if max_qubits < 8 else int(rng.choice([6, 8]))
+    for _ in range(25):
+        graph = nx.random_regular_graph(3, n, seed=int(rng.integers(2**31)))
+        if nx.is_connected(graph) and nx.check_planarity(graph)[0]:
+            return Topology(nx.Graph(graph), name=f"rr3-{n}")
+    return grid(2, 3)
+
+
+def random_topology(
+    seed: int, family: str | None = None, max_qubits: int = 7
+) -> Topology:
+    """A seeded random topology from one of :data:`TOPOLOGY_FAMILIES`."""
+    if family is None:
+        family = TOPOLOGY_FAMILIES[seed % len(TOPOLOGY_FAMILIES)]
+    if family not in TOPOLOGY_FAMILIES:
+        raise ValueError(
+            f"unknown family {family!r}; known: {', '.join(TOPOLOGY_FAMILIES)}"
+        )
+    rng = _derived_rng(seed, "topology", family)
+    if family == "grid":
+        shapes = [s for s in _GRID_SHAPES if s[0] * s[1] <= max_qubits]
+        rows, cols = shapes[int(rng.integers(len(shapes)))]
+        return grid(rows, cols)
+    if family == "heavy_hex":
+        return _heavy_hex(rng, max_qubits)
+    return _random_regular(rng, max_qubits)
+
+
+def random_device(
+    seed: int, family: str | None = None, max_qubits: int = 7
+) -> Device:
+    """A seeded device: random topology + randomized ZZ-coupling strengths.
+
+    Couplings are sampled through the same :func:`make_device` machinery as
+    the paper's presets, with the mean/std themselves randomized so the
+    suppression invariants are exercised across coupling regimes.
+    """
+    topology = random_topology(seed, family, max_qubits)
+    rng = _derived_rng(seed, "crosstalk")
+    mean_khz = float(rng.uniform(120.0, 280.0))
+    std_khz = float(rng.uniform(20.0, 70.0))
+    return make_device(
+        topology,
+        mean_khz=mean_khz,
+        std_khz=std_khz,
+        seed=int(rng.integers(2**31)),
+    )
+
+
+_ONE_Q = ("h", "x", "y", "z", "s", "t", "rx", "ry", "rz", "u3")
+_TWO_Q = ("cx", "cz", "swap", "rzz", "cp")
+_PARAM_COUNT = {"rx": 1, "ry": 1, "rz": 1, "u3": 3, "rzz": 1, "cp": 1}
+
+
+def random_circuit(
+    num_qubits: int, seed: int, num_gates: int | None = None
+) -> Circuit:
+    """A seeded random circuit over the high-level gate set.
+
+    Roughly a third of the gates are two-qubit (when the register allows),
+    qubit pairs are unconstrained (routing inserts swaps), and parametrized
+    gates draw angles uniformly from ``(-pi, pi)``.
+    """
+    rng = _derived_rng(seed, "circuit")
+    if num_gates is None:
+        num_gates = int(rng.integers(4, 21))
+    circuit = Circuit(num_qubits)
+    for _ in range(num_gates):
+        two_q = num_qubits >= 2 and rng.random() < 0.35
+        name = str(rng.choice(_TWO_Q if two_q else _ONE_Q))
+        qubits = rng.permutation(num_qubits)[: 2 if two_q else 1]
+        params = rng.uniform(-np.pi, np.pi, _PARAM_COUNT.get(name, 0))
+        circuit.add(name, *(int(q) for q in qubits), params=params)
+    return circuit
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One fully determined verification scenario.
+
+    ``circuit`` is the native, device-wide compiled circuit the schedulers
+    consume; ``source`` describes where it came from.  ``payload()`` is the
+    canonical JSON form hashed into the store key.
+    """
+
+    seed: int
+    device: Device
+    circuit: Circuit
+    source: str
+
+    @property
+    def num_qubits(self) -> int:
+        return self.device.num_qubits
+
+    def payload(self) -> dict:
+        gates = [
+            [g.name, list(g.qubits), [round(p, 12) for p in g.params]]
+            for g in self.circuit.gates
+        ]
+        blob = json.dumps(
+            {
+                "edges": [list(e) for e in self.device.topology.edges],
+                "gates": gates,
+            },
+            separators=(",", ":"),
+        )
+        return {
+            "generator_version": GENERATOR_VERSION,
+            "seed": self.seed,
+            "family": self.device.topology.name,
+            "num_qubits": self.num_qubits,
+            "num_gates": len(self.circuit.gates),
+            "source": self.source,
+            "digest": hashlib.sha256(blob.encode()).hexdigest()[:16],
+        }
+
+
+def make_scenario(seed: int, max_qubits: int = 7) -> Scenario:
+    """Device + compiled circuit for one verification seed.
+
+    Every third seed draws a benchmark circuit (HS/QAOA/GRC/QV at a random
+    size that fits the device); the rest use the random gate soup.  Both are
+    compiled to the device's native gate set before scheduling.
+    """
+    device = random_device(seed, max_qubits=max_qubits)
+    rng = _derived_rng(seed, "scenario")
+    n = device.num_qubits
+    if seed % 3 == 0:
+        name = _SCENARIO_BENCHMARKS[int(rng.integers(len(_SCENARIO_BENCHMARKS)))]
+        size = int(rng.integers(2, n + 1))
+        if name == "HS":  # hidden shift needs an even register
+            size = max(2, size - size % 2)
+        logical = BENCHMARKS[name](size, seed=seed)
+        source = f"{name}-{size}"
+    else:
+        size = int(rng.integers(2, n + 1))
+        logical = random_circuit(size, seed)
+        source = f"random-{size}"
+    compiled = compile_circuit(logical, device.topology)
+    return Scenario(
+        seed=seed, device=device, circuit=compiled.circuit, source=source
+    )

@@ -1,0 +1,423 @@
+"""Correctness oracles: legality, suppression invariants, differentials.
+
+Every checker returns a (possibly empty) list of :class:`OracleFailure`;
+the empty list is the passing verdict.  Checkers never raise on a failed
+property — raising is reserved for misuse (e.g. a brute-force oracle on a
+topology too large to enumerate).
+
+Oracle groups:
+
+- **legality** — the schedule executes exactly the circuit: every gate
+  once, per-qubit order preserved, no qubit driven twice in a layer, and
+  the layer's pulsed set confined to one side of its suppression plan;
+- **suppression** — every multi-gate layer's plan satisfies the
+  :class:`~repro.scheduling.requirement.SuppressionRequirement`, bipartite
+  single-qubit layers achieve complete suppression, and the Theorem 6.1
+  split decisions land separated gates in distinct layers;
+- **differential** — ZZXSched against the naive reference transcription
+  (layer by layer), Algorithm 1 against the brute-force cut search, the
+  vectorized pulse engine against the loop reference, and the density
+  backend against statevector on the same coherent execution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.circuits.circuit import Circuit
+from repro.device.device import Device
+from repro.device.topology import Topology
+from repro.graphs.suppression import alpha_optimal_suppression
+from repro.pulses.library import PulseLibrary
+from repro.pulses.optimizers.engine import (
+    FidelityScenario,
+    fidelity_loss_and_grad,
+    pert_loss_and_grad,
+)
+from repro.qmath.paulis import ID2, SX, SY, SZ
+from repro.qmath.unitaries import rx, rzx
+from repro.runtime.executor import execute
+from repro.scheduling.layer import Layer, Schedule
+from repro.scheduling.requirement import SuppressionRequirement
+from repro.scheduling.zzxsched import ZZXConfig, zzx_schedule
+from repro.verify.reference import (
+    ReferenceTrace,
+    brute_force_cut,
+    independent_cut_metrics,
+    reference_fidelity_loss_and_grad,
+    reference_pert_loss_and_grad,
+    reference_zzx_schedule,
+)
+
+#: Tolerance of the exact-arithmetic differentials (engine, backends).
+DIFF_TOL = 1e-10
+
+
+@dataclass(frozen=True)
+class OracleFailure:
+    """One violated property, with enough detail to reproduce it."""
+
+    oracle: str
+    detail: str
+
+    def __str__(self) -> str:
+        return f"[{self.oracle}] {self.detail}"
+
+
+def _gate_tuple(gate) -> tuple:
+    return (gate.name, tuple(gate.qubits), tuple(gate.params))
+
+
+# ---------------------------------------------------------------------------
+# Legality.
+# ---------------------------------------------------------------------------
+
+
+def check_legality(
+    schedule: Schedule, circuit: Circuit, topology: Topology
+) -> list[OracleFailure]:
+    """Frontier/dependency order, qubit exclusivity, plan confinement."""
+    failures: list[OracleFailure] = []
+    scheduled = schedule.all_gates()
+    if [_gate_tuple(g) for g in sorted_by_qubits(scheduled)] != [
+        _gate_tuple(g) for g in sorted_by_qubits(circuit.gates)
+    ]:
+        failures.append(
+            OracleFailure(
+                "legality",
+                f"gate multiset changed: scheduled {len(scheduled)} vs "
+                f"circuit {len(circuit.gates)}",
+            )
+        )
+    for q in range(circuit.num_qubits):
+        original = [_gate_tuple(g) for g in circuit.gates if q in g.qubits]
+        replayed = [_gate_tuple(g) for g in scheduled if q in g.qubits]
+        if original != replayed:
+            failures.append(
+                OracleFailure(
+                    "legality", f"per-qubit gate order broken on qubit {q}"
+                )
+            )
+            break
+    for index, layer in enumerate(schedule.layers):
+        try:
+            layer.validate()
+        except ValueError as exc:
+            failures.append(
+                OracleFailure("legality", f"layer {index}: {exc}")
+            )
+        failures.extend(_check_plan_confinement(index, layer))
+    return failures
+
+
+def sorted_by_qubits(gates) -> list:
+    return sorted(gates, key=_gate_tuple)
+
+
+def _check_plan_confinement(index: int, layer: Layer) -> list[OracleFailure]:
+    """All pulsed qubits of a planned layer sit in one partition."""
+    if layer.plan is None or not layer.physical_gates:
+        return []
+    colors = {layer.plan.coloring[q] for q in layer.pulsed_qubits}
+    if len(colors) > 1:
+        return [
+            OracleFailure(
+                "legality",
+                f"layer {index}: pulsed qubits straddle the suppression cut",
+            )
+        ]
+    return []
+
+
+# ---------------------------------------------------------------------------
+# Suppression invariants.
+# ---------------------------------------------------------------------------
+
+
+def check_suppression(
+    schedule: Schedule,
+    topology: Topology,
+    requirement: SuppressionRequirement | None = None,
+) -> list[OracleFailure]:
+    """Every ZZXSched layer's cut satisfies ``R`` (with the paper's outs).
+
+    Layers holding a single two-qubit gate are exempt (Algorithm 2's
+    cannot-split fallback); single-qubit-only layers on bipartite
+    topologies must reach complete suppression (``NC = 0``).
+    """
+    requirement = requirement or SuppressionRequirement.from_topology(topology)
+    failures: list[OracleFailure] = []
+    for index, layer in enumerate(schedule.layers):
+        if layer.plan is None:
+            failures.append(
+                OracleFailure(
+                    "suppression", f"layer {index} carries no suppression plan"
+                )
+            )
+            continue
+        plan = layer.plan
+        nq, nc = independent_cut_metrics(topology, plan.coloring)
+        if (nq, nc) != (plan.nq, plan.nc):
+            failures.append(
+                OracleFailure(
+                    "suppression",
+                    f"layer {index}: plan metrics ({plan.nq}, {plan.nc}) "
+                    f"disagree with independent recount ({nq}, {nc})",
+                )
+            )
+        two_q = [g for g in layer.gates if g.num_qubits == 2]
+        if len(two_q) >= 2 and not requirement.satisfied_by(plan):
+            failures.append(
+                OracleFailure(
+                    "suppression",
+                    f"layer {index}: {len(two_q)} two-qubit gates on a cut "
+                    f"violating R (NQ={plan.nq}, NC={plan.nc})",
+                )
+            )
+        if not two_q and topology.is_bipartite and plan.nc != 0:
+            failures.append(
+                OracleFailure(
+                    "suppression",
+                    f"layer {index}: single-qubit layer on a bipartite "
+                    f"topology left NC={plan.nc} (expected complete "
+                    "suppression)",
+                )
+            )
+    return failures
+
+
+def check_theorem_6_1(trace: ReferenceTrace) -> list[OracleFailure]:
+    """Split closest-pairs must land in distinct layers (Theorem 6.1).
+
+    Applied to the reference trace: whenever TwoQSchedule separated the two
+    closest gates of a ready set, those gates may not share a layer.  The
+    recursive application of this pairwise guarantee is what places the K
+    closest gates into K distinct layers.
+    """
+    failures: list[OracleFailure] = []
+    for split in trace.splits:
+        a, b = split.closest
+        layer_a = trace.layer_of.get(a)
+        layer_b = trace.layer_of.get(b)
+        if layer_a is not None and layer_a == layer_b:
+            failures.append(
+                OracleFailure(
+                    "theorem-6.1",
+                    f"closest gates #{a} and #{b} were split at layer "
+                    f"{split.layer} yet share layer {layer_a}",
+                )
+            )
+    return failures
+
+
+# ---------------------------------------------------------------------------
+# Differentials.
+# ---------------------------------------------------------------------------
+
+
+def check_scheduler_differential(
+    circuit: Circuit,
+    topology: Topology,
+    requirement: SuppressionRequirement | None = None,
+    config: ZZXConfig | None = None,
+) -> tuple[list[OracleFailure], Schedule, ReferenceTrace]:
+    """Production ZZXSched vs the naive reference, layer by layer."""
+    production = zzx_schedule(circuit, topology, requirement, config)
+    reference, trace = reference_zzx_schedule(
+        circuit, topology, requirement, config
+    )
+    failures: list[OracleFailure] = []
+    if production.num_layers != reference.num_layers:
+        failures.append(
+            OracleFailure(
+                "scheduler-diff",
+                f"layer count {production.num_layers} vs reference "
+                f"{reference.num_layers}",
+            )
+        )
+    for index, (ours, ref) in enumerate(
+        zip(production.layers, reference.layers)
+    ):
+        for kind in ("gates", "identities", "virtual"):
+            a = [_gate_tuple(g) for g in getattr(ours, kind)]
+            b = [_gate_tuple(g) for g in getattr(ref, kind)]
+            if a != b:
+                failures.append(
+                    OracleFailure(
+                        "scheduler-diff",
+                        f"layer {index} {kind} differ: {a} vs {b}",
+                    )
+                )
+    a = [_gate_tuple(g) for g in production.trailing_virtual]
+    b = [_gate_tuple(g) for g in reference.trailing_virtual]
+    if a != b:
+        failures.append(
+            OracleFailure("scheduler-diff", "trailing virtual gates differ")
+        )
+    return failures, production, trace
+
+
+def check_cut_against_brute_force(
+    topology: Topology,
+    gate_qubits: frozenset[int] | set[int] = frozenset(),
+    alpha: float = 0.5,
+) -> list[OracleFailure]:
+    """Algorithm 1's plan vs exhaustive 2-coloring enumeration.
+
+    The heuristic need not be optimal in general, so the hard assertions
+    are: its metrics are honest (independent recount), it never beats the
+    true optimum, and on bipartite topologies with no gate constraint it
+    matches the paper's complete-suppression guarantee.
+    """
+    failures: list[OracleFailure] = []
+    plan = alpha_optimal_suppression(topology, gate_qubits, alpha=alpha)
+    nq, nc = independent_cut_metrics(topology, plan.coloring)
+    if (nq, nc) != (plan.nq, plan.nc):
+        failures.append(
+            OracleFailure(
+                "cut-metrics",
+                f"plan reports (NQ={plan.nq}, NC={plan.nc}), independent "
+                f"recount gives ({nq}, {nc})",
+            )
+        )
+    if gate_qubits and not plan.is_monochromatic(gate_qubits):
+        failures.append(
+            OracleFailure(
+                "cut-metrics",
+                f"gate qubits {sorted(gate_qubits)} straddle the cut",
+            )
+        )
+    best = brute_force_cut(topology, gate_qubits, alpha=alpha)
+    if plan.objective(alpha) < best.objective - 1e-9:
+        failures.append(
+            OracleFailure(
+                "cut-brute-force",
+                f"heuristic objective {plan.objective(alpha)} beats the "
+                f"exhaustive optimum {best.objective} — metrics are wrong",
+            )
+        )
+    if not gate_qubits and topology.is_bipartite and plan.nc != 0:
+        failures.append(
+            OracleFailure(
+                "cut-brute-force",
+                f"bipartite topology, unconstrained cut, but NC={plan.nc} "
+                f"(brute-force optimum: NC={best.nc})",
+            )
+        )
+    return failures
+
+
+_GENS_2Q = (
+    np.kron(SX, ID2),
+    np.kron(SY, ID2),
+    np.kron(ID2, SX),
+    np.kron(ID2, SY),
+    np.kron(SZ, SX),
+)
+_XTALK_2Q = (np.kron(SZ, ID2), np.kron(ID2, SZ))
+
+
+def check_pulse_engine(seed: int, tol: float = DIFF_TOL) -> list[OracleFailure]:
+    """Vectorized engine vs per-step loop reference on seeded random inputs."""
+    rng = np.random.default_rng([0x5E1F, seed])
+    failures: list[OracleFailure] = []
+
+    amps = 0.1 * rng.standard_normal((2, 16))
+    args = (amps, (SX, SY), (SZ,), rx(np.pi / 2), 5.0, 0.5)
+    loss_v, grad_v = pert_loss_and_grad(*args)
+    loss_r, grad_r = reference_pert_loss_and_grad(*args)
+    if abs(loss_v - loss_r) > tol or np.max(np.abs(grad_v - grad_r)) > tol:
+        failures.append(
+            OracleFailure(
+                "pulse-engine",
+                f"pert loss/grad diverge from loop reference (seed {seed}): "
+                f"dloss={abs(loss_v - loss_r):.2e}",
+            )
+        )
+
+    amps2 = 0.1 * rng.standard_normal((5, 12))
+    args2 = (amps2, _GENS_2Q, _XTALK_2Q, rzx(np.pi / 2), 3.0, 0.25)
+    loss_v, grad_v = pert_loss_and_grad(*args2)
+    loss_r, grad_r = reference_pert_loss_and_grad(*args2)
+    if abs(loss_v - loss_r) > tol or np.max(np.abs(grad_v - grad_r)) > tol:
+        failures.append(
+            OracleFailure(
+                "pulse-engine",
+                f"2q pert loss/grad diverge from loop reference (seed {seed})",
+            )
+        )
+
+    scenario = FidelityScenario(
+        generators=(np.kron(SX, ID2), np.kron(SY, ID2)),
+        static=float(rng.uniform(0.002, 0.02)) * np.kron(SZ, SZ),
+        target=np.kron(rx(np.pi / 2), ID2),
+        weight=1.0,
+    )
+    amps3 = 0.1 * rng.standard_normal((2, 16))
+    loss_v, grad_v = fidelity_loss_and_grad(scenario, amps3, 0.25)
+    loss_r, grad_r = reference_fidelity_loss_and_grad(scenario, amps3, 0.25)
+    if abs(loss_v - loss_r) > tol or np.max(np.abs(grad_v - grad_r)) > tol:
+        failures.append(
+            OracleFailure(
+                "pulse-engine",
+                f"fidelity loss/grad diverge from loop reference (seed {seed})",
+            )
+        )
+    return failures
+
+
+def check_backend_equivalence(
+    schedule: Schedule,
+    device: Device,
+    library: PulseLibrary,
+    tol: float = DIFF_TOL,
+) -> list[OracleFailure]:
+    """Coherent density execution must match statevector to ``tol``."""
+    sv = execute(schedule, device, library, "statevector")
+    dm = execute(schedule, device, library, "density")
+    if abs(sv.fidelity - dm.fidelity) > tol:
+        return [
+            OracleFailure(
+                "backend-diff",
+                f"density fidelity {dm.fidelity!r} vs statevector "
+                f"{sv.fidelity!r} (|delta| > {tol})",
+            )
+        ]
+    return []
+
+
+# ---------------------------------------------------------------------------
+# Aggregate entry point used by the runner.
+# ---------------------------------------------------------------------------
+
+
+def run_all_oracles(
+    scenario, library: PulseLibrary
+) -> dict[str, list[OracleFailure]]:
+    """Every oracle on one generated scenario; keys are check names."""
+    topology = scenario.device.topology
+    requirement = SuppressionRequirement.from_topology(topology)
+    checks: dict[str, list[OracleFailure]] = {}
+
+    diff, schedule, trace = check_scheduler_differential(
+        scenario.circuit, topology, requirement
+    )
+    checks["scheduler_diff"] = diff
+    checks["legality"] = check_legality(schedule, scenario.circuit, topology)
+    checks["suppression"] = check_suppression(schedule, topology, requirement)
+    checks["theorem_6_1"] = check_theorem_6_1(trace)
+    checks["cuts"] = check_cut_against_brute_force(topology, frozenset())
+    gate_qubits = frozenset(
+        q
+        for g in scenario.circuit.two_qubit_gates()[:1]
+        for q in g.qubits
+    )
+    if gate_qubits:
+        checks["cuts"] += check_cut_against_brute_force(topology, gate_qubits)
+    checks["pulse_engine"] = check_pulse_engine(scenario.seed)
+    checks["backends"] = check_backend_equivalence(
+        schedule, scenario.device, library
+    )
+    return checks

@@ -1,0 +1,425 @@
+"""Independent reference implementations the production code is diffed against.
+
+Three references, deliberately written with naive data structures so a bug
+in the production fast paths cannot hide in a shared helper:
+
+- :func:`reference_zzx_schedule` — a direct transcription of Algorithm 2
+  that recomputes the schedulable set from scratch every iteration (no
+  :class:`~repro.circuits.dag.SchedulingFrontier`) and re-derives the
+  grouping heuristic with plain loops.  It must match the production
+  scheduler *layer by layer*, and it emits a trace of every TwoQSchedule
+  split so Theorem 6.1 can be checked on the decisions actually taken.
+- :func:`brute_force_cut` — exhaustive enumeration of all 2-colorings of
+  a (small) topology, with its own metric computation; lower-bounds the
+  objective of Algorithm 1's heuristic plans and pins the complete-
+  suppression claim on bipartite topologies.
+- :func:`reference_pert_loss_and_grad` / :func:`reference_fidelity_loss_and_grad`
+  — per-step Python-loop transcriptions of the pulse-engine losses and
+  gradients (the pre-vectorization algorithms), matched at 1e-10.
+
+Both schedulers share :func:`~repro.graphs.suppression.alpha_optimal_suppression`
+(Algorithm 1 is the *subject* of the brute-force oracle, not of the
+scheduler diff); everything downstream of the cut — frontier iteration,
+case split, grouping, identity insertion — is recomputed independently.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.circuits.circuit import Circuit
+from repro.circuits.gates import Gate
+from repro.device.topology import Topology
+from repro.graphs.suppression import alpha_optimal_suppression
+from repro.scheduling.layer import Layer, Schedule
+from repro.scheduling.requirement import SuppressionRequirement
+from repro.scheduling.zzxsched import ZZXConfig
+
+# ---------------------------------------------------------------------------
+# Brute-force cut search (oracle for Algorithm 1).
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class BruteForceCut:
+    """The optimal cut found by exhaustive 2-coloring enumeration."""
+
+    coloring: dict[int, int]
+    nq: int
+    nc: int
+    objective: float
+
+
+def independent_cut_metrics(
+    topology: Topology, coloring: dict[int, int]
+) -> tuple[int, int]:
+    """(NQ, NC) of a coloring, computed without :mod:`repro.graphs.cuts`.
+
+    NC counts same-color couplings; NQ is the largest connected region of
+    the same-color subgraph (single qubits count as regions of size 1),
+    found here with a hand-rolled flood fill.
+    """
+    remaining = [
+        (u, v) for u, v in topology.edges if coloring[u] == coloring[v]
+    ]
+    adjacency: dict[int, list[int]] = {q: [] for q in range(topology.num_qubits)}
+    for u, v in remaining:
+        adjacency[u].append(v)
+        adjacency[v].append(u)
+    seen: set[int] = set()
+    nq = 0
+    for start in range(topology.num_qubits):
+        if start in seen:
+            continue
+        stack, size = [start], 0
+        seen.add(start)
+        while stack:
+            node = stack.pop()
+            size += 1
+            for nbr in adjacency[node]:
+                if nbr not in seen:
+                    seen.add(nbr)
+                    stack.append(nbr)
+        nq = max(nq, size)
+    return nq, len(remaining)
+
+
+def brute_force_cut(
+    topology: Topology,
+    gate_qubits: frozenset[int] | set[int] = frozenset(),
+    alpha: float = 0.5,
+) -> BruteForceCut:
+    """The true minimum of ``alpha * NQ + NC`` over all 2-colorings.
+
+    Qubit 0's color is fixed (the objective is symmetric under color
+    swap), so the search space is ``2^(n-1)``; intended for n <= ~12.
+    """
+    n = topology.num_qubits
+    if n > 16:
+        raise ValueError("brute-force cut search is for small topologies")
+    gate_qubits = frozenset(gate_qubits)
+    best: BruteForceCut | None = None
+    for bits in range(2 ** max(0, n - 1)):
+        coloring = {0: 0}
+        for q in range(1, n):
+            coloring[q] = (bits >> (q - 1)) & 1
+        if gate_qubits and len({coloring[q] for q in gate_qubits}) != 1:
+            continue
+        nq, nc = independent_cut_metrics(topology, coloring)
+        objective = alpha * nq + nc
+        if best is None or objective < best.objective:
+            best = BruteForceCut(coloring, nq, nc, objective)
+    assert best is not None  # the all-one-color candidate always qualifies
+    return best
+
+
+# ---------------------------------------------------------------------------
+# Reference Algorithm 2 (naive transcription, with trace).
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class SplitRecord:
+    """One TwoQSchedule invocation that had to split its gate set."""
+
+    #: circuit indices of the two closest gates that were separated
+    closest: tuple[int, int]
+    #: circuit indices of the full two-qubit ready set at that step
+    ready_two_q: tuple[int, ...]
+    #: layer index the split decision produced
+    layer: int
+
+
+@dataclass
+class ReferenceTrace:
+    """Decision log of one reference scheduling run."""
+
+    splits: list[SplitRecord] = field(default_factory=list)
+    #: circuit gate index -> layer index it was scheduled in
+    layer_of: dict[int, int] = field(default_factory=dict)
+
+
+def _ready(gates: list[Gate], unscheduled: set[int]) -> list[int]:
+    """Indices whose gates head the per-qubit order, recomputed from scratch."""
+    ready: list[int] = []
+    claimed: set[int] = set()
+    for index in sorted(unscheduled):
+        gate = gates[index]
+        if all(q not in claimed for q in gate.qubits):
+            ready.append(index)
+        claimed.update(gate.qubits)
+    return ready
+
+
+def _flush_virtual(
+    gates: list[Gate], unscheduled: set[int]
+) -> list[tuple[int, Gate]]:
+    flushed: list[tuple[int, Gate]] = []
+    while True:
+        virtual = [
+            i for i in _ready(gates, unscheduled) if gates[i].is_virtual
+        ]
+        if not virtual:
+            return flushed
+        for i in virtual:
+            unscheduled.discard(i)
+            flushed.append((i, gates[i]))
+
+
+def _monochromatic_side(plan, qubits: set[int]) -> frozenset[int]:
+    colors = {plan.coloring[q] for q in qubits}
+    if len(colors) == 1:
+        return plan.partition(colors.pop())
+    return plan.partition(plan.coloring[next(iter(qubits))])
+
+
+def _reference_two_q(
+    topology: Topology,
+    indexed: list[tuple[int, Gate]],
+    requirement: SuppressionRequirement,
+    config: ZZXConfig,
+):
+    """TwoQSchedule on (circuit-index, gate) pairs; returns plan, pulsed, split."""
+
+    def plan_for(group: list[tuple[int, Gate]]):
+        qubits = {q for _, g in group for q in g.qubits}
+        return alpha_optimal_suppression(
+            topology, qubits, alpha=config.alpha, top_k=config.top_k
+        )
+
+    def pair_distance(a: Gate, b: Gate) -> int:
+        return sum(
+            topology.distance(qa, qb) for qa in a.qubits for qb in b.qubits
+        )
+
+    plan = plan_for(indexed)
+    qubits_all = {q for _, g in indexed for q in g.qubits}
+    if plan.is_monochromatic(qubits_all) and requirement.satisfied_by(plan):
+        return plan, _monochromatic_side(plan, qubits_all), None
+    if len(indexed) == 1:
+        return plan, _monochromatic_side(plan, qubits_all), None
+
+    # Separate the first-encountered closest pair (i-major order, exactly
+    # like the production min over (distance, i, j) keyed on distance).
+    closest, best_d = None, None
+    for i in range(len(indexed)):
+        for j in range(i + 1, len(indexed)):
+            d = pair_distance(indexed[i][1], indexed[j][1])
+            if best_d is None or d < best_d:
+                best_d, closest = d, (i, j)
+    ia, ib = closest
+    group_a = [indexed[ia]]
+    group_b = [indexed[ib]]
+    pool = [item for k, item in enumerate(indexed) if k not in (ia, ib)]
+
+    def group_distance(gate: Gate, group: list[tuple[int, Gate]]) -> int:
+        return min(pair_distance(gate, member) for _, member in group)
+
+    while pool:
+        best = None
+        for item in pool:
+            for group in (group_a, group_b):
+                d = group_distance(item[1], group)
+                if best is None or d > best[0]:
+                    best = (d, item, group)
+        _, item, group = best
+        candidate = group + [item]
+        plan_candidate = plan_for(candidate)
+        qubits = {q for _, g in candidate for q in g.qubits}
+        if plan_candidate.is_monochromatic(qubits) and requirement.satisfied_by(
+            plan_candidate
+        ):
+            group.append(item)
+            pool.remove(item)
+        else:
+            break
+
+    chosen = group_a if len(group_a) >= len(group_b) else group_b
+    plan = plan_for(chosen)
+    qubits = {q for _, g in chosen for q in g.qubits}
+    split = (indexed[ia][0], indexed[ib][0])
+    return plan, _monochromatic_side(plan, qubits), split
+
+
+def reference_zzx_schedule(
+    circuit: Circuit,
+    topology: Topology,
+    requirement: SuppressionRequirement | None = None,
+    config: ZZXConfig | None = None,
+) -> tuple[Schedule, ReferenceTrace]:
+    """Naive Algorithm 2; must equal :func:`~repro.scheduling.zzxsched.zzx_schedule`."""
+    if circuit.num_qubits != topology.num_qubits:
+        raise ValueError("circuit must already be compiled to the device")
+    requirement = requirement or SuppressionRequirement.from_topology(topology)
+    config = config or ZZXConfig()
+    gates = list(circuit.gates)
+    unscheduled = set(range(len(gates)))
+    schedule = Schedule(num_qubits=circuit.num_qubits, policy="zzxsched")
+    trace = ReferenceTrace()
+
+    while unscheduled:
+        virtual = _flush_virtual(gates, unscheduled)
+        ready = _ready(gates, unscheduled)
+        if not ready:
+            schedule.trailing_virtual.extend(g for _, g in virtual)
+            break
+        two_q = [(i, gates[i]) for i in ready if gates[i].num_qubits == 2]
+        split = None
+
+        if not two_q:
+            plan = alpha_optimal_suppression(
+                topology, (), alpha=config.alpha, top_k=config.top_k
+            )
+            count1 = sum(
+                1 for i in ready if plan.coloring[gates[i].qubits[0]] == 1
+            )
+            count0 = len(ready) - count1
+            pulsed = plan.partition(0) if count0 >= count1 else plan.partition(1)
+        else:
+            plan, pulsed, split = _reference_two_q(
+                topology, two_q, requirement, config
+            )
+
+        chosen = [i for i in ready if set(gates[i].qubits) <= pulsed]
+        if not chosen:
+            chosen = [min(ready)]
+            pulsed = frozenset(range(topology.num_qubits))
+        if config.identity_policy == "not_pending":
+            occupied = {q for i in ready for q in gates[i].qubits}
+        else:  # "all_free"
+            occupied = {q for i in chosen for q in gates[i].qubits}
+        layer_index = len(schedule.layers)
+        for i in chosen:
+            unscheduled.discard(i)
+            trace.layer_of[i] = layer_index
+        if split is not None:
+            trace.splits.append(
+                SplitRecord(
+                    closest=split,
+                    ready_two_q=tuple(i for i, _ in two_q),
+                    layer=layer_index,
+                )
+            )
+        schedule.layers.append(
+            Layer(
+                gates=[gates[i] for i in sorted(chosen)],
+                identities=[
+                    Gate("id", (q,)) for q in sorted(frozenset(pulsed) - occupied)
+                ],
+                virtual=[g for _, g in virtual],
+                plan=plan,
+            )
+        )
+    schedule.trailing_virtual.extend(
+        g for _, g in _flush_virtual(gates, unscheduled)
+    )
+    return schedule, trace
+
+
+# ---------------------------------------------------------------------------
+# Loop references for the vectorized pulse engine.
+# ---------------------------------------------------------------------------
+
+
+def _loop_forward(amplitudes, generators, static, dt):
+    """Per-step eigh forward pass (the pre-vectorization algorithm)."""
+    dim = static.shape[0]
+    evals_list, evecs_list, cumulative = [], [], []
+    total = np.eye(dim, dtype=complex)
+    for k in range(amplitudes.shape[1]):
+        h = np.asarray(static, dtype=complex).copy()
+        for c, gen in enumerate(generators):
+            h = h + amplitudes[c, k] * gen
+        evals, evecs = np.linalg.eigh(h)
+        u_k = (evecs * np.exp(-1.0j * evals * dt)) @ evecs.conj().T
+        total = u_k @ total
+        evals_list.append(evals)
+        evecs_list.append(evecs)
+        cumulative.append(total)
+    return evals_list, evecs_list, cumulative
+
+
+def _loop_gradient_factor(evals, q, dt, cumulative, k, generator, dim):
+    phases = np.exp(-1.0j * evals * dt)
+    diff_l = evals[:, None] - evals[None, :]
+    diff_f = phases[:, None] - phases[None, :]
+    loewner = np.where(
+        np.abs(diff_l) > 1e-12,
+        diff_f / np.where(np.abs(diff_l) > 1e-12, diff_l, 1.0),
+        -1.0j * dt * phases[:, None],
+    )
+    e = q.conj().T @ generator @ q
+    du = q @ (loewner * e) @ q.conj().T
+    before = np.eye(dim, dtype=complex) if k == 0 else cumulative[k - 1]
+    return cumulative[k].conj().T @ du @ before
+
+
+def reference_fidelity_loss_and_grad(scenario, amplitudes, dt):
+    """Loop transcription of :func:`repro.pulses.optimizers.engine.fidelity_loss_and_grad`."""
+    dim = scenario.target.shape[0]
+    evals, evecs, cumulative = _loop_forward(
+        amplitudes, scenario.generators, scenario.static, dt
+    )
+    w = scenario.target.conj().T @ cumulative[-1]
+    tr0 = np.trace(w)
+    loss = 1.0 - (abs(tr0) ** 2 + dim) / (dim * (dim + 1))
+    grad = np.zeros_like(amplitudes)
+    for k in range(amplitudes.shape[1]):
+        for c, gen in enumerate(scenario.generators):
+            g = _loop_gradient_factor(
+                evals[k], evecs[k], dt, cumulative, k, gen, dim
+            )
+            grad[c, k] = -(2.0 / (dim * (dim + 1))) * float(
+                np.real(np.conj(tr0) * np.trace(w @ g))
+            )
+    return float(loss), grad
+
+
+def reference_pert_loss_and_grad(
+    amplitudes, generators, xtalk_ops, target, gate_weight, dt
+):
+    """Loop transcription of :func:`repro.pulses.optimizers.engine.pert_loss_and_grad`."""
+    dim = target.shape[0]
+    static = np.zeros((dim, dim), dtype=complex)
+    evals, evecs, cumulative = _loop_forward(amplitudes, generators, static, dt)
+    num_channels, num_steps = amplitudes.shape
+    duration = num_steps * dt
+
+    w = target.conj().T @ cumulative[-1]
+    tr0 = np.trace(w)
+    loss = gate_weight * (1.0 - (abs(tr0) ** 2 + dim) / (dim * (dim + 1)))
+
+    factors = [
+        [
+            _loop_gradient_factor(evals[k], evecs[k], dt, cumulative, k, gen, dim)
+            for gen in generators
+        ]
+        for k in range(num_steps)
+    ]
+    grad = np.zeros_like(amplitudes)
+    for k in range(num_steps):
+        for c in range(num_channels):
+            dtr = np.trace(w @ factors[k][c])
+            grad[c, k] += -gate_weight * (2.0 / (dim * (dim + 1))) * float(
+                np.real(np.conj(tr0) * dtr)
+            )
+
+    norm = duration**2
+    for a_op in xtalk_ops:
+        integrand = [c_k.conj().T @ a_op @ c_k * dt for c_k in cumulative]
+        m = np.sum(integrand, axis=0)
+        loss += float(np.real(np.trace(m.conj().T @ m))) / norm
+        suffix = np.zeros((dim, dim), dtype=complex)
+        suffixes = [None] * num_steps
+        for j in range(num_steps - 1, -1, -1):
+            suffix = suffix + integrand[j]
+            suffixes[j] = suffix
+        m_dag = m.conj().T
+        for j in range(num_steps):
+            for c in range(num_channels):
+                g = factors[j][c]
+                dm = g.conj().T @ suffixes[j] + suffixes[j] @ g
+                grad[c, j] += 2.0 * float(np.real(np.trace(m_dag @ dm))) / norm
+    return float(loss), grad

@@ -1,0 +1,198 @@
+"""Scenario engine behind ``repro verify``.
+
+Runs N seeded scenarios — random device, random circuit, every oracle —
+and records the outcomes in the campaign :class:`~repro.campaigns.store.ResultStore`,
+keyed by a content hash of the scenario payload + library fingerprint, so
+re-running a verification sweep skips every scenario that already passed
+(failed scenarios are always re-checked: they are the ones being fixed).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import time
+from dataclasses import dataclass
+
+from repro.campaigns.fingerprint import library_fingerprint
+from repro.campaigns.store import ResultStore
+from repro.experiments.result import ExperimentResult
+from repro.pulses.library import PulseLibrary, build_library
+from repro.verify.generators import Scenario, make_scenario
+from repro.verify.oracles import run_all_oracles
+
+#: Names of the per-scenario checks, in report-column order.
+CHECK_NAMES = (
+    "scheduler_diff",
+    "legality",
+    "suppression",
+    "theorem_6_1",
+    "cuts",
+    "pulse_engine",
+    "backends",
+)
+
+#: Pulse method used for scenario executions (cheapest library build).
+DEFAULT_METHOD = "gaussian"
+
+
+def scenario_key(payload: dict, fingerprint: str) -> str:
+    """Store key for one verification scenario (mirrors ``cell_key``)."""
+    blob = json.dumps(
+        {"verify": payload, "fingerprint": fingerprint},
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(blob.encode()).hexdigest()[:24]
+
+
+@dataclass
+class ScenarioOutcome:
+    """Result of all oracles on one scenario."""
+
+    scenario: Scenario
+    failures: dict[str, list[str]]
+    elapsed_s: float
+    cached: bool = False
+
+    @property
+    def passed(self) -> bool:
+        return not any(self.failures.values())
+
+    def row(self) -> dict:
+        row: dict = {
+            "seed": self.scenario.seed,
+            "device": self.scenario.device.topology.name,
+            "circuit": self.scenario.source,
+        }
+        for check in CHECK_NAMES:
+            problems = self.failures.get(check, [])
+            row[check] = "ok" if not problems else f"FAIL({len(problems)})"
+        row["cached"] = "yes" if self.cached else ""
+        return row
+
+
+@dataclass
+class VerificationReport:
+    """Outcome of one :func:`verify_scenarios` run."""
+
+    outcomes: list[ScenarioOutcome]
+    fingerprint: str
+    elapsed_s: float = 0.0
+    computed: int = 0
+    cached: int = 0
+
+    @property
+    def passed(self) -> bool:
+        return all(outcome.passed for outcome in self.outcomes)
+
+    @property
+    def failures(self) -> list[str]:
+        out: list[str] = []
+        for outcome in self.outcomes:
+            for check, problems in outcome.failures.items():
+                out.extend(
+                    f"seed {outcome.scenario.seed} {check}: {p}"
+                    for p in problems
+                )
+        return out
+
+    def render(self) -> str:
+        result = ExperimentResult(
+            "verify",
+            f"{len(self.outcomes)} differential-verification scenarios",
+            rows=[outcome.row() for outcome in self.outcomes],
+            notes=(
+                f"{self.computed} computed, {self.cached} cached "
+                f"[fingerprint={self.fingerprint}, {self.elapsed_s:.1f}s]"
+            ),
+        )
+        lines = [result.render()]
+        if not self.passed:
+            lines.append("")
+            lines.extend(self.failures)
+            # A bare integer --seeds spec is a *count*; the range form
+            # targets one seed exactly.
+            lines.append("(re-run a single seed N with --seeds N-N)")
+        return "\n".join(lines)
+
+
+def _stored_pass(store: ResultStore, key: str) -> bool:
+    record = store.get(key)
+    if record is None:
+        return False
+    failures = record.get("result", {}).get("failures", {"?": ["unreadable"]})
+    return not any(failures.values())
+
+
+def verify_scenarios(
+    seeds,
+    store: ResultStore | None = None,
+    *,
+    method: str = DEFAULT_METHOD,
+    library: PulseLibrary | None = None,
+    max_qubits: int = 7,
+    fingerprint: str | None = None,
+) -> VerificationReport:
+    """Run every oracle on one scenario per seed, store-backed.
+
+    Scenarios whose stored record passed under the current fingerprint are
+    reported as cached and not recomputed; failed or missing scenarios run
+    (and overwrite their record), so a rerun after a fix converges to
+    all-green without redoing the green part.
+    """
+    store = store if store is not None else ResultStore(None)
+    fingerprint = fingerprint or library_fingerprint()
+    start = time.perf_counter()
+    outcomes: list[ScenarioOutcome] = []
+    computed = cached = 0
+
+    for seed in seeds:
+        scenario = make_scenario(int(seed), max_qubits=max_qubits)
+        payload = scenario.payload()
+        key = scenario_key(payload, fingerprint)
+        if _stored_pass(store, key):
+            record = store.get(key)
+            outcomes.append(
+                ScenarioOutcome(
+                    scenario=scenario,
+                    failures=record["result"]["failures"],
+                    elapsed_s=0.0,
+                    cached=True,
+                )
+            )
+            cached += 1
+            continue
+        if library is None:
+            # Deferred: an all-cache-hit rerun never pays for pulse
+            # optimization when the committed cache is cold.
+            library = build_library(method)
+        t0 = time.perf_counter()
+        checks = run_all_oracles(scenario, library)
+        elapsed = time.perf_counter() - t0
+        failures = {
+            check: [str(problem) for problem in problems]
+            for check, problems in checks.items()
+        }
+        store.put_record(
+            {
+                "key": key,
+                "fingerprint": fingerprint,
+                "verify": payload,
+                "result": {"failures": failures},
+                "elapsed_s": elapsed,
+                "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+            }
+        )
+        outcomes.append(
+            ScenarioOutcome(scenario=scenario, failures=failures, elapsed_s=elapsed)
+        )
+        computed += 1
+
+    return VerificationReport(
+        outcomes=outcomes,
+        fingerprint=fingerprint,
+        elapsed_s=time.perf_counter() - start,
+        computed=computed,
+        cached=cached,
+    )

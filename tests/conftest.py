@@ -1,6 +1,15 @@
-"""Shared fixtures: topologies, devices, and cached pulse libraries."""
+"""Shared fixtures: topologies, devices, cached pulse libraries, seeded RNGs.
+
+Randomness policy: tests take the ``rng`` fixture (one
+``numpy.random.Generator`` per test, seeded deterministically from the
+test's node id) or call ``make_rng(seed)`` for explicitly parametrized
+streams.  Every seed handed out is echoed in a report section when the
+test fails, so any failure reproduces from the printed integer.
+"""
 
 from __future__ import annotations
+
+import zlib
 
 import numpy as np
 import pytest
@@ -54,6 +63,39 @@ def lib_optctrl():
     return build_library("optctrl")
 
 
+def _record_seed(request, seed: int) -> None:
+    request.node._rng_seeds = getattr(request.node, "_rng_seeds", []) + [seed]
+
+
 @pytest.fixture()
-def rng():
-    return np.random.default_rng(12345)
+def rng(request) -> np.random.Generator:
+    """One deterministic Generator per test (seed derived from the node id)."""
+    seed = zlib.crc32(request.node.nodeid.encode())
+    _record_seed(request, seed)
+    return np.random.default_rng(seed)
+
+
+@pytest.fixture()
+def make_rng(request):
+    """Factory for explicitly seeded Generators (seeds reported on failure)."""
+
+    def factory(seed: int) -> np.random.Generator:
+        _record_seed(request, seed)
+        return np.random.default_rng(seed)
+
+    return factory
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_makereport(item, call):
+    outcome = yield
+    report = outcome.get_result()
+    seeds = getattr(item, "_rng_seeds", None)
+    if seeds and report.when == "call" and report.failed:
+        report.sections.append(
+            (
+                "seeded rng",
+                "reproduce with np.random.default_rng(seed) for seed in "
+                f"{seeds}",
+            )
+        )

@@ -38,8 +38,8 @@ def permutation_unitary(initial, final, n):
 
 class TestTranspile:
     @pytest.mark.parametrize("seed", range(5))
-    def test_random_circuit_equivalence(self, seed):
-        rng = np.random.default_rng(seed)
+    def test_random_circuit_equivalence(self, seed, make_rng):
+        rng = make_rng(seed)
         c = Circuit(3)
         for _ in range(12):
             kind = rng.integers(0, 5)

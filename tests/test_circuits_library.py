@@ -40,8 +40,8 @@ class TestQFT:
 
 class TestHiddenShift:
     @pytest.mark.parametrize("n", [2, 4, 6])
-    def test_reveals_shift(self, n):
-        shift = tuple(int(b) for b in np.random.default_rng(3).integers(0, 2, n))
+    def test_reveals_shift(self, n, rng):
+        shift = tuple(int(b) for b in rng.integers(0, 2, n))
         c = hidden_shift(n, shift=shift)
         psi = c.output_state()
         expected = basis_state(list(shift))

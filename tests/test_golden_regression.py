@@ -1,0 +1,97 @@
+"""Golden regression: tier logic on synthetic fixtures, pins on the real ones."""
+
+import json
+
+import pytest
+
+from repro.verify import golden
+
+
+class TestTierLogic:
+    def _fixture(self, tmp_path, tier, values):
+        path = tmp_path / "golden.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "version": golden.FIXTURE_VERSION,
+                    "entries": {
+                        "fig16": {"tier": tier, "values": values},
+                    },
+                }
+            )
+        )
+        return path
+
+    def test_exact_tier_flags_any_drift(self, tmp_path):
+        path = self._fixture(tmp_path, "exact", {"layers": 7})
+        assert golden.compare("fig16", path, fresh={"layers": 7}) == []
+        diffs = golden.compare("fig16", path, fresh={"layers": 8})
+        assert len(diffs) == 1
+        assert diffs[0].tier == "exact"
+
+    def test_close_tier_tolerates_rounding_only(self, tmp_path):
+        path = self._fixture(tmp_path, "close", {"f": 0.9})
+        assert golden.compare("fig16", path, fresh={"f": 0.9 + 1e-12}) == []
+        assert golden.compare("fig16", path, fresh={"f": 0.9 + 1e-6}) != []
+
+    def test_statistical_tier_tolerates_resampling(self, tmp_path):
+        path = self._fixture(tmp_path, "statistical", {"f": 0.80})
+        assert golden.compare("fig16", path, fresh={"f": 0.82}) == []
+        assert golden.compare("fig16", path, fresh={"f": 0.70}) != []
+
+    def test_new_and_missing_keys_flagged(self, tmp_path):
+        path = self._fixture(tmp_path, "close", {"a": 1.0})
+        diffs = golden.compare("fig16", path, fresh={"b": 1.0})
+        reasons = {d.reason for d in diffs}
+        assert "new key" in reasons
+        assert "key gone" in reasons
+
+    def test_missing_fixture_reported(self, tmp_path):
+        path = tmp_path / "empty.json"
+        diffs = golden.compare("fig16", path, fresh={})
+        assert len(diffs) == 1
+        assert "refresh_golden" in diffs[0].reason
+
+    def test_newer_fixture_version_rejected(self, tmp_path):
+        path = tmp_path / "golden.json"
+        path.write_text(
+            json.dumps(
+                {"version": golden.FIXTURE_VERSION + 1, "entries": {}}
+            )
+        )
+        with pytest.raises(ValueError):
+            golden.load_fixtures(path)
+
+    def test_unknown_ids_rejected(self):
+        with pytest.raises(ValueError):
+            golden.compare_all(["fig99"])
+
+
+class TestCommittedFixtures:
+    def test_fixture_file_pins_every_golden(self):
+        entries = golden.load_fixtures()["entries"]
+        for golden_id, spec in golden.GOLDENS.items():
+            assert golden_id in entries, (
+                f"{golden_id} unpinned — run scripts/refresh_golden.py"
+            )
+            assert entries[golden_id]["tier"] == spec.tier
+            assert entries[golden_id]["values"]
+
+    def test_headline_figures_present(self):
+        assert {"fig16", "fig20", "fig23"} <= set(golden.GOLDENS)
+
+
+@pytest.mark.tier2
+class TestGoldenRegression:
+    """Recompute the deterministic goldens and diff against the fixtures.
+
+    ``fig23-trajectories`` (the Monte Carlo pin, ~20s) is left to the CI
+    ``repro verify --golden`` smoke job to keep the suite quick.
+    """
+
+    @pytest.mark.parametrize(
+        "golden_id", ["fig16", "fig20", "fig23", "schedule-structure"]
+    )
+    def test_matches_fixture(self, golden_id):
+        diffs = golden.compare(golden_id)
+        assert diffs == [], "\n".join(str(d) for d in diffs)

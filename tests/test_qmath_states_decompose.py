@@ -65,8 +65,8 @@ class TestGlobalPhase:
 
 class TestEulerZXZXZ:
     @pytest.mark.parametrize("seed", range(8))
-    def test_reconstruction(self, seed):
-        rng = np.random.default_rng(seed)
+    def test_reconstruction(self, seed, make_rng):
+        rng = make_rng(seed)
         m = rng.normal(size=(2, 2)) + 1j * rng.normal(size=(2, 2))
         u = np.linalg.qr(m)[0]
         a, b, c = euler_zxzxz(u)

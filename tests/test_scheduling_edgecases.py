@@ -1,0 +1,117 @@
+"""ZZXSched edge cases: degenerate circuits and unsatisfiable requirements."""
+
+import pytest
+
+from repro.circuits import Circuit, transpile
+from repro.scheduling import SuppressionRequirement, ZZXConfig, zzx_schedule
+from repro.scheduling.zzxsched import IDENTITY_POLICIES
+from repro.verify.reference import reference_zzx_schedule
+
+
+class TestEmptyAndVirtualOnly:
+    def test_empty_circuit(self, grid23):
+        schedule = zzx_schedule(Circuit(6), grid23)
+        assert schedule.num_layers == 0
+        assert schedule.trailing_virtual == []
+        assert schedule.all_gates() == []
+
+    def test_virtual_only_circuit(self, grid23):
+        circuit = Circuit(6).rz(0, 0.3).rz(1, -0.2).rz(0, 0.1)
+        schedule = zzx_schedule(circuit, grid23)
+        assert schedule.num_layers == 0
+        assert [g.name for g in schedule.trailing_virtual] == ["rz"] * 3
+        assert schedule.all_gates() == circuit.gates
+
+    def test_empty_circuit_matches_reference(self, grid23):
+        reference, trace = reference_zzx_schedule(Circuit(6), grid23)
+        assert reference.num_layers == 0
+        assert trace.splits == []
+
+
+class TestSingleQubitOnly:
+    @pytest.mark.parametrize("policy", IDENTITY_POLICIES)
+    def test_all_gates_scheduled_under_both_policies(self, grid23, policy):
+        circuit = transpile(Circuit(6).h(0).x(3).y(5))
+        config = ZZXConfig(identity_policy=policy)
+        schedule = zzx_schedule(circuit, grid23, config=config)
+        physical = [g for g in circuit.gates if not g.is_virtual]
+        scheduled = [g for g in schedule.all_gates() if not g.is_virtual]
+        assert len(scheduled) == len(physical)
+        for layer in schedule.layers:
+            layer.validate()
+            # On the bipartite grid Algorithm 1 finds a complete cut, so
+            # pulsed qubits always stay inside one partition of the plan.
+            colors = {layer.plan.coloring[q] for q in layer.pulsed_qubits}
+            assert len(colors) == 1
+
+    @pytest.mark.parametrize("policy", IDENTITY_POLICIES)
+    def test_matches_reference_under_both_policies(self, grid23, policy):
+        circuit = transpile(Circuit(6).h(0).h(1).h(2).x(4).y(5))
+        config = ZZXConfig(identity_policy=policy)
+        production = zzx_schedule(circuit, grid23, config=config)
+        reference, _ = reference_zzx_schedule(circuit, grid23, config=config)
+        assert production.num_layers == reference.num_layers
+        for ours, ref in zip(production.layers, reference.layers):
+            assert ours.gates == ref.gates
+            assert ours.identities == ref.identities
+            assert ours.virtual == ref.virtual
+
+    def test_all_free_policy_pulses_at_least_as_many(self, grid23):
+        circuit = transpile(Circuit(6).h(0).x(1))
+        literal = zzx_schedule(
+            circuit, grid23, config=ZZXConfig(identity_policy="not_pending")
+        )
+        eager = zzx_schedule(
+            circuit, grid23, config=ZZXConfig(identity_policy="all_free")
+        )
+        count = lambda s: sum(len(l.identities) for l in s.layers)  # noqa: E731
+        assert count(eager) >= count(literal)
+
+
+class TestUnsatisfiableRequirement:
+    """A requirement nothing satisfies must degrade, not loop."""
+
+    #: NQ < 1 and NC <= -1 cannot hold for any cut (NQ, NC >= 0).
+    IMPOSSIBLE = SuppressionRequirement(
+        max_nq_exclusive=1, max_nc_inclusive=-1.0
+    )
+
+    def _three_gate_circuit(self) -> Circuit:
+        # Three disjoint couplings of the 2x3 grid: (0,1), (3,4), (2,5).
+        return (
+            Circuit(6).rzx90(0, 1).rzx90(3, 4).rzx90(2, 5)
+        )
+
+    def test_terminates_with_one_gate_per_layer(self, grid23):
+        schedule = zzx_schedule(
+            self._three_gate_circuit(), grid23, requirement=self.IMPOSSIBLE
+        )
+        # Every split ends at the single-gate fallback: 3 layers, one
+        # two-qubit gate each.
+        assert schedule.num_layers == 3
+        for layer in schedule.layers:
+            assert len([g for g in layer.gates if g.num_qubits == 2]) == 1
+
+    def test_matches_reference(self, grid23):
+        circuit = self._three_gate_circuit()
+        production = zzx_schedule(circuit, grid23, requirement=self.IMPOSSIBLE)
+        reference, trace = reference_zzx_schedule(
+            circuit, grid23, requirement=self.IMPOSSIBLE
+        )
+        assert production.num_layers == reference.num_layers
+        for ours, ref in zip(production.layers, reference.layers):
+            assert ours.gates == ref.gates
+            assert ours.identities == ref.identities
+        # Splitting happened, and each split's closest pair ended up in
+        # different layers (Theorem 6.1 on the decisions actually taken).
+        assert trace.splits
+        for split in trace.splits:
+            a, b = split.closest
+            assert trace.layer_of[a] != trace.layer_of[b]
+
+    def test_gates_all_scheduled_exactly_once(self, grid23):
+        circuit = self._three_gate_circuit()
+        schedule = zzx_schedule(circuit, grid23, requirement=self.IMPOSSIBLE)
+        assert sorted(
+            (g.name, g.qubits) for g in schedule.all_gates()
+        ) == sorted((g.name, g.qubits) for g in circuit.gates)

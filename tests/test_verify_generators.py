@@ -1,0 +1,91 @@
+"""Generators: determinism, family coverage, structural guarantees."""
+
+import networkx as nx
+import pytest
+
+from repro.verify.generators import (
+    TOPOLOGY_FAMILIES,
+    make_scenario,
+    random_circuit,
+    random_device,
+    random_topology,
+)
+
+
+class TestRandomTopology:
+    @pytest.mark.parametrize("seed", range(12))
+    def test_connected_and_planar(self, seed):
+        topology = random_topology(seed)
+        assert nx.is_connected(topology.graph)
+        assert topology.is_planar  # Algorithm 1 needs the planar dual
+        assert topology.num_qubits <= 7
+
+    def test_all_families_reachable(self):
+        names = {random_topology(seed).name for seed in range(9)}
+        assert any(n.startswith("grid") for n in names)
+        assert any(n.startswith("heavy-hex") for n in names)
+        assert any(n.startswith("rr3") for n in names)
+
+    def test_deterministic(self):
+        a = random_topology(42)
+        b = random_topology(42)
+        assert a.edges == b.edges
+
+    def test_explicit_family(self):
+        for family in TOPOLOGY_FAMILIES:
+            topology = random_topology(3, family=family)
+            assert nx.is_connected(topology.graph)
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(ValueError):
+            random_topology(0, family="torus")
+
+
+class TestRandomDevice:
+    def test_deterministic_crosstalk(self):
+        a = random_device(7)
+        b = random_device(7)
+        assert a.crosstalk == b.crosstalk
+
+    def test_couplings_cover_every_edge(self):
+        device = random_device(11)
+        assert {(u, v) for u, v, _ in device.couplings()} == set(
+            device.topology.edges
+        )
+
+    def test_strengths_vary_across_seeds(self):
+        assert random_device(1).crosstalk != random_device(2).crosstalk
+
+
+class TestRandomCircuit:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_qubits_in_range(self, seed):
+        circuit = random_circuit(4, seed)
+        assert all(0 <= q < 4 for g in circuit.gates for q in g.qubits)
+        assert len(circuit.gates) >= 4
+
+    def test_deterministic(self):
+        a = random_circuit(5, 9)
+        b = random_circuit(5, 9)
+        assert a.gates == b.gates
+
+    def test_single_qubit_register(self):
+        circuit = random_circuit(1, 3)
+        assert all(g.num_qubits == 1 for g in circuit.gates)
+
+
+class TestScenario:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_payload_stable(self, seed):
+        a = make_scenario(seed).payload()
+        b = make_scenario(seed).payload()
+        assert a == b
+
+    def test_payloads_differ_across_seeds(self):
+        digests = {make_scenario(seed).payload()["digest"] for seed in range(8)}
+        assert len(digests) == 8
+
+    def test_circuit_is_native_and_device_wide(self):
+        scenario = make_scenario(4)
+        assert scenario.circuit.num_qubits == scenario.device.num_qubits
+        assert all(g.is_native for g in scenario.circuit.gates)

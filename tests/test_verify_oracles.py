@@ -1,0 +1,195 @@
+"""Oracles must pass on correct artifacts and flag corrupted ones."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import Circuit, compile_circuit
+from repro.circuits.gates import Gate
+from repro.circuits.library import qaoa
+from repro.device.presets import ibmq_vigo, ring
+from repro.graphs.cuts import CutMetrics
+from repro.graphs.suppression import SuppressionPlan, alpha_optimal_suppression
+from repro.scheduling import zzx_schedule
+from repro.scheduling.layer import Layer, Schedule
+from repro.verify.oracles import (
+    check_backend_equivalence,
+    check_cut_against_brute_force,
+    check_legality,
+    check_pulse_engine,
+    check_scheduler_differential,
+    check_suppression,
+    check_theorem_6_1,
+)
+from repro.verify.reference import (
+    ReferenceTrace,
+    SplitRecord,
+    brute_force_cut,
+    independent_cut_metrics,
+)
+
+
+def _native(topology, seed=0):
+    return compile_circuit(qaoa(topology.num_qubits, seed=seed), topology).circuit
+
+
+class TestSchedulerDifferential:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_agrees_on_qaoa(self, grid23, seed):
+        failures, schedule, trace = check_scheduler_differential(
+            _native(grid23, seed), grid23
+        )
+        assert failures == []
+        assert schedule.num_layers > 0
+
+    def test_agrees_on_nongrid_topologies(self):
+        for topology in (ibmq_vigo(), ring(6)):
+            circuit = _native(topology)
+            failures, _, _ = check_scheduler_differential(circuit, topology)
+            assert failures == []
+
+
+class TestLegality:
+    def test_passes_on_real_schedule(self, grid23):
+        circuit = _native(grid23)
+        schedule = zzx_schedule(circuit, grid23)
+        assert check_legality(schedule, circuit, grid23) == []
+
+    def test_flags_dropped_gate(self, grid23):
+        circuit = _native(grid23)
+        schedule = zzx_schedule(circuit, grid23)
+        schedule.layers[-1].gates.pop()
+        failures = check_legality(schedule, circuit, grid23)
+        assert any("multiset" in f.detail for f in failures)
+
+    def test_flags_reordered_gates(self, grid23):
+        circuit = Circuit(6).rx90(0).rz(0, 0.4).rx90(0)
+        schedule = zzx_schedule(circuit, grid23)
+        # Swap the two rx90 layers' virtual bookkeeping out of order.
+        schedule.layers[0].virtual.append(Gate("rz", (0,), (0.4,)))
+        schedule.layers[1].virtual.clear()
+        failures = check_legality(schedule, circuit, grid23)
+        assert failures
+
+    def test_flags_double_drive(self, grid23):
+        circuit = Circuit(6).rx90(0)
+        schedule = zzx_schedule(circuit, grid23)
+        schedule.layers[0].identities.append(Gate("id", (0,)))
+        failures = check_legality(schedule, circuit, grid23)
+        assert any("driven twice" in f.detail for f in failures)
+
+
+class TestSuppression:
+    def test_passes_on_real_schedule(self, grid23):
+        schedule = zzx_schedule(_native(grid23), grid23)
+        assert check_suppression(schedule, grid23) == []
+
+    def test_flags_lying_plan_metrics(self, grid23):
+        schedule = zzx_schedule(_native(grid23), grid23)
+        real = schedule.layers[0].plan
+        schedule.layers[0].plan = SuppressionPlan(
+            coloring=real.coloring,
+            metrics=CutMetrics(nq=0, nc=0, remaining_edges=frozenset()),
+            pairing_edges=real.pairing_edges,
+        )
+        # A fabricated all-zero metric either lies about the recount or
+        # hides a violation; the oracle must notice unless the real cut
+        # truly was (NQ=0, NC=0), which cannot happen (NQ >= 1).
+        failures = check_suppression(schedule, grid23)
+        assert any("recount" in f.detail for f in failures)
+
+    def test_flags_missing_plan(self, grid23):
+        schedule = Schedule(
+            num_qubits=6, layers=[Layer(gates=[Gate("rx90", (0,))])]
+        )
+        failures = check_suppression(schedule, grid23)
+        assert any("no suppression plan" in f.detail for f in failures)
+
+
+class TestTheorem61:
+    def test_clean_trace_passes(self):
+        trace = ReferenceTrace(
+            splits=[SplitRecord(closest=(0, 1), ready_two_q=(0, 1), layer=0)],
+            layer_of={0: 0, 1: 1},
+        )
+        assert check_theorem_6_1(trace) == []
+
+    def test_shared_layer_flagged(self):
+        trace = ReferenceTrace(
+            splits=[SplitRecord(closest=(0, 1), ready_two_q=(0, 1), layer=0)],
+            layer_of={0: 0, 1: 0},
+        )
+        failures = check_theorem_6_1(trace)
+        assert len(failures) == 1
+        assert "share layer" in failures[0].detail
+
+
+class TestBruteForceCut:
+    def test_bipartite_topologies_completely_suppressed(self, grid23, grid34):
+        for topology in (grid23, grid34, ibmq_vigo(), ring(6)):
+            assert check_cut_against_brute_force(topology) == []
+
+    def test_odd_ring_not_fully_suppressible(self):
+        topology = ring(5)
+        best = brute_force_cut(topology)
+        assert best.nc >= 1  # an odd cycle always leaves one coupling
+        assert check_cut_against_brute_force(topology) == []
+
+    def test_constrained_cut_checked(self, grid23):
+        assert (
+            check_cut_against_brute_force(grid23, frozenset({0, 1})) == []
+        )
+
+    def test_independent_metrics_agree_with_plan(self, grid34):
+        plan = alpha_optimal_suppression(grid34)
+        nq, nc = independent_cut_metrics(grid34, plan.coloring)
+        assert (nq, nc) == (plan.nq, plan.nc)
+
+    def test_too_large_topology_rejected(self):
+        from repro.device.presets import grid
+
+        with pytest.raises(ValueError):
+            brute_force_cut(grid(5, 4))
+
+
+class TestPulseEngineDifferential:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_vectorized_matches_loops(self, seed):
+        assert check_pulse_engine(seed) == []
+
+    def test_detects_divergence_via_tolerance(self):
+        # With an absurd tolerance everything passes; with a negative one
+        # everything fails — the comparison is actually exercising values.
+        assert check_pulse_engine(0, tol=1e3) == []
+        assert check_pulse_engine(0, tol=-1.0) != []
+
+
+class TestBackendDifferential:
+    def test_density_matches_statevector(self, device6, lib_gaussian):
+        circuit = _native(device6.topology)
+        schedule = zzx_schedule(circuit, device6.topology)
+        assert check_backend_equivalence(schedule, device6, lib_gaussian) == []
+
+    def test_tolerance_exercised(self, device6, lib_gaussian):
+        circuit = Circuit(6).rx90(0)
+        schedule = zzx_schedule(circuit, device6.topology)
+        failures = check_backend_equivalence(
+            schedule, device6, lib_gaussian, tol=-1.0
+        )
+        assert failures and failures[0].oracle == "backend-diff"
+
+
+def test_failure_str_includes_oracle_name():
+    from repro.verify.oracles import OracleFailure
+
+    failure = OracleFailure("legality", "qubit 3 driven twice")
+    assert "legality" in str(failure)
+    assert "qubit 3" in str(failure)
+
+
+def test_numpy_not_leaked_in_failures(grid23):
+    """Failure details must be plain strings (JSON-stored by the runner)."""
+    schedule = zzx_schedule(_native(grid23), grid23)
+    schedule.layers[-1].gates.pop()
+    for failure in check_legality(schedule, _native(grid23), grid23):
+        assert isinstance(failure.detail, str)
+        assert not isinstance(failure.detail, np.str_)

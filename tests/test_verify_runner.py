@@ -1,0 +1,140 @@
+"""The verify scenario runner, its store integration, and the CLI paths."""
+
+import json
+
+import pytest
+
+from repro.campaigns.store import STORE_FORMAT, ResultStore, StoreFormatError
+from repro.cli import main, parse_seed_spec
+from repro.verify.runner import (
+    CHECK_NAMES,
+    scenario_key,
+    verify_scenarios,
+)
+
+
+class TestSeedSpec:
+    def test_count(self):
+        assert parse_seed_spec("4") == (0, 1, 2, 3)
+
+    def test_range(self):
+        assert parse_seed_spec("5-8") == (5, 6, 7, 8)
+
+    def test_mixed_list(self):
+        assert parse_seed_spec("3,7,10-12") == (3, 7, 10, 11, 12)
+
+    @pytest.mark.parametrize(
+        "bad", ["", "abc", "9-3", "1,,2", "-3", "1-", "2.5", "0"]
+    )
+    def test_malformed_rejected(self, bad):
+        with pytest.raises(ValueError):
+            parse_seed_spec(bad)
+
+
+@pytest.mark.tier2
+class TestVerifyScenarios:
+    def test_all_oracles_pass(self, lib_gaussian):
+        report = verify_scenarios(range(3), library=lib_gaussian)
+        assert report.passed
+        assert report.computed == 3
+        assert report.failures == []
+        for outcome in report.outcomes:
+            assert set(outcome.failures) == set(CHECK_NAMES)
+
+    def test_store_resume_skips_passing_scenarios(self, tmp_path, lib_gaussian):
+        store = ResultStore(tmp_path / "verify.jsonl")
+        first = verify_scenarios(range(2), store, library=lib_gaussian)
+        assert (first.computed, first.cached) == (2, 0)
+        # A fresh store object re-reads the file: all hits.
+        second = verify_scenarios(
+            range(2), ResultStore(tmp_path / "verify.jsonl"), library=lib_gaussian
+        )
+        assert (second.computed, second.cached) == (0, 2)
+        assert second.passed
+
+    def test_failed_scenarios_rerun(self, tmp_path, lib_gaussian):
+        path = tmp_path / "verify.jsonl"
+        report = verify_scenarios(range(1), ResultStore(path), library=lib_gaussian)
+        key = scenario_key(
+            report.outcomes[0].scenario.payload(), report.fingerprint
+        )
+        # Rewrite the record as a failure; the rerun must recompute it.
+        record = json.loads(path.read_text())
+        record["result"] = {"failures": {"legality": ["injected"]}}
+        path.write_text(json.dumps(record) + "\n")
+        rerun = verify_scenarios(range(1), ResultStore(path), library=lib_gaussian)
+        assert rerun.computed == 1
+        assert rerun.passed
+        assert scenario_key(
+            rerun.outcomes[0].scenario.payload(), rerun.fingerprint
+        ) == key
+
+    def test_render_mentions_counts(self, lib_gaussian):
+        report = verify_scenarios(range(1), library=lib_gaussian)
+        out = report.render()
+        assert "1 computed" in out
+        assert "scheduler_diff" in out
+
+
+class TestVerifyCLIFailurePaths:
+    @pytest.mark.parametrize("bad", ["abc", "9-3", "1,,2", ""])
+    def test_malformed_seeds_exit_2(self, bad, capsys):
+        assert main(["verify", "--seeds", bad]) == 2
+        assert "invalid verify" in capsys.readouterr().err
+
+    def test_newer_format_store_exits_2_on_verify(self, tmp_path, capsys):
+        store = tmp_path / "future.jsonl"
+        store.write_text(
+            json.dumps({"key": "x", "format": STORE_FORMAT + 1}) + "\n"
+        )
+        assert main(["verify", "--seeds", "1", "--store", str(store)]) == 2
+        err = capsys.readouterr().err
+        assert "invalid store" in err
+        assert "format" in err
+
+    def test_newer_format_store_exits_2_on_sweep(self, tmp_path, capsys):
+        store = tmp_path / "future.jsonl"
+        store.write_text(
+            json.dumps({"key": "x", "format": STORE_FORMAT + 1}) + "\n"
+        )
+        code = main(
+            [
+                "sweep",
+                "--benchmarks",
+                "QAOA",
+                "--sizes",
+                "4",
+                "--configs",
+                "gau+par",
+                "--store",
+                str(store),
+            ]
+        )
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "format" in err
+        assert "fresh --store" in err
+
+    def test_store_format_error_raised_on_load(self, tmp_path):
+        store = tmp_path / "future.jsonl"
+        store.write_text(
+            json.dumps({"key": "x", "format": STORE_FORMAT + 1}) + "\n"
+        )
+        with pytest.raises(StoreFormatError):
+            ResultStore(store).load()
+
+    def test_current_format_stamped_on_write(self, tmp_path):
+        store = ResultStore(tmp_path / "now.jsonl")
+        store.put_record({"key": "k", "result": {}})
+        record = json.loads((tmp_path / "now.jsonl").read_text())
+        assert record["format"] == STORE_FORMAT
+
+
+@pytest.mark.tier2
+class TestVerifyCLIRun:
+    def test_verify_cli_runs_and_resumes(self, tmp_path, capsys):
+        store = str(tmp_path / "verify.jsonl")
+        assert main(["verify", "--seeds", "2", "--store", store]) == 0
+        assert "2 computed, 0 cached" in capsys.readouterr().out
+        assert main(["verify", "--seeds", "2", "--store", store]) == 0
+        assert "0 computed, 2 cached" in capsys.readouterr().out

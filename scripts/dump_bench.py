@@ -3,8 +3,9 @@
 
 Runs the microbenchmark suites (``benchmarks/bench_micro.py``, the
 campaign serial-vs-parallel throughput bench
-``benchmarks/bench_campaign.py``, and the layer-walk cached-vs-uncached
-bench ``benchmarks/bench_executor.py``) through pytest-benchmark, extracts
+``benchmarks/bench_campaign.py``, the layer-walk cached-vs-uncached
+bench ``benchmarks/bench_executor.py``, and the scheduler-scale compile
+bench ``benchmarks/bench_sched_scale.py``) through pytest-benchmark, extracts
 per-benchmark statistics, and writes them (plus environment metadata) to
 the first free ``BENCH_<n>.json`` in the repo root — so each PR's perf
 snapshot lands in a new numbered file and the trajectory is diffable
@@ -51,6 +52,7 @@ def main(argv=None) -> int:
         "benchmarks/bench_micro.py",
         "benchmarks/bench_campaign.py",
         "benchmarks/bench_executor.py",
+        "benchmarks/bench_sched_scale.py",
     ]
 
     with tempfile.TemporaryDirectory() as tmp:

@@ -91,8 +91,9 @@ def _device_note(spec: SweepSpec) -> str:
         cached_device(replace(spec.device, seed=seed)).max_coupling_khz
         for seed in spec.device_seeds
     )
+    shape = spec.device.label.partition("/")[0]
     return (
-        f"device {spec.device.rows}x{spec.device.cols}, "
+        f"device {shape}, "
         f"{len(spec.device_seeds)} seed(s), max coupling {peak:.0f} kHz"
     )
 

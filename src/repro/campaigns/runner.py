@@ -37,12 +37,13 @@ from repro.campaigns.store import ResultStore
 from repro.circuits.compile import compile_circuit
 from repro.circuits.library import BENCHMARKS
 from repro.device.device import Device, make_device
-from repro.device.presets import grid
+from repro.device.topology import Topology
 from repro.pulses.library import PulseLibrary, build_library
 from repro.runtime.executor import execute
 from repro.scheduling.analysis import couplings_to_turn_off, execution_time
 from repro.scheduling.layer import Schedule
 from repro.scheduling.parsched import par_schedule
+from repro.scheduling.plan_cache import SHARED_PLAN_CACHE
 from repro.scheduling.zzxsched import ZZXConfig, zzx_schedule
 from repro.sim.density import DecoherenceModel
 from repro.units import US
@@ -54,9 +55,20 @@ from repro.units import US
 
 
 @lru_cache(maxsize=None)
+def cached_topology(family: str, rows: int, cols: int) -> Topology:
+    """One Topology per shape per process.
+
+    Crucially this is *seed-independent*: every device seed on the same
+    shape shares one instance, so its cached structures (distance matrix,
+    planar dual, dual projection) are computed once per worker.
+    """
+    return DeviceSpec(rows=rows, cols=cols, family=family).topology()
+
+
+@lru_cache(maxsize=None)
 def cached_device(spec: DeviceSpec) -> Device:
     return make_device(
-        grid(spec.rows, spec.cols),
+        cached_topology(spec.family, spec.rows, spec.cols),
         mean_khz=spec.mean_khz,
         std_khz=spec.std_khz,
         seed=spec.seed,
@@ -69,8 +81,15 @@ def cached_library(method: str) -> PulseLibrary:
 
 
 @lru_cache(maxsize=None)
-def _cached_compiled(benchmark: str, num_qubits: int, circuit_seed: int, rows: int, cols: int):
-    topology = grid(rows, cols)
+def _cached_compiled(
+    benchmark: str,
+    num_qubits: int,
+    circuit_seed: int,
+    family: str,
+    rows: int,
+    cols: int,
+):
+    topology = cached_topology(family, rows, cols)
     circuit = BENCHMARKS[benchmark](num_qubits, seed=circuit_seed)
     return compile_circuit(circuit, topology)
 
@@ -80,18 +99,27 @@ def _cached_schedule(
     benchmark: str,
     num_qubits: int,
     circuit_seed: int,
+    family: str,
     rows: int,
     cols: int,
     scheduler: str,
     zzx: tuple[tuple[str, object], ...],
 ) -> Schedule:
-    compiled = _cached_compiled(benchmark, num_qubits, circuit_seed, rows, cols)
+    compiled = _cached_compiled(
+        benchmark, num_qubits, circuit_seed, family, rows, cols
+    )
     if scheduler == "par":
         return par_schedule(compiled.circuit)
     if scheduler == "zzx":
-        topology = grid(rows, cols)
+        topology = cached_topology(family, rows, cols)
         config = ZZXConfig(**dict(zzx)) if zzx else None
-        return zzx_schedule(compiled.circuit, topology, config=config)
+        # The process-wide plan cache persists across cells: repeated grid
+        # points on one worker re-plan nothing (plans are pure functions
+        # of the key, so sharing cannot change any schedule).
+        return zzx_schedule(
+            compiled.circuit, topology, config=config,
+            plan_cache=SHARED_PLAN_CACHE,
+        )
     raise ValueError(f"unknown scheduler {scheduler!r}")
 
 
@@ -100,6 +128,7 @@ def schedule_for_cell(cell: Cell) -> Schedule:
         cell.benchmark,
         cell.num_qubits,
         cell.circuit_seed,
+        cell.device.family,
         cell.device.rows,
         cell.device.cols,
         cell.scheduler,

@@ -90,12 +90,20 @@ DEFAULT_BENCHMARKS = ("HS", "QFT", "QPE", "QAOA", "Ising", "GRC")
 DEFAULT_CONFIGS = ("gau+par", "optctrl+zzx", "pert+zzx")
 
 
+#: Topology families a :class:`DeviceSpec` can describe.  ``grid`` uses
+#: ``rows x cols``; ``heavy_hex`` reads ``rows`` as the lattice distance
+#: (IBM-style: d=7 is the 127-qubit Eagle, d=13 the 433-qubit Osprey).
+DEVICE_FAMILIES = ("grid", "heavy_hex")
+
+
 @dataclass(frozen=True)
 class DeviceSpec:
-    """A reproducible device: grid shape + crosstalk sampling parameters.
+    """A reproducible device: topology shape + crosstalk sampling parameters.
 
     The paper's evaluation device is the 3x4 grid with crosstalk sampled at
-    200 +/- 50 kHz from seed 7; Fig. 23 substitutes the 2x3 subgrid.
+    200 +/- 50 kHz from seed 7; Fig. 23 substitutes the 2x3 subgrid.  The
+    ``family`` axis adds real-device topologies (heavy-hex lattices) for
+    the scheduler-scale studies.
     """
 
     rows: int = 3
@@ -103,23 +111,52 @@ class DeviceSpec:
     seed: int = DEFAULT_SEED
     mean_khz: float = 200.0
     std_khz: float = 50.0
+    family: str = "grid"
+
+    def __post_init__(self):
+        if self.family not in DEVICE_FAMILIES:
+            raise ValueError(
+                f"unknown device family {self.family!r}; "
+                f"known: {', '.join(DEVICE_FAMILIES)}"
+            )
+        if self.family == "heavy_hex" and (self.rows < 3 or self.rows % 2 == 0):
+            raise ValueError("heavy-hex distance (rows) must be odd and >= 3")
 
     @property
     def num_qubits(self) -> int:
+        if self.family == "heavy_hex":
+            d = self.rows
+            return d * (2 * d + 1) - 2 + (d * d - 1) // 2
         return self.rows * self.cols
 
     @property
     def label(self) -> str:
+        if self.family == "heavy_hex":
+            return f"heavyhex-d{self.rows}/s{self.seed}"
         return f"grid{self.rows}x{self.cols}/s{self.seed}"
 
+    def topology(self):
+        """Build this spec's :class:`~repro.device.topology.Topology`."""
+        from repro.device.presets import grid as grid_topology
+        from repro.device.presets import heavy_hex
+
+        if self.family == "heavy_hex":
+            return heavy_hex(self.rows)
+        return grid_topology(self.rows, self.cols)
+
     def payload(self) -> dict:
-        return {
+        data = {
             "rows": self.rows,
             "cols": self.cols,
             "seed": self.seed,
             "mean_khz": self.mean_khz,
             "std_khz": self.std_khz,
         }
+        # Only non-grid families enter the payload, so grid cells (and any
+        # store written before the family axis existed) keep their keys.
+        if self.family != "grid":
+            data["family"] = self.family
+        return data
 
     @staticmethod
     def from_payload(data: dict) -> "DeviceSpec":

@@ -26,6 +26,16 @@ class SchedulingFrontier:
             for q in gate.qubits:
                 self._queues[q].append(index)
         self._remaining = len(self.gates)
+        # Incrementally maintained ready set: a gate enters when one of its
+        # queues advances to it (and it heads all of them), and leaves only
+        # by being popped — so schedulable() never rescans every queue.
+        self._ready: set[int] = {
+            index
+            for queue in self._queues
+            if queue
+            for index in (queue[0],)
+            if all(self._queues[q][0] == index for q in self.gates[index].qubits)
+        }
 
     @property
     def exhausted(self) -> bool:
@@ -33,19 +43,7 @@ class SchedulingFrontier:
 
     def schedulable(self) -> list[int]:
         """Indices of currently schedulable gates, in circuit order."""
-        ready: list[int] = []
-        seen: set[int] = set()
-        for queue in self._queues:
-            if not queue:
-                continue
-            index = queue[0]
-            if index in seen:
-                continue
-            seen.add(index)
-            gate = self.gates[index]
-            if all(self._queues[q][0] == index for q in gate.qubits):
-                ready.append(index)
-        return sorted(ready)
+        return sorted(self._ready)
 
     def pop(self, indices: Iterable[int]) -> list[Gate]:
         """Mark gates as scheduled; they must currently be schedulable."""
@@ -57,8 +55,20 @@ class SchedulingFrontier:
                     raise ValueError(f"gate #{index} ({gate}) is not schedulable")
             for q in gate.qubits:
                 self._queues[q].popleft()
+            self._ready.discard(index)
             popped.append(gate)
             self._remaining -= 1
+            for q in gate.qubits:
+                queue = self._queues[q]
+                if not queue:
+                    continue
+                head = queue[0]
+                successor = self.gates[head]
+                if all(
+                    self._queues[p] and self._queues[p][0] == head
+                    for p in successor.qubits
+                ):
+                    self._ready.add(head)
         return popped
 
     def pop_virtual(self) -> list[Gate]:

@@ -10,7 +10,9 @@ Subcommands:
 - ``list`` — list experiments, or summarize a result store;
 - ``verify`` — run N seeded differential-verification scenarios (random
   device + circuit through every oracle), optionally with the golden
-  regression fixtures.
+  regression fixtures;
+- ``sched-bench`` — time the ZZXSched compile path on real-device
+  topologies (heavy-hex Falcon/Eagle/Osprey, large grids), cache on/off.
 
 Campaign options (``--workers``, ``--store``, ``--seeds``, ``--full``,
 ``--backend``, ``--trajectories``) are shared by ``run`` and ``sweep``;
@@ -27,7 +29,7 @@ import time
 
 from repro.experiments.registry import EXPERIMENTS, run_experiment
 
-SUBCOMMANDS = ("run", "sweep", "report", "list", "verify")
+SUBCOMMANDS = ("run", "sweep", "report", "list", "verify", "sched-bench")
 
 #: Grid axes shared by ``sweep`` and ``report`` (must build identical specs).
 def _add_grid_arguments(parser: argparse.ArgumentParser) -> None:
@@ -60,7 +62,8 @@ def _add_grid_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--grid",
         default="3x4",
-        help="device grid shape ROWSxCOLS (default 3x4)",
+        help="device shape: ROWSxCOLS grid (default 3x4) or heavyhex:<d> "
+        "(heavy-hex lattice, e.g. heavyhex:7 = 127-qubit Eagle)",
     )
     parser.add_argument(
         "--name", default="sweep", help="sweep name used as the table id"
@@ -117,13 +120,21 @@ def _csv(text: str | None, convert=str) -> tuple | None:
     return tuple(convert(part.strip()) for part in text.split(",") if part.strip())
 
 
-def _build_spec(args):
-    from repro.campaigns.spec import DeviceSpec, SweepSpec
+def _parse_device_spec(text: str):
+    """``--grid`` device shapes: ``ROWSxCOLS`` or ``heavyhex:<d>``."""
+    from repro.campaigns.spec import DeviceSpec
+    from repro.device.presets import parse_shape
 
-    rows, sep, cols = args.grid.lower().partition("x")
-    if not sep or not rows.isdigit() or not cols.isdigit():
-        raise ValueError(f"--grid expects ROWSxCOLS (e.g. 3x4), got {args.grid!r}")
-    device = DeviceSpec(rows=int(rows), cols=int(cols))
+    shape = parse_shape(text)
+    if shape[0] == "heavy_hex":
+        return DeviceSpec(rows=shape[1], cols=0, family="heavy_hex")
+    return DeviceSpec(rows=shape[1], cols=shape[2])
+
+
+def _build_spec(args):
+    from repro.campaigns.spec import SweepSpec
+
+    device = _parse_device_spec(args.grid)
     backend = args.backend or ""
     if not backend and args.t1 and args.kind == "statevector":
         # As documented on --backend: --t1 alone means a density sweep.
@@ -212,8 +223,7 @@ def _checked_spec(args):
         else:
             reason = (
                 f"every requested size exceeds the "
-                f"{spec.device.num_qubits}-qubit "
-                f"{spec.device.rows}x{spec.device.cols} device"
+                f"{spec.device.num_qubits}-qubit device ({spec.device.label})"
             )
         print(
             f"invalid sweep: grid expands to 0 cells — {reason}",
@@ -347,6 +357,39 @@ def _cmd_verify(args) -> int:
     return 1 if failed else 0
 
 
+def _cmd_sched_bench(args) -> int:
+    from repro.scheduling.scalebench import run_sched_bench
+    from repro.verify.generators import SCALE_CIRCUITS, scale_topology
+
+    devices = _csv(args.devices) or ()
+    circuits = _csv(args.circuits) or ()
+    for name in devices:
+        try:
+            scale_topology(name)
+        except ValueError as exc:
+            print(f"invalid sched-bench: {exc}", file=sys.stderr)
+            return 2
+    unknown = [c for c in circuits if c not in SCALE_CIRCUITS]
+    if unknown:
+        print(
+            f"invalid sched-bench: unknown circuit(s) {', '.join(unknown)}; "
+            f"known: {', '.join(sorted(SCALE_CIRCUITS))}",
+            file=sys.stderr,
+        )
+        return 2
+    start = time.perf_counter()
+    result = run_sched_bench(
+        devices,
+        circuits,
+        seed=args.seed,
+        compare_uncached=not args.no_uncached,
+        check=args.check,
+    )
+    print(result.render())
+    print(f"[sched-bench took {time.perf_counter() - start:.1f}s]")
+    return 0
+
+
 def _cmd_list(args) -> int:
     if getattr(args, "store", None):
         from repro.campaigns.report import store_summary
@@ -425,6 +468,36 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the golden diff report as JSON (implies --golden)",
     )
     verify_parser.set_defaults(func=_cmd_verify)
+
+    bench_parser = sub.add_parser(
+        "sched-bench",
+        help="time the ZZXSched compile path on real-device topologies",
+    )
+    bench_parser.add_argument(
+        "--devices",
+        default="falcon,eagle",
+        help="comma-separated device names (falcon, hummingbird, eagle, "
+        "osprey, heavyhex:<d>, grid:<W>x<H>)",
+    )
+    bench_parser.add_argument(
+        "--circuits",
+        default="qaoa,qv",
+        help="comma-separated workload kinds (qaoa, qv)",
+    )
+    bench_parser.add_argument(
+        "--seed", type=int, default=0, help="workload generator seed"
+    )
+    bench_parser.add_argument(
+        "--no-uncached",
+        action="store_true",
+        help="skip the NullPlanCache comparison run (faster)",
+    )
+    bench_parser.add_argument(
+        "--check",
+        action="store_true",
+        help="run legality + suppression oracles on every schedule",
+    )
+    bench_parser.set_defaults(func=_cmd_sched_bench)
     return parser
 
 

@@ -1,7 +1,16 @@
 """Device models: topology, presets, crosstalk sampling."""
 
 from repro.device.topology import Topology, build_planar_dual, edge_key
-from repro.device.presets import grid, ibmq_vigo, line, ring, star
+from repro.device.presets import (
+    eagle,
+    grid,
+    heavy_hex,
+    ibmq_vigo,
+    line,
+    osprey,
+    ring,
+    star,
+)
 from repro.device.crosstalk import sample_crosstalk, uniform_crosstalk
 from repro.device.device import Device, make_device
 
@@ -9,7 +18,10 @@ __all__ = [
     "Topology",
     "build_planar_dual",
     "edge_key",
+    "eagle",
     "grid",
+    "heavy_hex",
+    "osprey",
     "ibmq_vigo",
     "line",
     "ring",

@@ -42,6 +42,97 @@ def ibmq_vigo() -> Topology:
     return Topology(graph, name="ibmq-vigo")
 
 
+def parse_shape(text: str) -> tuple:
+    """Parse a device-shape spec shared by the CLI and the scale tooling.
+
+    Accepts ``heavyhex:<d>`` (aliases ``heavy_hex``/``heavy-hex``),
+    ``grid:<W>x<H>``, and bare ``<W>x<H>``; returns ``("heavy_hex", d)``
+    or ``("grid", rows, cols)``.  Raises ``ValueError`` on anything else.
+    """
+    spec = text.strip().lower()
+    family, sep, arg = spec.partition(":")
+    if sep:
+        if family in ("heavyhex", "heavy_hex", "heavy-hex"):
+            if not arg.isdigit():
+                raise ValueError(
+                    f"heavyhex distance must be an integer: {text!r}"
+                )
+            return ("heavy_hex", int(arg))
+        if family != "grid":
+            raise ValueError(
+                f"unknown device family {family!r} in {text!r}; "
+                "expected heavyhex:<d> or grid:<W>x<H>"
+            )
+        spec = arg
+    rows, sep, cols = spec.partition("x")
+    if not sep or not rows.isdigit() or not cols.isdigit():
+        raise ValueError(
+            f"expected heavyhex:<d> or <W>x<H>, got {text!r}"
+        )
+    return ("grid", int(rows), int(cols))
+
+
+def heavy_hex(distance: int) -> Topology:
+    """IBM-style heavy-hex lattice of code distance ``distance`` (odd).
+
+    The layout follows the production devices: ``distance`` rows of
+    ``2*distance + 1`` qubits (the first row omits its last column, the
+    last row its first), joined by single-qubit bridges every fourth
+    column, alternating offset 0 / 2 between row gaps.  Qubit numbering is
+    row-major with each bridge row between its two qubit rows, exactly like
+    the IBM maps: ``heavy_hex(7)`` is the 127-qubit Eagle coupling graph
+    and ``heavy_hex(13)`` the 433-qubit Osprey one.
+    """
+    if distance < 3 or distance % 2 == 0:
+        raise ValueError("heavy-hex distance must be an odd integer >= 3")
+    row_len = 2 * distance + 1
+    graph = nx.Graph()
+    index: dict[tuple[int, int], int] = {}
+    count = 0
+    for row in range(distance):
+        columns = range(row_len)
+        if row == 0:
+            columns = range(row_len - 1)
+        elif row == distance - 1:
+            columns = range(1, row_len)
+        previous = None
+        for col in columns:
+            index[(row, col)] = count
+            if previous is not None:
+                graph.add_edge(previous, count)
+            previous = count
+            count += 1
+        if row == distance - 1:
+            continue
+        offset = 0 if row % 2 == 0 else 2
+        for col in range(offset, row_len, 4):
+            # Bridge qubit between (row, col) and (row+1, col); its id sits
+            # between the two rows, as on the IBM maps.
+            index[(row + 0.5, col)] = count
+            count += 1
+    for row in range(distance - 1):
+        offset = 0 if row % 2 == 0 else 2
+        for col in range(offset, row_len, 4):
+            bridge = index[(row + 0.5, col)]
+            graph.add_edge(index[(row, col)], bridge)
+            graph.add_edge(bridge, index[(row + 1, col)])
+    return Topology(graph, name=f"heavy-hex-d{distance}")
+
+
+def eagle() -> Topology:
+    """The 127-qubit IBM Eagle heavy-hex coupling graph."""
+    topology = heavy_hex(7)
+    topology.name = "eagle-127"
+    return topology
+
+
+def osprey() -> Topology:
+    """The 433-qubit IBM Osprey heavy-hex coupling graph."""
+    topology = heavy_hex(13)
+    topology.name = "osprey-433"
+    return topology
+
+
 def star(num_leaves: int) -> Topology:
     """One hub qubit coupled to ``num_leaves`` leaves."""
     graph = nx.star_graph(num_leaves)

@@ -8,10 +8,14 @@ planar dual multigraph (Section 3.2), bipartiteness, and degree statistics.
 
 from __future__ import annotations
 
+import hashlib
 from functools import cached_property
 from collections.abc import Iterable
 
 import networkx as nx
+import numpy as np
+from scipy.sparse import csr_matrix
+from scipy.sparse.csgraph import shortest_path as _csgraph_shortest_path
 
 
 def edge_key(u: int, v: int) -> tuple[int, int]:
@@ -62,15 +66,51 @@ class Topology:
         return nx.check_planarity(self.graph)[0]
 
     @cached_property
-    def _distances(self) -> dict[int, dict[int, int]]:
-        return dict(nx.all_pairs_shortest_path_length(self.graph))
+    def distance_matrix(self) -> np.ndarray:
+        """All-pairs shortest-path lengths as a dense float matrix.
+
+        Computed with a vectorized BFS over the sparse adjacency matrix
+        (``scipy.sparse.csgraph``), which is orders of magnitude faster than
+        the ``networkx`` all-pairs dict at real-device sizes (127-433
+        qubits).  Unreachable pairs hold ``inf``.
+        """
+        n = self.num_qubits
+        if not self.edges:
+            matrix = np.full((n, n), np.inf)
+            np.fill_diagonal(matrix, 0.0)
+            return matrix
+        us, vs = self.edge_arrays
+        data = np.ones(len(self.edges), dtype=np.int8)
+        adjacency = csr_matrix((data, (us, vs)), shape=(n, n))
+        return _csgraph_shortest_path(
+            adjacency, method="D", directed=False, unweighted=True
+        )
+
+    @cached_property
+    def is_connected(self) -> bool:
+        return not np.isinf(self.distance_matrix).any()
+
+    @cached_property
+    def edge_arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        """Edge endpoints as two parallel index arrays (for vector gathers)."""
+        us = np.fromiter((u for u, _ in self.edges), dtype=np.intp, count=len(self.edges))
+        vs = np.fromiter((v for _, v in self.edges), dtype=np.intp, count=len(self.edges))
+        return us, vs
+
+    @cached_property
+    def edge_position(self) -> dict[tuple[int, int], int]:
+        """Canonical edge key -> its index in :attr:`edges`."""
+        return {edge: i for i, edge in enumerate(self.edges)}
 
     def distance(self, u: int, v: int) -> int:
         """Shortest-path length between qubits (in couplings)."""
-        try:
-            return self._distances[u][v]
-        except KeyError:
-            raise ValueError(f"no path between qubits {u} and {v}") from None
+        n = self.num_qubits
+        if not (0 <= u < n and 0 <= v < n):
+            raise ValueError(f"qubits {u}, {v} out of range 0..{n - 1}")
+        d = self.distance_matrix[u, v]
+        if np.isinf(d):
+            raise ValueError(f"no path between qubits {u} and {v}")
+        return int(d)
 
     def shortest_path(self, u: int, v: int) -> list[int]:
         return nx.shortest_path(self.graph, u, v)
@@ -84,6 +124,41 @@ class Topology:
         the two faces it borders (a self-loop for bridges).
         """
         return build_planar_dual(self.graph)
+
+    @cached_property
+    def fingerprint(self) -> str:
+        """Content hash of the coupling graph (structure only, not name).
+
+        Two ``Topology`` instances with the same qubit count and edge set
+        share a fingerprint, so caches keyed by it (e.g. the scheduler's
+        :class:`~repro.scheduling.plan_cache.SuppressionPlanCache`) can be
+        shared across instances and processes.
+        """
+        blob = f"{self.num_qubits}:{self.edges}".encode()
+        return hashlib.sha256(blob).hexdigest()[:16]
+
+    @cached_property
+    def dual_edge_of(self) -> dict[tuple[int, int], tuple[int, int]]:
+        """Primal edge key -> the dual vertex pair (face pair) it crosses."""
+        return {key: (u, v) for u, v, key in self.dual.edges(keys=True)}
+
+    @cached_property
+    def dual_simple(self) -> nx.Graph:
+        """Simple projection of the dual (see ``graphs.pairing``), cached.
+
+        Treat as immutable: Algorithm 1 copies it before patching out the
+        duals of gate-internal edges.
+        """
+        from repro.graphs.pairing import simple_projection
+
+        return simple_projection(self.dual)
+
+    @cached_property
+    def dual_odd_vertices(self) -> tuple[int, ...]:
+        """Odd-degree dual vertices of the unmodified dual, sorted."""
+        from repro.graphs.pairing import odd_degree_vertices
+
+        return tuple(odd_degree_vertices(self.dual))
 
     def subtopology(self, qubits: Iterable[int]) -> "Topology":
         """Induced subgraph, relabelled to 0..k-1 preserving order."""

@@ -23,12 +23,15 @@ class UnionFind:
         self._parent: dict = {}
 
     def find(self, x):
-        parent = self._parent.setdefault(x, x)
-        if parent != x:
-            root = self.find(parent)
-            self._parent[x] = root
-            return root
-        return x
+        # Iterative with full path compression: same roots as the recursive
+        # form (root choice depends only on union order), no call overhead.
+        parent = self._parent
+        root = x
+        while parent.setdefault(root, root) != root:
+            root = parent[root]
+        while parent[x] != root:
+            parent[x], x = root, parent[x]
+        return root
 
     def union(self, a, b) -> None:
         ra, rb = self.find(a), self.find(b)
@@ -44,6 +47,14 @@ def induce_cut(
     Returns a vertex -> color (0/1) mapping, or ``None`` if the contracted
     graph is not bipartite (the candidate pairing is invalid).  Contracted
     vertices share a color; all non-contracted edges cross the cut.
+
+    The quotient is held in plain dict-of-dicts adjacency rather than an
+    ``nx.Graph`` (this is Algorithm 1's hottest exact path).  Node and
+    neighbor iteration orders deliberately mirror what the networkx-based
+    implementation produced — quotient nodes in root-set order, components
+    by BFS with per-level insertion, neighbors in first-insertion order —
+    because the per-component color orientation (the component's first
+    vertex takes color 0) is part of the scheduler's pinned behavior.
     """
     contract = {edge_key(u, v) for u, v in contract_edges}
     uf = UnionFind()
@@ -52,8 +63,7 @@ def induce_cut(
     for u, v in contract:
         uf.union(u, v)
 
-    quotient = nx.Graph()
-    quotient.add_nodes_from({uf.find(node) for node in graph.nodes})
+    adjacency: dict = {root: {} for root in {uf.find(n) for n in graph.nodes}}
     for u, v in graph.edges:
         if edge_key(u, v) in contract:
             continue
@@ -64,20 +74,34 @@ def induce_cut(
             # unless we accept it as part of the remaining set.  Theorem 3.1
             # guarantees this does not happen for valid pairings.
             return None
-        quotient.add_edge(ru, rv)
+        adjacency[ru][rv] = None
+        adjacency[rv][ru] = None
 
     coloring: dict = {}
-    for component in nx.connected_components(quotient):
+    for node in adjacency:
+        if node in coloring:
+            continue
+        # BFS component in insertion order (the networkx `_plain_bfs`
+        # discipline), then 2-color it from its first-seen vertex.
+        component = {node}
+        nextlevel = [node]
+        while nextlevel:
+            thislevel, nextlevel = nextlevel, []
+            for v in thislevel:
+                for w in adjacency[v]:
+                    if w not in component:
+                        component.add(w)
+                        nextlevel.append(w)
         start = next(iter(component))
         stack = [(start, 0)]
         while stack:
-            node, color = stack.pop()
-            if node in coloring:
-                if coloring[node] != color:
+            current, color = stack.pop()
+            if current in coloring:
+                if coloring[current] != color:
                     return None
                 continue
-            coloring[node] = color
-            for nbr in quotient.neighbors(node):
+            coloring[current] = color
+            for nbr in adjacency[current]:
                 stack.append((nbr, 1 - color))
     return {node: coloring[uf.find(node)] for node in graph.nodes}
 

@@ -9,6 +9,8 @@ relaxation candidates of Step 2.
 
 from __future__ import annotations
 
+from collections import Counter
+from collections.abc import Iterable
 from itertools import islice
 
 import networkx as nx
@@ -38,6 +40,47 @@ def simple_projection(multigraph: nx.MultiGraph) -> nx.Graph:
     return simple
 
 
+def remove_projected_edges(
+    simple: nx.Graph, keyed_endpoints: Iterable[tuple]
+) -> None:
+    """Delete dual edges from a simple projection, in place.
+
+    ``keyed_endpoints`` yields ``(key, (u, v))`` pairs — the primal-edge key
+    and the dual vertex pair it connects.  The incremental form of
+    rebuilding the projection after Delete-Edges: each key is dropped from
+    its vertex pair's parallel-key list, and the projected edge disappears
+    only once no parallel dual edge remains.
+    Equivalent — including adjacency iteration order, which the path
+    enumeration is sensitive to — to deleting the edges from the dual
+    multigraph and re-projecting from scratch.
+    """
+    for key, (u, v) in keyed_endpoints:
+        if u == v:
+            continue  # self-loops never enter the projection
+        # Copy-on-write: ``simple`` is typically a shallow ``Graph.copy()``
+        # of a cached projection, whose parallel-key lists are shared with
+        # the original and must never be mutated in place.
+        parallel = [k for k in simple[u][v]["keys"] if k != key]
+        if parallel:
+            simple[u][v]["keys"] = parallel
+        else:
+            simple.remove_edge(u, v)
+
+
+def odd_vertices_after_removal(
+    base_odd: Iterable, removed_endpoints: Iterable
+) -> list:
+    """Odd-degree vertex set after deleting dual edges, without a rebuild.
+
+    Removing one non-loop dual edge flips the parity of both endpoints
+    (callers skip self-loops: degree changes by 2, parity is unchanged), so
+    the new odd set is the old one XOR the odd-multiplicity endpoints.
+    """
+    flips = Counter(removed_endpoints)
+    flipped = {v for v, count in flips.items() if count % 2 == 1}
+    return sorted(set(base_odd) ^ flipped)
+
+
 def match_odd_vertices(multigraph: nx.MultiGraph) -> list[tuple]:
     """Maximum-weight matching of odd-degree vertices (blossom, Step 1).
 
@@ -45,13 +88,23 @@ def match_odd_vertices(multigraph: nx.MultiGraph) -> list[tuple]:
     component has an even number of odd vertices, so a perfect matching of
     the odd set always exists).
     """
-    odd = odd_degree_vertices(multigraph)
+    return match_odd_vertices_on(
+        simple_projection(multigraph), odd_degree_vertices(multigraph)
+    )
+
+
+def match_odd_vertices_on(simple: nx.Graph, odd: list) -> list[tuple]:
+    """Step-1 matching on a precomputed simple projection + odd vertex list.
+
+    Split out of :func:`match_odd_vertices` so Algorithm 1 can reuse the
+    topology's cached projection (patched incrementally per call) instead
+    of rebuilding dual structures for every candidate gate group.
+    """
     if not odd:
         return []
-    simple = simple_projection(multigraph)
     lengths = {}
     for source in odd:
-        dist = nx.single_source_shortest_path_length(simple, source)
+        dist = _bfs_lengths(simple, source)
         for target in odd:
             if target != source and target in dist:
                 lengths[(source, target)] = dist[target]
@@ -65,6 +118,29 @@ def match_odd_vertices(multigraph: nx.MultiGraph) -> list[tuple]:
             complete.add_edge(u, v, weight=longest + 1 - d)
     matching = nx.max_weight_matching(complete, maxcardinality=True)
     return sorted(tuple(sorted(pair)) for pair in matching)
+
+
+def _bfs_lengths(simple: nx.Graph, source) -> dict:
+    """Unweighted single-source shortest-path lengths (plain-dict BFS).
+
+    Distance-equal to ``nx.single_source_shortest_path_length`` (consumers
+    look lengths up by key, so only the mapping matters), minus the
+    generator and view overhead of the library version.
+    """
+    adjacency = simple._adj
+    dist = {source: 0}
+    level = [source]
+    d = 0
+    while level:
+        d += 1
+        nextlevel = []
+        for v in level:
+            for w in adjacency[v]:
+                if w not in dist:
+                    dist[w] = d
+                    nextlevel.append(w)
+        level = nextlevel
+    return dist
 
 
 def top_k_paths(

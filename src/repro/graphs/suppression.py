@@ -20,9 +20,16 @@ from __future__ import annotations
 from dataclasses import dataclass
 from collections.abc import Iterable
 
+import numpy as np
+
 from repro.device.topology import Topology, edge_key
 from repro.graphs.cuts import CutMetrics, cut_metrics, induce_cut
-from repro.graphs.pairing import match_odd_vertices, simple_projection, top_k_paths
+from repro.graphs.pairing import (
+    match_odd_vertices_on,
+    odd_vertices_after_removal,
+    remove_projected_edges,
+    top_k_paths,
+)
 
 DEFAULT_ALPHA = 0.5
 DEFAULT_TOP_K = 3
@@ -68,13 +75,66 @@ class SuppressionPlan:
 
 
 def _trivial_plan(topology: Topology) -> SuppressionPlan:
-    """Everything in one partition: no suppression (the safe fallback)."""
-    coloring = {q: 0 for q in range(topology.num_qubits)}
-    return SuppressionPlan(
-        coloring=coloring,
-        metrics=cut_metrics(topology.graph, coloring),
-        pairing_edges=frozenset(topology.edges),
-    )
+    """Everything in one partition: no suppression (the safe fallback).
+
+    Pure per topology, so the plan is built once and memoized on the
+    instance (it is requested for every unsatisfiable candidate group).
+    """
+    plan = getattr(topology, "_trivial_suppression_plan", None)
+    if plan is None:
+        coloring = {q: 0 for q in range(topology.num_qubits)}
+        plan = SuppressionPlan(
+            coloring=coloring,
+            metrics=cut_metrics(topology.graph, coloring),
+            pairing_edges=frozenset(topology.edges),
+        )
+        topology._trivial_suppression_plan = plan
+    return plan
+
+
+def _contracted_components(contract: Iterable[tuple[int, int]]):
+    """Union-find over the contract edges.
+
+    Returns ``(parent, find, nq)``: the touched-node parent map, the
+    path-compressing find function, and the largest super-vertex size
+    (1 when nothing merges — untouched qubits are singletons).
+    """
+    parent: dict[int, int] = {}
+    size: dict[int, int] = {}
+
+    def find(x: int) -> int:
+        root = x
+        while parent.setdefault(root, root) != root:
+            root = parent[root]
+        while parent[x] != root:
+            parent[x], x = root, parent[x]
+        return root
+
+    nq = 1
+    for u, v in contract:
+        ru, rv = find(u), find(v)
+        if ru != rv:
+            parent[rv] = ru
+            merged = size.get(ru, 1) + size.get(rv, 1)
+            size[ru] = merged
+            if merged > nq:
+                nq = merged
+    return parent, find, nq
+
+
+def _contract_metrics(
+    topology: Topology, contract: frozenset[tuple[int, int]]
+) -> CutMetrics:
+    """Metrics of a *valid* contracted cut, straight from the contract set.
+
+    When :func:`~repro.graphs.cuts.induce_cut` succeeds, every contract
+    edge is same-colored and every other edge crosses, so the remaining-set
+    is exactly ``contract`` (Theorem 3.1): ``NC = |contract|`` and ``NQ``
+    is the largest contracted super-vertex — no graph reconstruction.
+    Equals :func:`~repro.graphs.cuts.cut_metrics` on the induced coloring.
+    """
+    _, _, nq = _contracted_components(contract)
+    return CutMetrics(nq=nq, nc=len(contract), remaining_edges=contract)
 
 
 def _evaluate(
@@ -92,7 +152,7 @@ def _evaluate(
         return None
     return SuppressionPlan(
         coloring=coloring,
-        metrics=cut_metrics(topology.graph, coloring),
+        metrics=_contract_metrics(topology, contract),
         pairing_edges=contract,
     )
 
@@ -100,6 +160,72 @@ def _evaluate(
 def _monochromatic(coloring: dict[int, int], qubits: frozenset[int]) -> bool:
     colors = {coloring[q] for q in qubits}
     return len(colors) <= 1
+
+
+def _search_objective(
+    topology: Topology,
+    contract: frozenset[tuple[int, int]],
+    gate_qubits: frozenset[int],
+    alpha: float,
+) -> float | None:
+    """Objective of one candidate pairing, or ``None`` when invalid.
+
+    The Path-Relaxing hill climb only *compares* candidates, and every fact
+    it compares on is invariant under the coloring orientation, so the full
+    :func:`_evaluate` (whose per-component color choice must be preserved
+    bit-for-bit for the winner) is deferred to the end of the search.  For
+    a valid pairing the remaining-set equals ``contract`` exactly (Theorem
+    3.1), hence ``NC = |contract|`` and ``NQ`` is the largest contracted
+    super-vertex — no graph reconstruction, no networkx.
+    """
+    n = topology.num_qubits
+    parent, find, nq = _contracted_components(contract)
+
+    # Super-vertex roots per edge endpoint, as one vector gather: only the
+    # contract-touched qubits differ from the identity map.
+    us, vs = topology.edge_arrays
+    if parent:
+        roots = np.arange(n, dtype=np.intp)
+        touched = list(parent)
+        roots[touched] = [find(x) for x in touched]
+        ru_all, rv_all = roots[us], roots[vs]
+    else:
+        ru_all, rv_all = us, vs
+    keep = np.ones(len(us), dtype=bool)
+    position = topology.edge_position
+    keep[[position[edge] for edge in contract]] = False
+    ru = ru_all[keep]
+    rv = rv_all[keep]
+    if ru.size and bool((ru == rv).any()):
+        return None  # an uncontracted edge inside one super-vertex
+
+    adjacency: dict[int, list[int]] = {}
+    for a, b in zip(ru.tolist(), rv.tolist()):
+        adjacency.setdefault(a, []).append(b)
+        adjacency.setdefault(b, []).append(a)
+
+    color: dict[int, int] = {}
+    for root in adjacency:
+        if root in color:
+            continue
+        color[root] = 0
+        stack = [root]
+        while stack:
+            node = stack.pop()
+            next_color = 1 - color[node]
+            for nbr in adjacency[node]:
+                seen = color.get(nbr)
+                if seen is None:
+                    color[nbr] = next_color
+                    stack.append(nbr)
+                elif seen != next_color:
+                    return None  # odd quotient cycle: not bipartite
+
+    if gate_qubits:
+        gate_colors = {color.get(find(q), 0) for q in gate_qubits}
+        if len(gate_colors) > 1:
+            return None
+    return alpha * nq + len(contract)
 
 
 def alpha_optimal_suppression(
@@ -125,18 +251,27 @@ def alpha_optimal_suppression(
         if u in gate_qubits and v in gate_qubits
     )
 
-    # Step "Delete Edges": remove duals of E_Q from the dual graph.
-    dual = topology.dual.copy()
-    dual_edge_of = {
-        key: (u, v) for u, v, key in topology.dual.edges(keys=True)
-    }
-    for key in gate_edges:
-        u, v = dual_edge_of[key]
-        dual.remove_edge(u, v, key=key)
+    # Step "Delete Edges": remove duals of E_Q.  The dual, its simple
+    # projection, and its odd-vertex set are cached on the topology; only
+    # the deltas are applied per call (no multigraph copy, no projection
+    # rebuild — the win that makes per-candidate re-planning affordable on
+    # 127-433 qubit devices).
+    dual_edge_of = topology.dual_edge_of
+    if gate_edges:
+        deleted = [(key, dual_edge_of[key]) for key in sorted(gate_edges)]
+        simple = topology.dual_simple.copy()
+        remove_projected_edges(simple, deleted)
+        endpoints = []
+        for _, (u, v) in deleted:
+            if u != v:  # self-loop deletion keeps parity even
+                endpoints.extend((u, v))
+        odd = odd_vertices_after_removal(topology.dual_odd_vertices, endpoints)
+    else:
+        simple = topology.dual_simple
+        odd = list(topology.dual_odd_vertices)
 
     # Step "Vertex Matching".
-    pairs = match_odd_vertices(dual)
-    simple = simple_projection(dual)
+    pairs = match_odd_vertices_on(simple, odd)
     path_lists = [top_k_paths(simple, u, v, top_k) for u, v in pairs]
     path_lists = [paths for paths in path_lists if paths]
 
@@ -146,46 +281,65 @@ def alpha_optimal_suppression(
             edges.update(paths[idx])
         return frozenset(edges)
 
+    # The search compares candidates only on orientation-invariant facts
+    # (validity, NQ, NC, gate monochromaticity), so it runs through the
+    # union-find fast path; the exact :func:`_evaluate` — whose coloring
+    # orientation must be reproduced bit-for-bit — runs once, on the
+    # winner.  Disconnected topologies keep the exact evaluator throughout
+    # (their per-component color choices can affect the verdicts).
+    if topology.is_connected:
+        def search(indices: list[int]) -> float | None:
+            return _search_objective(
+                topology, union_paths(indices) | gate_edges, gate_qubits, alpha
+            )
+    else:
+        def search(indices: list[int]) -> float | None:
+            plan = _evaluate(
+                topology, union_paths(indices), gate_edges, gate_qubits
+            )
+            return None if plan is None else plan.objective(alpha)
+
     indices = [0] * len(path_lists)
-    best = _evaluate(topology, union_paths(indices), gate_edges, gate_qubits)
-    best_objective = best.objective(alpha) if best else float("inf")
+    best_indices = list(indices)
+    best_objective = search(indices)
+    if best_objective is None:
+        best_indices, best_objective = None, float("inf")
 
     # Step "Path Relaxing": greedy hill-climb over per-pair path indices.
     improved = True
     while improved:
         improved = False
-        best_candidate: tuple[float, int, SuppressionPlan] | None = None
+        best_candidate: tuple[float, int] | None = None
         for i, paths in enumerate(path_lists):
             if indices[i] + 1 >= len(paths):
                 continue
             trial = list(indices)
             trial[i] += 1
-            plan = _evaluate(topology, union_paths(trial), gate_edges, gate_qubits)
-            if plan is None:
+            objective = search(trial)
+            if objective is None:
                 continue
-            objective = plan.objective(alpha)
             if best_candidate is None or objective < best_candidate[0]:
-                best_candidate = (objective, i, plan)
+                best_candidate = (objective, i)
         if best_candidate is not None and best_candidate[0] < best_objective:
-            best_objective, which, best = (
-                best_candidate[0],
-                best_candidate[1],
-                best_candidate[2],
-            )
+            best_objective, which = best_candidate
             indices[which] += 1
+            best_indices = list(indices)
             improved = True
 
-    if best is None:
+    if best_indices is None:
         # Try relaxing even without improvement pressure: scan all single
         # advances until some candidate becomes valid.
         for i, paths in enumerate(path_lists):
             for idx in range(1, len(paths)):
                 trial = list(indices)
                 trial[i] = idx
-                plan = _evaluate(
-                    topology, union_paths(trial), gate_edges, gate_qubits
-                )
-                if plan is not None:
-                    return plan
+                if search(trial) is not None:
+                    return _evaluate(
+                        topology, union_paths(trial), gate_edges, gate_qubits
+                    )
         return _trivial_plan(topology)
+    best = _evaluate(
+        topology, union_paths(best_indices), gate_edges, gate_qubits
+    )
+    assert best is not None  # fast and exact validity verdicts coincide
     return best

@@ -1,0 +1,98 @@
+"""Memoization of Algorithm 1 plans across a scheduling run.
+
+``_two_q_schedule`` re-solves :func:`~repro.graphs.suppression.alpha_optimal_suppression`
+for every candidate gate group it grows, and near-identical qubit sets
+recur dozens of times per layer and across layers (the leftover pool of
+one layer re-enters the next layer's ready set).  Algorithm 1 is a pure
+function of ``(topology, Q, alpha, top_k)``, so its plans can be cached
+without changing a single emitted schedule — the cache key uses
+:attr:`~repro.device.topology.Topology.fingerprint`, which hashes the
+coupling structure, so one cache instance may safely serve several
+topology objects (and, shared at module level, a whole campaign, like the
+``LayerPropagatorCache`` of the runtime backends).
+
+``NullPlanCache`` recomputes every plan; the differential oracles run the
+scheduler through it to pin cache-on == cache-off bit-identical.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.device.topology import Topology
+from repro.graphs.suppression import (
+    DEFAULT_ALPHA,
+    DEFAULT_TOP_K,
+    SuppressionPlan,
+    alpha_optimal_suppression,
+)
+
+
+class SuppressionPlanCache:
+    """Cache of alpha-optimal suppression plans, keyed by problem content.
+
+    Keys are ``(topology fingerprint, frozenset(Q), alpha, top_k)``.  Plans
+    are immutable (frozen dataclasses), so returning the cached instance is
+    safe; hit/miss counters feed the ``sched-bench`` reports.
+    """
+
+    def __init__(self, maxsize: int | None = None):
+        self._plans: dict[tuple, SuppressionPlan] = {}
+        self.maxsize = maxsize
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._plans)
+
+    def plan(
+        self,
+        topology: Topology,
+        gate_qubits: Iterable[int] = (),
+        alpha: float = DEFAULT_ALPHA,
+        top_k: int = DEFAULT_TOP_K,
+    ) -> SuppressionPlan:
+        """The plan for one Algorithm-1 problem, computed at most once."""
+        key = (topology.fingerprint, frozenset(gate_qubits), alpha, top_k)
+        cached = self._plans.get(key)
+        if cached is not None:
+            self.hits += 1
+            return cached
+        self.misses += 1
+        plan = alpha_optimal_suppression(
+            topology, key[1], alpha=alpha, top_k=top_k
+        )
+        if self.maxsize is None or len(self._plans) < self.maxsize:
+            self._plans[key] = plan
+        return plan
+
+    def clear(self) -> None:
+        self._plans.clear()
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def stats(self) -> dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses, "size": len(self)}
+
+
+class NullPlanCache(SuppressionPlanCache):
+    """A pass-through cache: every request recomputes (the uncached path)."""
+
+    def plan(
+        self,
+        topology: Topology,
+        gate_qubits: Iterable[int] = (),
+        alpha: float = DEFAULT_ALPHA,
+        top_k: int = DEFAULT_TOP_K,
+    ) -> SuppressionPlan:
+        self.misses += 1
+        return alpha_optimal_suppression(
+            topology, frozenset(gate_qubits), alpha=alpha, top_k=top_k
+        )
+
+
+#: Process-wide cache shared by campaign workers (cleared with the other
+#: warm caches only when a process exits); safe because plans are pure
+#: functions of the key.
+SHARED_PLAN_CACHE = SuppressionPlanCache()

@@ -17,6 +17,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.circuits.circuit import Circuit
 from repro.circuits.dag import SchedulingFrontier
 from repro.circuits.gates import Gate
@@ -25,10 +27,10 @@ from repro.graphs.suppression import (
     DEFAULT_ALPHA,
     DEFAULT_TOP_K,
     SuppressionPlan,
-    alpha_optimal_suppression,
 )
-from repro.scheduling.distance import gate_distance, gate_group_distance
+from repro.scheduling.distance import gate_distance_matrix
 from repro.scheduling.layer import Layer, Schedule
+from repro.scheduling.plan_cache import SuppressionPlanCache
 from repro.scheduling.requirement import SuppressionRequirement
 
 IDENTITY_POLICIES = ("not_pending", "all_free")
@@ -57,8 +59,16 @@ def zzx_schedule(
     topology: Topology,
     requirement: SuppressionRequirement | None = None,
     config: ZZXConfig | None = None,
+    plan_cache: SuppressionPlanCache | None = None,
 ) -> Schedule:
-    """Schedule ``circuit`` on ``topology`` with ZZ-aware layering."""
+    """Schedule ``circuit`` on ``topology`` with ZZ-aware layering.
+
+    ``plan_cache`` memoizes Algorithm-1 solutions across the run (and, when
+    a shared cache is passed, across runs); plans are pure functions of
+    ``(topology, Q, alpha, top_k)``, so caching never changes the emitted
+    schedule.  Pass a :class:`~repro.scheduling.plan_cache.NullPlanCache`
+    to force the uncached path.
+    """
     if circuit.num_qubits != topology.num_qubits:
         raise ValueError(
             "circuit must already be compiled to the device "
@@ -66,6 +76,7 @@ def zzx_schedule(
         )
     requirement = requirement or SuppressionRequirement.from_topology(topology)
     config = config or ZZXConfig()
+    plan_cache = plan_cache if plan_cache is not None else SuppressionPlanCache()
     frontier = SchedulingFrontier(circuit)
     schedule = Schedule(num_qubits=circuit.num_qubits, policy="zzxsched")
 
@@ -79,13 +90,17 @@ def zzx_schedule(
         two_qubit = {i: g for i, g in ready_gates.items() if g.num_qubits == 2}
 
         if not two_qubit:
-            plan = alpha_optimal_suppression(
+            plan = plan_cache.plan(
                 topology, (), alpha=config.alpha, top_k=config.top_k
             )
             pulsed = _majority_side(plan, ready_gates.values())
         else:
             plan, pulsed = _two_q_schedule(
-                topology, list(two_qubit.values()), requirement, config
+                topology,
+                list(two_qubit.values()),
+                requirement,
+                config,
+                plan_cache,
             )
 
         chosen = [
@@ -141,64 +156,78 @@ def _two_q_schedule(
     gates2: list[Gate],
     requirement: SuppressionRequirement,
     config: ZZXConfig,
+    plan_cache: SuppressionPlanCache,
 ) -> tuple[SuppressionPlan, frozenset[int]]:
-    """Procedure TwoQSchedule (Algorithm 2, lines 15-28)."""
+    """Procedure TwoQSchedule (Algorithm 2, lines 15-28).
 
-    def plan_for(gate_set: list[Gate]) -> SuppressionPlan:
-        qubits = {q for g in gate_set for q in g.qubits}
-        return alpha_optimal_suppression(
+    Groups are tracked as *indices* into ``gates2`` (never by gate
+    equality, so value-equal duplicate gates cannot shadow one another) and
+    all Definition-6.1/6.2 searches run on one precomputed gate-distance
+    matrix with incrementally maintained per-gate group distances.
+    """
+
+    def plan_for(indices: list[int]) -> SuppressionPlan:
+        qubits = {q for k in indices for q in gates2[k].qubits}
+        return plan_cache.plan(
             topology, qubits, alpha=config.alpha, top_k=config.top_k
         )
 
-    def side_for(plan: SuppressionPlan, gate_set: list[Gate]) -> frozenset[int]:
-        qubits = {q for g in gate_set for q in g.qubits}
+    def side_for(plan: SuppressionPlan, indices: list[int]) -> frozenset[int]:
+        qubits = {q for k in indices for q in gates2[k].qubits}
         if plan.is_monochromatic(qubits):
             return plan.side_of(qubits)
         # Fallback-plan case: all qubits share one partition anyway.
         return plan.partition(plan.coloring[next(iter(qubits))])
 
-    plan = plan_for(gates2)
+    everything = list(range(len(gates2)))
+    plan = plan_for(everything)
     qubits_all = {q for g in gates2 for q in g.qubits}
     if plan.is_monochromatic(qubits_all) and requirement.satisfied_by(plan):
-        return plan, side_for(plan, gates2)
+        return plan, side_for(plan, everything)
     if len(gates2) == 1:
         # A single gate cannot be split further; schedule it regardless.
-        return plan, side_for(plan, gates2)
+        return plan, side_for(plan, everything)
 
-    # Heuristic grouping: separate the two closest gates...
-    closest = min(
-        (
-            (gate_distance(topology, a, b), i, j)
-            for i, a in enumerate(gates2)
-            for j, b in enumerate(gates2)
-            if i < j
-        ),
-        key=lambda item: item[0],
-    )
-    _, ia, ib = closest
-    group_a = [gates2[ia]]
-    group_b = [gates2[ib]]
-    pool = [g for k, g in enumerate(gates2) if k not in (ia, ib)]
+    # Heuristic grouping: separate the two closest gates.  np.argmin over
+    # the flattened upper triangle returns the first minimum in row-major
+    # order — the same (distance, i, j) lexicographic tie-break as the
+    # historical min() over pair tuples.
+    distances = gate_distance_matrix(topology, gates2)
+    iu, ju = np.triu_indices(len(gates2), k=1)
+    pos = int(np.argmin(distances[iu, ju]))
+    ia, ib = int(iu[pos]), int(ju[pos])
+    group_a = [ia]
+    group_b = [ib]
+    pool = [k for k in everything if k not in (ia, ib)]
+    # Definition 6.2 distances of every gate to each group, updated as the
+    # groups grow (min over members == min against the newest member).
+    dist_a = distances[:, ia].copy()
+    dist_b = distances[:, ib].copy()
 
     # ... then grow groups farthest-gate-first while R stays satisfied.
     while pool:
-        best = max(
-            (
-                (gate_group_distance(topology, g, group), g, group)
-                for g in pool
-                for group in (group_a, group_b)
-            ),
-            key=lambda item: item[0],
-        )
-        _, gate, group = best
-        candidate = group + [gate]
+        # First maximum in (gate, then group-a-before-group-b) order —
+        # identical to the historical max() over the generator of
+        # (distance, gate, group) tuples keyed on distance.
+        best_d, best_k, best_in_a = -1, -1, True
+        for k in pool:
+            if dist_a[k] > best_d:
+                best_d, best_k, best_in_a = dist_a[k], k, True
+            if dist_b[k] > best_d:
+                best_d, best_k, best_in_a = dist_b[k], k, False
+        group = group_a if best_in_a else group_b
+        candidate = group + [best_k]
         plan_candidate = plan_for(candidate)
-        qubits = {q for g in candidate for q in g.qubits}
+        qubits = {q for k in candidate for q in gates2[k].qubits}
         if plan_candidate.is_monochromatic(qubits) and requirement.satisfied_by(
             plan_candidate
         ):
-            group.append(gate)
-            pool.remove(gate)
+            group.append(best_k)
+            pool.remove(best_k)
+            if best_in_a:
+                dist_a = np.minimum(dist_a, distances[:, best_k])
+            else:
+                dist_b = np.minimum(dist_b, distances[:, best_k])
         else:
             break
 

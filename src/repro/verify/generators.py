@@ -32,7 +32,7 @@ from repro.circuits.circuit import Circuit
 from repro.circuits.compile import compile_circuit
 from repro.circuits.library import BENCHMARKS
 from repro.device.device import Device, make_device
-from repro.device.presets import grid
+from repro.device.presets import eagle, grid, heavy_hex, osprey
 from repro.device.topology import Topology
 
 #: Bump when generator semantics change, so stored verification records
@@ -145,6 +145,93 @@ def random_circuit(
         params = rng.uniform(-np.pi, np.pi, _PARAM_COUNT.get(name, 0))
         circuit.add(name, *(int(q) for q in qubits), params=params)
     return circuit
+
+
+_SCALE_DEVICES = {
+    "falcon": lambda: heavy_hex(3),
+    "hummingbird": lambda: heavy_hex(5),
+    "eagle": eagle,
+    "osprey": osprey,
+}
+
+
+def scale_topology(name: str) -> Topology:
+    """Resolve a real-device-scale topology by name.
+
+    Accepts the device aliases (``falcon``/``hummingbird``/``eagle``/
+    ``osprey`` — heavy-hex at distances 3/5/7/13), ``heavyhex:<d>`` for an
+    arbitrary odd distance, and ``grid:<W>x<H>``.
+    """
+    from repro.device.presets import parse_shape
+
+    key = name.strip().lower()
+    if key in _SCALE_DEVICES:
+        return _SCALE_DEVICES[key]()
+    if ":" not in key:
+        raise ValueError(
+            f"unknown device {name!r}; known: "
+            f"{', '.join(sorted(_SCALE_DEVICES))}, heavyhex:<d>, grid:<W>x<H>"
+        )
+    shape = parse_shape(key)
+    if shape[0] == "heavy_hex":
+        return heavy_hex(shape[1])
+    return grid(shape[1], shape[2])
+
+
+def device_qaoa(topology: Topology, seed: int = 0, p: int = 1) -> Circuit:
+    """Device-native QAOA: the MaxCut problem graph IS the coupling graph.
+
+    Every ``rzz`` term acts on a coupled pair, so the circuit schedules on
+    real-device topologies without routing blow-up — the scale benchmarks'
+    canonical workload.  The gamma/beta angles are seeded per edge/qubit so
+    different seeds exercise different virtual-rz patterns.
+    """
+    rng = _derived_rng(seed, "device-qaoa", topology.num_qubits)
+    circuit = Circuit(topology.num_qubits)
+    for q in range(topology.num_qubits):
+        circuit.h(q)
+    for round_index in range(p):
+        scale = 1.0 + 0.1 * round_index
+        for u, v in topology.edges:
+            circuit.rzz(u, v, scale * float(rng.uniform(0.3, 1.1)))
+        for q in range(topology.num_qubits):
+            circuit.rx(q, 2.0 * scale * float(rng.uniform(0.2, 0.6)))
+    return circuit
+
+
+def device_qv(topology: Topology, seed: int = 0, depth: int = 4) -> Circuit:
+    """Device-native QV-style circuit: SU(4)-like blocks on coupled pairs.
+
+    Each round draws a random maximal matching of the coupling graph and
+    applies the standard 3-CX + single-qubit-rotation template to every
+    matched pair — the same gate placement pressure as quantum volume,
+    minus the all-to-all permutations that would drown a 127-qubit device
+    in routing SWAPs.
+    """
+    rng = _derived_rng(seed, "device-qv", topology.num_qubits)
+    circuit = Circuit(topology.num_qubits)
+    edges = list(topology.edges)
+    for _ in range(depth):
+        order = rng.permutation(len(edges))
+        used: set[int] = set()
+        for index in order:
+            u, v = edges[int(index)]
+            if u in used or v in used:
+                continue
+            used.update((u, v))
+            for q in (u, v):
+                theta, phi, lam = rng.uniform(-np.pi, np.pi, 3)
+                circuit.u3(q, theta, phi, lam)
+            circuit.cx(u, v)
+            for q in (u, v):
+                theta, phi, lam = rng.uniform(-np.pi, np.pi, 3)
+                circuit.u3(q, theta, phi, lam)
+            circuit.cx(v, u)
+            circuit.cx(u, v)
+    return circuit
+
+
+SCALE_CIRCUITS = {"qaoa": device_qaoa, "qv": device_qv}
 
 
 @dataclass(frozen=True)

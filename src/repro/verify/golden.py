@@ -113,6 +113,29 @@ def _schedule_structure_values() -> dict[str, float]:
     return values
 
 
+def _sched_scale_values() -> dict[str, float]:
+    """Schedule structure of the 127-qubit heavy-hex (Eagle) compile path.
+
+    Layer/identity counts of the device-native QAOA and QV workloads; the
+    plan-cache and vectorized-distance fast paths must never move them.
+    """
+    from repro.scheduling.scalebench import bench_circuit, bench_device
+    from repro.scheduling.zzxsched import zzx_schedule
+
+    values: dict[str, float] = {}
+    for device_name, kind in (("eagle", "qaoa"), ("eagle", "qv")):
+        device = bench_device(device_name)
+        circuit = bench_circuit(device.topology, kind)
+        schedule = zzx_schedule(circuit, device.topology)
+        prefix = f"{device_name}/{kind}"
+        values[f"{prefix}/gates"] = len(circuit.gates)
+        values[f"{prefix}/layers"] = schedule.num_layers
+        values[f"{prefix}/identities"] = sum(
+            len(layer.identities) for layer in schedule.layers
+        )
+    return values
+
+
 GOLDENS: dict[str, GoldenSpec] = {
     spec.golden_id: spec
     for spec in (
@@ -145,6 +168,12 @@ GOLDENS: dict[str, GoldenSpec] = {
             "exact",
             "layer/identity counts of canonical ParSched & ZZXSched runs",
             _schedule_structure_values,
+        ),
+        GoldenSpec(
+            "sched-scale",
+            "exact",
+            "schedule structure of 127-qubit heavy-hex (Eagle) workloads",
+            _sched_scale_values,
         ),
     )
 }

@@ -39,7 +39,9 @@ from repro.pulses.optimizers.engine import (
 from repro.qmath.paulis import ID2, SX, SY, SZ
 from repro.qmath.unitaries import rx, rzx
 from repro.runtime.executor import execute
+from repro.scheduling.distance import gate_distance, gate_distance_matrix
 from repro.scheduling.layer import Layer, Schedule
+from repro.scheduling.plan_cache import NullPlanCache, SuppressionPlanCache
 from repro.scheduling.requirement import SuppressionRequirement
 from repro.scheduling.zzxsched import ZZXConfig, zzx_schedule
 from repro.verify.reference import (
@@ -217,6 +219,41 @@ def check_theorem_6_1(trace: ReferenceTrace) -> list[OracleFailure]:
 # ---------------------------------------------------------------------------
 
 
+def diff_schedules(
+    oracle: str, ours: Schedule, other: Schedule, other_name: str = "reference"
+) -> list[OracleFailure]:
+    """Layer-by-layer structural diff of two schedules (empty == identical)."""
+    failures: list[OracleFailure] = []
+    if ours.num_layers != other.num_layers:
+        failures.append(
+            OracleFailure(
+                oracle,
+                f"layer count {ours.num_layers} vs {other_name} "
+                f"{other.num_layers}",
+            )
+        )
+    for index, (layer, other_layer) in enumerate(
+        zip(ours.layers, other.layers)
+    ):
+        for kind in ("gates", "identities", "virtual"):
+            a = [_gate_tuple(g) for g in getattr(layer, kind)]
+            b = [_gate_tuple(g) for g in getattr(other_layer, kind)]
+            if a != b:
+                failures.append(
+                    OracleFailure(
+                        oracle,
+                        f"layer {index} {kind} differ: {a} vs {b}",
+                    )
+                )
+    a = [_gate_tuple(g) for g in ours.trailing_virtual]
+    b = [_gate_tuple(g) for g in other.trailing_virtual]
+    if a != b:
+        failures.append(
+            OracleFailure(oracle, "trailing virtual gates differ")
+        )
+    return failures
+
+
 def check_scheduler_differential(
     circuit: Circuit,
     topology: Topology,
@@ -228,35 +265,67 @@ def check_scheduler_differential(
     reference, trace = reference_zzx_schedule(
         circuit, topology, requirement, config
     )
-    failures: list[OracleFailure] = []
-    if production.num_layers != reference.num_layers:
+    failures = diff_schedules("scheduler-diff", production, reference)
+    return failures, production, trace
+
+
+def check_plan_cache_equivalence(
+    circuit: Circuit,
+    topology: Topology,
+    requirement: SuppressionRequirement | None = None,
+    config: ZZXConfig | None = None,
+) -> list[OracleFailure]:
+    """Cached and uncached ZZXSched runs must be bit-identical.
+
+    The plan cache may only memoize — never alter — Algorithm 1 results,
+    so a schedule computed through a warm :class:`SuppressionPlanCache`
+    (including one pre-warmed by an unrelated run) must equal the plan-by-
+    plan recomputation through :class:`NullPlanCache` exactly.
+    """
+    cache = SuppressionPlanCache()
+    warmed = zzx_schedule(circuit, topology, requirement, config, cache)
+    # Second pass over the same warm cache: every plan request is a hit.
+    cached = zzx_schedule(circuit, topology, requirement, config, cache)
+    uncached = zzx_schedule(
+        circuit, topology, requirement, config, NullPlanCache()
+    )
+    failures = diff_schedules("plan-cache", warmed, uncached, "uncached")
+    failures += diff_schedules("plan-cache", cached, uncached, "uncached")
+    if cache.hits == 0 and cache.misses > 1:
         failures.append(
             OracleFailure(
-                "scheduler-diff",
-                f"layer count {production.num_layers} vs reference "
-                f"{reference.num_layers}",
+                "plan-cache",
+                f"cache never hit across two identical runs "
+                f"({cache.misses} misses) — keying is broken",
             )
         )
-    for index, (ours, ref) in enumerate(
-        zip(production.layers, reference.layers)
-    ):
-        for kind in ("gates", "identities", "virtual"):
-            a = [_gate_tuple(g) for g in getattr(ours, kind)]
-            b = [_gate_tuple(g) for g in getattr(ref, kind)]
-            if a != b:
+    return failures
+
+
+def check_distance_matrix(
+    topology: Topology, circuit: Circuit
+) -> list[OracleFailure]:
+    """``gate_distance_matrix`` must equal per-pair ``gate_distance`` exactly."""
+    gates = circuit.two_qubit_gates()[:24]
+    if len(gates) < 2:
+        gates = gates + [g for g in circuit.gates if g.num_qubits == 1][:6]
+    if not gates:
+        return []
+    matrix = gate_distance_matrix(topology, gates)
+    failures: list[OracleFailure] = []
+    for i, a in enumerate(gates):
+        for j, b in enumerate(gates):
+            expected = gate_distance(topology, a, b)
+            if int(matrix[i, j]) != expected:
                 failures.append(
                     OracleFailure(
-                        "scheduler-diff",
-                        f"layer {index} {kind} differ: {a} vs {b}",
+                        "distance-matrix",
+                        f"D[{i},{j}]={int(matrix[i, j])} but "
+                        f"gate_distance({a}, {b})={expected}",
                     )
                 )
-    a = [_gate_tuple(g) for g in production.trailing_virtual]
-    b = [_gate_tuple(g) for g in reference.trailing_virtual]
-    if a != b:
-        failures.append(
-            OracleFailure("scheduler-diff", "trailing virtual gates differ")
-        )
-    return failures, production, trace
+                return failures
+    return failures
 
 
 def check_cut_against_brute_force(
@@ -416,6 +485,9 @@ def run_all_oracles(
     )
     if gate_qubits:
         checks["cuts"] += check_cut_against_brute_force(topology, gate_qubits)
+    checks["plan_cache"] = check_plan_cache_equivalence(
+        scenario.circuit, topology, requirement
+    ) + check_distance_matrix(topology, scenario.circuit)
     checks["pulse_engine"] = check_pulse_engine(scenario.seed)
     checks["backends"] = check_backend_equivalence(
         schedule, scenario.device, library

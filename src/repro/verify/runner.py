@@ -28,6 +28,7 @@ CHECK_NAMES = (
     "suppression",
     "theorem_6_1",
     "cuts",
+    "plan_cache",
     "pulse_engine",
     "backends",
 )

@@ -2,6 +2,7 @@
 
 import networkx as nx
 import numpy as np
+import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.circuits import Circuit, transpile
@@ -95,6 +96,66 @@ def test_schedulers_agree_semantically(data):
     direct = circuit.output_state()
     assert abs(np.vdot(par_state, direct)) ** 2 > 1.0 - 1e-9
     assert abs(np.vdot(zzx_state, direct)) ** 2 > 1.0 - 1e-9
+
+
+def _gate_tuples(schedule):
+    out = []
+    for layer in schedule.layers:
+        out.append(
+            tuple(
+                (g.name, g.qubits, g.params)
+                for kind in ("virtual", "gates", "identities")
+                for g in getattr(layer, kind)
+            )
+        )
+    out.append(tuple((g.name, g.qubits, g.params) for g in schedule.trailing_virtual))
+    return out
+
+
+@pytest.mark.tier2
+@given(st.integers(0, 2_000))
+@settings(max_examples=25, deadline=None)
+def test_plan_cache_bit_identical_on_random_scenarios(seed):
+    """Cache-on == cache-off schedules, layer by layer, bit for bit.
+
+    Scenarios come from the verification generators (random grid /
+    heavy-hex / random-regular devices, random + benchmark circuits), the
+    same distribution ``repro verify`` sweeps.
+    """
+    from repro.scheduling.plan_cache import NullPlanCache, SuppressionPlanCache
+    from repro.verify.generators import make_scenario
+
+    scenario = make_scenario(seed)
+    topo = scenario.device.topology
+    cache = SuppressionPlanCache()
+    cached = zzx_schedule(scenario.circuit, topo, plan_cache=cache)
+    recached = zzx_schedule(scenario.circuit, topo, plan_cache=cache)
+    uncached = zzx_schedule(scenario.circuit, topo, plan_cache=NullPlanCache())
+    assert _gate_tuples(cached) == _gate_tuples(uncached)
+    assert _gate_tuples(recached) == _gate_tuples(uncached)
+    for a, b in zip(cached.layers, uncached.layers):
+        assert a.plan.coloring == b.plan.coloring
+        assert a.plan.metrics == b.plan.metrics
+
+
+@pytest.mark.tier2
+@given(st.integers(0, 2_000))
+@settings(max_examples=25, deadline=None)
+def test_gate_distance_matrix_matches_pairwise_on_random_devices(seed):
+    """Vectorized Definition 6.1 == per-pair gate_distance, exactly."""
+    from repro.scheduling.distance import gate_distance, gate_distance_matrix
+    from repro.verify.generators import make_scenario
+
+    scenario = make_scenario(seed)
+    topo = scenario.device.topology
+    gates = scenario.circuit.two_qubit_gates()
+    if not gates:
+        gates = list(scenario.circuit.gates)[:8]
+    matrix = gate_distance_matrix(topo, gates)
+    assert matrix.shape == (len(gates), len(gates))
+    for i, a in enumerate(gates):
+        for j, b in enumerate(gates):
+            assert int(matrix[i, j]) == gate_distance(topo, a, b)
 
 
 @given(st.integers(0, 500))

@@ -42,7 +42,7 @@ class TestVersion:
     def test_version_exposed(self):
         import repro
 
-        assert repro.__version__ == "1.0.0"
+        assert repro.__version__ == "1.1.0"
 
     def test_public_api_importable(self):
         import repro

@@ -31,12 +31,21 @@ from repro.campaigns.report import (
     store_summary,
     sweep_table,
 )
-from repro.campaigns.runner import CampaignResult, evaluate_cell, run_campaign
+from repro.campaigns.runner import (
+    CampaignAbort,
+    CampaignResult,
+    CellOutcome,
+    evaluate_cell,
+    run_campaign,
+    supervised_evaluate,
+)
 from repro.campaigns.spec import (
     BACKENDS,
     CONFIGS,
+    DEFAULT_POLICY,
     Cell,
     DeviceSpec,
+    RetryPolicy,
     SweepSpec,
     cell_key,
     paper_sizes,
@@ -46,10 +55,14 @@ from repro.campaigns.store import ResultStore
 __all__ = [
     "BACKENDS",
     "CONFIGS",
+    "DEFAULT_POLICY",
+    "CampaignAbort",
     "CampaignResult",
     "Cell",
+    "CellOutcome",
     "DeviceSpec",
     "ResultStore",
+    "RetryPolicy",
     "SweepSpec",
     "campaign_results",
     "cell_key",
@@ -59,5 +72,6 @@ __all__ = [
     "report_from_store",
     "run_campaign",
     "store_summary",
+    "supervised_evaluate",
     "sweep_table",
 ]

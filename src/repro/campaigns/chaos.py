@@ -1,0 +1,342 @@
+"""Chaos harness: prove the campaign path survives injected faults.
+
+``repro chaos`` runs one small, fixed campaign grid under each fault the
+:mod:`repro.campaigns.faults` module can inject — transient cell
+exceptions, permanent cell errors, hangs past the timeout, a worker
+SIGKILL that breaks the process pool, and store-file damage — and
+asserts that after the campaign completes (or is resumed once the fault
+clears) its store has *converged*: every record is identical to the
+fault-free run's, ignoring only error/attempt metadata and volatile
+fields (elapsed, timestamp).
+
+It also pins backward compatibility: the supervised runner's fault-free
+records must match, field for field, what the pre-supervision runner
+(plain ``evaluate_cell`` + ``store.put``) produces.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import tempfile
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.campaigns import faults
+from repro.campaigns.faults import ENV_FAULT, corrupt_store
+from repro.campaigns.fingerprint import library_fingerprint
+from repro.campaigns.runner import evaluate_cell, run_campaign
+from repro.campaigns.spec import RetryPolicy, SweepSpec
+from repro.campaigns.store import ResultStore
+from repro.experiments.result import ExperimentResult
+
+#: The grid every chaos scenario runs (small on purpose: four cells).
+CHAOS_SPEC = SweepSpec(
+    name="chaos",
+    benchmarks=("QAOA", "Ising"),
+    sizes=(4,),
+    configs=("gau+par", "pert+zzx"),
+)
+
+#: Volatile record fields excluded from convergence comparison.  The
+#: acceptance bar is "bit-identical ignoring error/attempt metadata":
+#: timing and timestamps differ between any two runs by construction,
+#: and a retried success legitimately carries its attempt count.
+VOLATILE_FIELDS = ("elapsed_s", "timestamp", "attempts")
+
+#: Fast-retry supervision used by the scenarios (no multi-second backoff).
+CHAOS_POLICY = RetryPolicy(max_attempts=3, backoff_s=0.01, backoff_cap_s=0.05)
+
+
+def canonical_records(store: ResultStore) -> dict[str, str]:
+    """``key -> canonical JSON`` of each record minus volatile fields."""
+    out: dict[str, str] = {}
+    for record in store.records():
+        trimmed = {
+            k: v for k, v in record.items() if k not in VOLATILE_FIELDS
+        }
+        out[record["key"]] = json.dumps(trimmed, sort_keys=True)
+    return out
+
+
+def convergence_problems(
+    store: ResultStore, baseline: dict[str, str]
+) -> list[str]:
+    """Why ``store`` does not match the fault-free baseline (empty = ok)."""
+    actual = canonical_records(store)
+    problems = []
+    for key, expected in sorted(baseline.items()):
+        got = actual.get(key)
+        if got is None:
+            problems.append(f"record {key} missing")
+        elif got != expected:
+            problems.append(f"record {key} differs: {got} != {expected}")
+    return problems
+
+
+@dataclass
+class ChaosOutcome:
+    """One scenario's verdict."""
+
+    scenario: str
+    fault: str
+    passed: bool
+    detail: str
+    elapsed_s: float
+
+    def row(self) -> dict:
+        return {
+            "scenario": self.scenario,
+            "fault": self.fault or "-",
+            "status": "ok" if self.passed else "FAIL",
+            "detail": self.detail,
+        }
+
+
+@dataclass
+class ChaosReport:
+    outcomes: list[ChaosOutcome]
+    elapsed_s: float = 0.0
+
+    @property
+    def passed(self) -> bool:
+        return all(o.passed for o in self.outcomes)
+
+    def render(self) -> str:
+        result = ExperimentResult(
+            "chaos",
+            f"{len(self.outcomes)} fault-injection scenarios "
+            f"on the {CHAOS_SPEC.name} grid",
+            rows=[o.row() for o in self.outcomes],
+            notes=(
+                f"{sum(o.passed for o in self.outcomes)}/"
+                f"{len(self.outcomes)} passed [{self.elapsed_s:.1f}s]"
+            ),
+        )
+        return result.render()
+
+
+@contextmanager
+def _fault(spec: str | None):
+    """Scoped ``REPRO_FAULT``: set for the block, always cleared after."""
+    previous = os.environ.get(ENV_FAULT)
+    try:
+        if spec is None:
+            os.environ.pop(ENV_FAULT, None)
+        else:
+            os.environ[ENV_FAULT] = spec
+        yield
+    finally:
+        if previous is None:
+            os.environ.pop(ENV_FAULT, None)
+        else:
+            os.environ[ENV_FAULT] = previous
+
+
+def _legacy_baseline(fingerprint: str) -> dict[str, str]:
+    """What *today's* unsupervised runner would store for the grid.
+
+    This is the pre-fault-tolerance serial loop verbatim: evaluate, put.
+    The supervised runner's fault-free records must match it exactly.
+    """
+    store = ResultStore(None)
+    for cell in CHAOS_SPEC.cells():
+        store.put(cell, evaluate_cell(cell), fingerprint=fingerprint)
+    return canonical_records(store)
+
+
+def run_chaos(
+    workers: int = 2,
+    out_dir: str | Path | None = None,
+    scenarios: tuple[str, ...] | None = None,
+) -> ChaosReport:
+    """Run every chaos scenario; see the module docstring for the contract.
+
+    ``out_dir=None`` uses (and removes) a temporary directory; pass a
+    path to keep the per-scenario stores for triage.  ``scenarios``
+    optionally restricts to a subset by name.
+    """
+    faults._LOCAL_BUDGETS.clear()  # a fresh harness gets fresh budgets
+    start = time.perf_counter()
+    cleanup = out_dir is None
+    out_dir = Path(out_dir or tempfile.mkdtemp(prefix="repro-chaos-"))
+    out_dir.mkdir(parents=True, exist_ok=True)
+    fingerprint = library_fingerprint()
+    outcomes: list[ChaosOutcome] = []
+    try:
+        # The reference: the grid as the pre-supervision runner stores it
+        # (also warms every in-process cache for the scenarios below).
+        baseline = _legacy_baseline(fingerprint)
+        baseline_store = ResultStore(out_dir / "baseline.jsonl")
+        run_campaign(
+            CHAOS_SPEC, baseline_store,
+            fingerprint=fingerprint, policy=CHAOS_POLICY,
+        )
+
+        for scenario in _scenarios(out_dir, fingerprint, workers, baseline_store):
+            name, fault_spec, runner = scenario
+            if scenarios is not None and name not in scenarios:
+                continue
+            t0 = time.perf_counter()
+            try:
+                problems = runner(baseline)
+            except Exception as exc:  # a scenario crash is a failure, not an abort
+                problems = [f"scenario crashed: {type(exc).__name__}: {exc}"]
+            outcomes.append(
+                ChaosOutcome(
+                    scenario=name,
+                    fault=fault_spec,
+                    passed=not problems,
+                    detail=problems[0] if problems else "converged",
+                    elapsed_s=time.perf_counter() - t0,
+                )
+            )
+    finally:
+        if cleanup:
+            shutil.rmtree(out_dir, ignore_errors=True)
+    return ChaosReport(outcomes, elapsed_s=time.perf_counter() - start)
+
+
+def _scenarios(out_dir: Path, fingerprint: str, workers: int, baseline_store):
+    """(name, fault-spec, runner) triples; each runner returns problems."""
+
+    def fresh_store(name: str) -> ResultStore:
+        return ResultStore(out_dir / f"{name}.jsonl")
+
+    def fault_free(baseline):
+        # Byte-compatibility gate: supervised fault-free records must
+        # equal the legacy runner's, field for field.
+        return convergence_problems(baseline_store, baseline)
+
+    def cell_exception(baseline):
+        store = fresh_store("cell-exception")
+        with _fault("raise:times=2"):
+            campaign = run_campaign(
+                CHAOS_SPEC, store, fingerprint=fingerprint, policy=CHAOS_POLICY
+            )
+        problems = convergence_problems(store, baseline)
+        if campaign.failed:
+            problems.append(
+                f"{campaign.failed} cells failed despite retry budget"
+            )
+        return problems
+
+    def quarantine_resume(baseline):
+        store = fresh_store("quarantine")
+        with _fault("fatal:times=2:match=QAOA"):
+            campaign = run_campaign(
+                CHAOS_SPEC, store, fingerprint=fingerprint, policy=CHAOS_POLICY
+            )
+        problems = []
+        if campaign.failed != 2:
+            problems.append(
+                f"expected 2 quarantined QAOA cells, got {campaign.failed}"
+            )
+        if len(store.failures()) != campaign.failed:
+            problems.append("failure records not durable in the store")
+        # Fault cleared: the resume must re-run only the quarantined
+        # cells and converge.
+        resumed = run_campaign(
+            CHAOS_SPEC,
+            ResultStore(store.path),
+            fingerprint=fingerprint,
+            policy=RetryPolicy(
+                max_attempts=1, backoff_s=0.0, retry_quarantined=True
+            ),
+        )
+        if resumed.computed != campaign.failed:
+            problems.append(
+                f"resume re-ran {resumed.computed} cells, "
+                f"expected {campaign.failed}"
+            )
+        problems.extend(
+            convergence_problems(ResultStore(store.path), baseline)
+        )
+        return problems
+
+    def hang_timeout_resume(baseline):
+        store = fresh_store("hang")
+        # The budget must clear a real cell (~0.5s warm) with slack for
+        # slow CI machines, while the injected hang sleeps far past it.
+        policy = RetryPolicy(
+            max_attempts=1, timeout_s=3.0, backoff_s=0.0
+        )
+        with _fault("hang:times=2:secs=12:match=Ising"):
+            run_campaign(
+                CHAOS_SPEC, store, fingerprint=fingerprint, policy=policy
+            )
+        problems = []
+        timeouts = [
+            r for r in store.failures() if r.get("status") == "timeout"
+        ]
+        if len(timeouts) != 2:
+            problems.append(f"expected 2 timeout records, got {len(timeouts)}")
+        # Fault scope exited: the resume re-runs the quarantined timeouts.
+        run_campaign(
+            CHAOS_SPEC,
+            ResultStore(store.path),
+            fingerprint=fingerprint,
+            policy=RetryPolicy(
+                max_attempts=1, timeout_s=30.0, backoff_s=0.0,
+                retry_quarantined=True,
+            ),
+        )
+        problems.extend(
+            convergence_problems(ResultStore(store.path), baseline)
+        )
+        return problems
+
+    def worker_kill(baseline):
+        store = fresh_store("worker-kill")
+        budget = out_dir / "kill.budget"
+        with _fault(f"kill:times=1:budget={budget}"):
+            campaign = run_campaign(
+                CHAOS_SPEC,
+                store,
+                workers=max(2, workers),
+                fingerprint=fingerprint,
+                policy=CHAOS_POLICY,
+            )
+        problems = convergence_problems(store, baseline)
+        if campaign.failed:
+            problems.append(
+                f"{campaign.failed} cells failed after the pool respawn"
+            )
+        if not budget.exists() or budget.stat().st_size == 0:
+            problems.append("kill fault never fired (budget untouched)")
+        return problems
+
+    def store_damage(mode: str):
+        def runner(baseline):
+            store_path = out_dir / f"store-{mode}.jsonl"
+            shutil.copyfile(baseline_store.path, store_path)
+            corrupt_store(store_path, mode)
+            campaign = run_campaign(
+                CHAOS_SPEC,
+                ResultStore(store_path),
+                fingerprint=fingerprint,
+                policy=CHAOS_POLICY,
+            )
+            problems = convergence_problems(ResultStore(store_path), baseline)
+            if campaign.computed == 0:
+                problems.append("corruption went unnoticed: nothing re-ran")
+            return problems
+
+        return runner
+
+    return [
+        ("fault-free", "", fault_free),
+        ("cell-exception", "raise:times=2", cell_exception),
+        ("quarantine-resume", "fatal:times=2:match=QAOA", quarantine_resume),
+        (
+            "hang-timeout-resume",
+            "hang:times=2:secs=12:match=Ising",
+            hang_timeout_resume,
+        ),
+        ("worker-kill", "kill:times=1", worker_kill),
+        ("store-truncate", "corrupt_store(truncate)", store_damage("truncate")),
+        ("store-garbage", "corrupt_store(garbage)", store_damage("garbage")),
+    ]

@@ -1,0 +1,203 @@
+"""Fault injection for the campaign execution path.
+
+The fault-tolerance machinery in :mod:`repro.campaigns.runner` (retries,
+timeouts, quarantine, pool respawn, store repair) is only trustworthy if
+it is exercised — this module provides the faults to exercise it with.
+Injection is driven by one environment variable so it reaches every
+process involved in a campaign (the parent, serial evaluations, and
+forked/spawned pool workers alike) without any API plumbing:
+
+    REPRO_FAULT="<kind>[:opt=value[:opt=value...]]"
+
+Kinds:
+
+- ``raise``  — raise :class:`InjectedFault` (a transient error: the
+  supervised runner retries it);
+- ``fatal``  — raise :class:`InjectedFatalFault` (classified permanent:
+  quarantined without retries);
+- ``hang``   — sleep ``secs`` (default 30) to trip the per-cell timeout;
+- ``kill``   — ``SIGKILL`` the evaluating process mid-cell, which breaks
+  a process pool exactly like a real worker death.
+
+Options:
+
+- ``match=<substr>`` — only fire on cells whose label
+  (``"QAOA-4/gau+par"``) contains the substring (default: every cell);
+- ``times=<N>``      — fire at most N times (default 1);
+- ``secs=<float>``   — sleep length for ``hang``;
+- ``budget=<path>``  — a counter file for the ``times`` budget.  Without
+  it the budget is process-local, which is fine for serial runs; pool
+  workers each inherit a zero counter, so cross-process faults (``kill``
+  under ``workers>1``) need a shared budget file.
+
+The budget file is append-only (one byte per firing); appends are atomic
+enough that concurrent workers can at worst overshoot by a firing or
+two, which the convergence checks in :mod:`repro.campaigns.chaos`
+tolerate by design — every fault eventually exhausts its budget.
+
+:func:`corrupt_store` complements the in-band faults with store-file
+damage (a kill mid-append, a corrupted line), used by ``repro chaos``
+and the regression tests for the tail-repair path.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+#: Environment variable holding the active fault spec.
+ENV_FAULT = "REPRO_FAULT"
+
+FAULT_KINDS = ("raise", "fatal", "hang", "kill")
+
+#: Process-local firing counters, keyed by the raw spec text (used when
+#: no ``budget=`` file is given).
+_LOCAL_BUDGETS: dict[str, int] = {}
+
+
+class InjectedFault(RuntimeError):
+    """A deliberately injected *transient* failure (retried)."""
+
+
+class InjectedFatalFault(ValueError):
+    """A deliberately injected *permanent* failure (never retried)."""
+
+
+class FaultSpecError(ValueError):
+    """Malformed ``REPRO_FAULT`` value."""
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One parsed fault: what to do, where, and how often."""
+
+    kind: str
+    match: str = ""
+    times: int = 1
+    secs: float = 30.0
+    budget: str | None = None
+    raw: str = ""
+
+    @staticmethod
+    def parse(text: str) -> "FaultSpec":
+        parts = [p for p in text.strip().split(":") if p]
+        if not parts:
+            raise FaultSpecError("empty fault spec")
+        kind, opts = parts[0], parts[1:]
+        if kind not in FAULT_KINDS:
+            raise FaultSpecError(
+                f"unknown fault kind {kind!r}; known: {', '.join(FAULT_KINDS)}"
+            )
+        fields: dict = {"kind": kind, "raw": text}
+        for opt in opts:
+            name, eq, value = opt.partition("=")
+            if not eq:
+                raise FaultSpecError(f"fault option {opt!r} is not name=value")
+            if name == "match":
+                fields["match"] = value
+            elif name == "times":
+                if not value.isdigit() or int(value) < 1:
+                    raise FaultSpecError(f"times must be a positive int: {opt!r}")
+                fields["times"] = int(value)
+            elif name == "secs":
+                try:
+                    fields["secs"] = float(value)
+                except ValueError:
+                    raise FaultSpecError(f"secs must be a float: {opt!r}") from None
+            elif name == "budget":
+                fields["budget"] = value
+            else:
+                raise FaultSpecError(f"unknown fault option {name!r}")
+        return FaultSpec(**fields)
+
+
+def active_fault() -> FaultSpec | None:
+    """The fault configured in the environment, if any."""
+    text = os.environ.get(ENV_FAULT)
+    return FaultSpec.parse(text) if text else None
+
+
+def cell_label(cell) -> str:
+    """The string ``match=`` filters against (``"QAOA-4/gau+par"``)."""
+    return f"{cell.label}/{cell.config}"
+
+
+def _consume_budget(spec: FaultSpec) -> bool:
+    """Atomically claim one firing; False once ``times`` is exhausted."""
+    if spec.budget is None:
+        used = _LOCAL_BUDGETS.get(spec.raw, 0)
+        if used >= spec.times:
+            return False
+        _LOCAL_BUDGETS[spec.raw] = used + 1
+        return True
+    path = Path(spec.budget)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd = os.open(path, os.O_CREAT | os.O_APPEND | os.O_WRONLY, 0o644)
+    try:
+        if os.fstat(fd).st_size >= spec.times:
+            return False
+        os.write(fd, b"x")
+        return True
+    finally:
+        os.close(fd)
+
+
+def maybe_fault(cell) -> None:
+    """Injection hook: called at the top of every cell evaluation.
+
+    A no-op unless ``REPRO_FAULT`` is set, the cell matches, and the
+    firing budget is not exhausted.
+    """
+    spec = active_fault()
+    if spec is None:
+        return
+    if spec.match and spec.match not in cell_label(cell):
+        return
+    if not _consume_budget(spec):
+        return
+    if spec.kind == "raise":
+        raise InjectedFault(f"injected transient fault on {cell_label(cell)}")
+    if spec.kind == "fatal":
+        raise InjectedFatalFault(f"injected fatal fault on {cell_label(cell)}")
+    if spec.kind == "hang":
+        time.sleep(spec.secs)
+        return
+    if spec.kind == "kill":  # pragma: no cover - kills the process
+        os.kill(os.getpid(), signal.SIGKILL)
+
+
+# -- store damage ------------------------------------------------------------
+
+CORRUPTION_MODES = ("truncate", "garbage")
+
+
+def corrupt_store(path: str | Path, mode: str = "truncate") -> None:
+    """Damage a JSONL store file the way real failures do.
+
+    ``truncate`` chops the file mid-way through its final record with no
+    trailing newline — the signature of a process killed inside an
+    append.  ``garbage`` overwrites the middle of one line with
+    non-JSON bytes, the signature of disk corruption.
+    """
+    path = Path(path)
+    raw = path.read_bytes()
+    if not raw:
+        raise ValueError(f"cannot corrupt empty store {path}")
+    if mode == "truncate":
+        # Keep a recognizable partial record: cut inside the last line.
+        cut = max(raw.rstrip(b"\n").rfind(b"\n") + 1, 0)
+        keep = raw[: cut + max(1, (len(raw) - cut) // 2)]
+        path.write_bytes(keep.rstrip(b"\n"))
+        return
+    if mode == "garbage":
+        lines = raw.splitlines(keepends=True)
+        victim = len(lines) // 2
+        lines[victim] = b"{not json at all" + b"\n"
+        path.write_bytes(b"".join(lines))
+        return
+    raise ValueError(
+        f"unknown corruption mode {mode!r}; known: {', '.join(CORRUPTION_MODES)}"
+    )

@@ -14,8 +14,14 @@ from pathlib import Path
 
 from repro.campaigns.fingerprint import library_fingerprint
 from repro.campaigns.runner import CampaignResult, cached_device, run_campaign
-from repro.campaigns.spec import Cell, SweepSpec, cell_key, default_backend
-from repro.campaigns.store import ResultStore
+from repro.campaigns.spec import (
+    Cell,
+    RetryPolicy,
+    SweepSpec,
+    cell_key,
+    default_backend,
+)
+from repro.campaigns.store import ResultStore, record_status
 from repro.experiments.result import ExperimentResult
 
 #: cell kind -> the scalar each config column reports.
@@ -40,10 +46,15 @@ def campaign_results(
     store: ResultStore | str | Path | None = None,
     workers: int = 1,
     fingerprint: str | None = None,
+    policy: RetryPolicy | None = None,
 ) -> CampaignResult:
     """Run (or resume) a campaign; the figure modules' single entry point."""
     return run_campaign(
-        cells, as_store(store), workers=workers, fingerprint=fingerprint
+        cells,
+        as_store(store),
+        workers=workers,
+        fingerprint=fingerprint,
+        policy=policy,
     )
 
 
@@ -132,17 +143,32 @@ def report_from_store(
     """
     store = as_store(store)
     fingerprint = fingerprint or library_fingerprint()
+    failed: list[Cell] = []
 
     def lookup(cell: Cell):
-        return store.result_for(cell, fingerprint)
+        record = store.get(cell_key(cell, fingerprint))
+        if record is None:
+            return None
+        if record_status(record) != "ok":
+            # Failure records render as NaN columns like missing cells,
+            # but are reported separately: they ran and broke.
+            failed.append(cell)
+            return None
+        return record["result"]
 
     rows, missing = _grid_rows(spec, lookup)
-    done = sum(len(point) for point in _grid_points(spec)) - len(missing)
+    missing = [cell for cell in missing if cell not in set(failed)]
+    done = (
+        sum(len(point) for point in _grid_points(spec))
+        - len(missing)
+        - len(failed)
+    )
+    failed_note = f", {len(failed)} failed" if failed else ""
     result = ExperimentResult(
         spec.name,
         f"stored sweep {spec.kind}: {', '.join(spec.configs)}",
         rows=rows,
-        notes=f"{done} stored, {len(missing)} missing "
+        notes=f"{done} stored{failed_note}, {len(missing)} missing "
         f"[store={store.path}, fingerprint={fingerprint}]",
     )
     return result, missing
@@ -151,31 +177,50 @@ def report_from_store(
 def store_summary(store: ResultStore | str | Path) -> ExperimentResult:
     """Per-(benchmark, kind, config) record counts — the ``list --store`` view."""
     store = as_store(store)
-    counts: dict[tuple[str, str, str, str], int] = {}
+    counts: dict[tuple[str, str, str, str], list[int]] = {}
     fingerprints: set[str] = set()
+    total_failed = 0
     for record in store.records():
         fingerprints.add(record.get("fingerprint", "?"))
+        failed = record_status(record) != "ok"
+        total_failed += failed
         if "cell" not in record:
             # Non-campaign records (e.g. `repro verify` scenarios) share
             # the store file; summarize them by their payload kind.
             kind = "verify" if "verify" in record else "other"
-            counts[(kind, kind, "-", "-")] = (
-                counts.get((kind, kind, "-", "-"), 0) + 1
-            )
-            continue
-        cell = record["cell"]
-        kind = cell.get("kind", "statevector")
-        backend = cell.get("backend", default_backend(kind))
-        key = (cell["benchmark"], kind, backend, cell["config"])
-        counts[key] = counts.get(key, 0) + 1
+            key = (kind, kind, "-", "-")
+        else:
+            cell = record["cell"]
+            kind = cell.get("kind", "statevector")
+            backend = cell.get("backend", default_backend(kind))
+            key = (cell["benchmark"], kind, backend, cell["config"])
+        tally = counts.setdefault(key, [0, 0])
+        tally[0] += 1
+        tally[1] += failed
     rows = [
-        {"benchmark": b, "kind": k, "backend": be, "config": c, "cells": n}
-        for (b, k, be, c), n in sorted(counts.items())
+        {
+            "benchmark": b,
+            "kind": k,
+            "backend": be,
+            "config": c,
+            "cells": n,
+            "errors": failed,
+        }
+        for (b, k, be, c), (n, failed) in sorted(counts.items())
     ]
+    notes = (
+        f"{len(store)} records, fingerprints: "
+        f"{', '.join(sorted(fingerprints)) or 'none'}"
+    )
+    if total_failed:
+        notes += f" | {total_failed} failure record(s) — see EXPERIMENTS.md"
+    if store.skipped_lines:
+        # Data loss must be loud: these lines were unreadable and their
+        # cells will re-run on the next resume.
+        notes += f" | WARNING: {store.skipped_lines} malformed line(s) skipped"
     return ExperimentResult(
         "store",
         f"result store {store.path}",
         rows=rows,
-        notes=f"{len(store)} records, fingerprints: "
-        f"{', '.join(sorted(fingerprints)) or 'none'}",
+        notes=notes,
     )

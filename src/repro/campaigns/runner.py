@@ -12,28 +12,53 @@ Two dispatch paths:
   warm caches — which the experiments harness (``experiments/common.py``)
   also delegates to, so the serial path is bit-identical to the
   historical inline loops and nothing is compiled or sampled twice;
-- ``workers>1`` fans chunks of cells out over a
+- ``workers>1`` fans cells out over a
   :class:`~concurrent.futures.ProcessPoolExecutor`.  Each worker process
   keeps its own warm device/pulse-library/schedule caches (the pool
   initializer pre-builds the pulse libraries the campaign needs), so the
-  per-cell cost after warm-up is the simulation itself.  Completed chunks
-  are appended to the store as they land, preserving resumability even
-  when the campaign is killed mid-flight.
+  per-cell cost after warm-up is the simulation itself.  Dispatch and
+  persistence are *per cell*: every completed cell is appended to the
+  store the moment it lands, so a killed campaign — or a killed worker —
+  loses at most the cells that were actually in flight.
 
 Numerically the two paths are identical: every worker executes the same
 pure evaluation function on the same inputs.
+
+Both paths run under *supervision* (:func:`supervised_evaluate`): each
+cell gets a configurable wall-clock timeout, bounded retries with
+exponential backoff + deterministic jitter for transient errors, and a
+quarantine policy — a cell that exhausts its attempts is recorded as a
+durable failure (:class:`CellOutcome`) and the campaign continues, until
+``RetryPolicy.max_failures`` quarantines abort the run cleanly
+(:class:`CampaignAbort`; everything completed so far is already stored).
+A broken process pool (worker killed, OOM, segfault) is respawned and
+only the unfinished cells are re-dispatched; a pool that keeps breaking
+degrades to serial execution rather than giving up.
 """
 
 from __future__ import annotations
 
+import signal
+import threading
 import time
+import traceback
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from functools import lru_cache
 
+from repro.campaigns.faults import maybe_fault
 from repro.campaigns.fingerprint import library_fingerprint
-from repro.campaigns.spec import Cell, DeviceSpec, SweepSpec, cell_key
-from repro.campaigns.store import ResultStore
+from repro.campaigns.spec import (
+    DEFAULT_POLICY,
+    Cell,
+    DeviceSpec,
+    RetryPolicy,
+    SweepSpec,
+    cell_key,
+)
+from repro.campaigns.store import ResultStore, record_status
 from repro.circuits.compile import compile_circuit
 from repro.circuits.library import BENCHMARKS
 from repro.device.device import Device, make_device
@@ -138,6 +163,7 @@ def schedule_for_cell(cell: Cell) -> Schedule:
 
 def evaluate_cell(cell: Cell) -> dict:
     """Evaluate one cell; pure in its inputs, so safe on any worker."""
+    maybe_fault(cell)
     schedule = schedule_for_cell(cell)
     device = cached_device(cell.device)
     if cell.kind == "couplings":
@@ -175,26 +201,198 @@ def evaluate_cell(cell: Cell) -> dict:
     return record
 
 
+# -- supervised evaluation --------------------------------------------------
+
+#: Exception types that no retry will fix: they are deterministic
+#: functions of the cell's inputs, so the first failure is final.
+FATAL_TYPES = (ValueError, TypeError, KeyError, AttributeError)
+
+
+class _CellTimeout(Exception):
+    """Internal: raised by the SIGALRM handler when a cell overruns."""
+
+
+class CampaignAbort(RuntimeError):
+    """Too many quarantined cells: the campaign stopped cleanly.
+
+    Every outcome decided before the abort — successes and failures
+    alike — is already persisted; resuming against the same store picks
+    up exactly where the abort left off.
+    """
+
+    def __init__(self, message: str, quarantined: int = 0):
+        super().__init__(message)
+        self.quarantined = quarantined
+
+
+@dataclass
+class CellOutcome:
+    """What supervision concluded about one cell evaluation.
+
+    ``status`` is ``"ok"``, ``"error"`` or ``"timeout"``; failures carry
+    an ``error`` payload (exception type, message, traceback, attempt
+    count, quarantine flag) instead of a ``result``.
+    """
+
+    status: str
+    result: dict | None = None
+    attempts: int = 1
+    elapsed_s: float = 0.0
+    error: dict | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    @property
+    def quarantined(self) -> bool:
+        return bool(self.error and self.error.get("quarantined"))
+
+
+@contextmanager
+def _deadline(seconds: float | None):
+    """Enforce a wall-clock budget on the enclosed block via SIGALRM.
+
+    Timers only work on the main thread of a process; pool workers run
+    tasks on their main thread, so both dispatch paths are covered.  On
+    platforms without SIGALRM (or off the main thread) the budget is
+    simply not enforced — supervision degrades, it never breaks.
+    """
+    if (
+        seconds is None
+        or not hasattr(signal, "SIGALRM")
+        or threading.current_thread() is not threading.main_thread()
+    ):
+        yield
+        return
+
+    def _on_alarm(signum, frame):
+        raise _CellTimeout()
+
+    previous = signal.signal(signal.SIGALRM, _on_alarm)
+    signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+def _error_payload(exc: BaseException, attempts: int) -> dict:
+    return {
+        "type": type(exc).__name__,
+        "message": str(exc),
+        "traceback": traceback.format_exc(),
+        "attempts": attempts,
+        "quarantined": False,
+    }
+
+
+def supervised_evaluate(
+    cell: Cell, policy: RetryPolicy = DEFAULT_POLICY
+) -> CellOutcome:
+    """Evaluate one cell under timeout/retry/quarantine supervision.
+
+    Transient errors (and timeouts) are retried up to
+    ``policy.max_attempts`` with exponential backoff; fatal error types
+    (:data:`FATAL_TYPES`) and exhausted retries quarantine the cell.
+    Never raises on evaluation failure — the failure *is* the outcome.
+    """
+    error: dict = {}
+    status = "error"
+    for attempt in range(1, policy.max_attempts + 1):
+        t0 = time.perf_counter()
+        try:
+            with _deadline(policy.timeout_s):
+                result = evaluate_cell(cell)
+        except _CellTimeout:
+            status = "timeout"
+            error = {
+                "type": "CellTimeout",
+                "message": (
+                    f"cell exceeded its {policy.timeout_s}s wall-clock budget"
+                ),
+                "traceback": "",
+                "attempts": attempt,
+                "quarantined": False,
+            }
+        except FATAL_TYPES as exc:
+            error = _error_payload(exc, attempt)
+            error["quarantined"] = True
+            return CellOutcome(
+                status="error",
+                error=error,
+                attempts=attempt,
+                elapsed_s=time.perf_counter() - t0,
+            )
+        except Exception as exc:
+            status = "error"
+            error = _error_payload(exc, attempt)
+        else:
+            return CellOutcome(
+                status="ok",
+                result=result,
+                attempts=attempt,
+                elapsed_s=time.perf_counter() - t0,
+            )
+        if attempt < policy.max_attempts:
+            delay = policy.backoff_for(cell, attempt)
+            if delay > 0:
+                time.sleep(delay)
+    error["quarantined"] = True
+    return CellOutcome(
+        status=status,
+        error=error,
+        attempts=policy.max_attempts,
+        elapsed_s=time.perf_counter() - t0,
+    )
+
+
+def _persist(
+    store: ResultStore, cell: Cell, outcome: CellOutcome, fingerprint: str
+) -> None:
+    store.put(
+        cell,
+        outcome.result,
+        fingerprint=fingerprint,
+        elapsed_s=outcome.elapsed_s,
+        status=outcome.status,
+        error=outcome.error,
+        attempts=outcome.attempts,
+    )
+
+
+@dataclass
+class _FailureTracker:
+    """Counts quarantines and aborts the campaign past the threshold."""
+
+    max_failures: int | None
+    quarantined: int = 0
+
+    def note(self, outcome: CellOutcome) -> None:
+        if outcome.ok or not outcome.quarantined:
+            return
+        self.quarantined += 1
+        if self.max_failures is not None and self.quarantined > self.max_failures:
+            raise CampaignAbort(
+                f"campaign aborted: {self.quarantined} cells quarantined "
+                f"(--max-failures {self.max_failures}); all decided outcomes "
+                "are stored — fix the cause and resume against the same store",
+                quarantined=self.quarantined,
+            )
+
+
 # -- parallel plumbing ------------------------------------------------------
+
+#: How many times the pool may break (worker death) before the runner
+#: stops respawning it and finishes the campaign serially.
+MAX_POOL_RESPAWNS = 2
 
 
 def _warm_worker(methods: tuple[str, ...]) -> None:
     """Pool initializer: pre-load the pulse libraries a campaign needs."""
     for method in methods:
         cached_library(method)
-
-
-def _evaluate_chunk(cells: tuple[Cell, ...]) -> list[tuple[dict, float]]:
-    out = []
-    for cell in cells:
-        start = time.perf_counter()
-        result = evaluate_cell(cell)
-        out.append((result, time.perf_counter() - start))
-    return out
-
-
-def _chunked(items: list, chunksize: int) -> list[list]:
-    return [items[i : i + chunksize] for i in range(0, len(items), chunksize)]
 
 
 @dataclass
@@ -210,6 +408,7 @@ class CampaignResult:
     fingerprint: str
     computed: int = 0
     cached: int = 0
+    failed: int = 0
     workers: int = 1
     elapsed_s: float = 0.0
     _by_key: dict[str, dict] = field(default_factory=dict, repr=False)
@@ -225,11 +424,16 @@ class CampaignResult:
     def record_for(self, cell: Cell) -> dict:
         return self._by_key[cell_key(cell, self.fingerprint)]
 
+    def failures(self) -> list[dict]:
+        """The failure records of this run (empty when everything passed)."""
+        return [r for r in self.records if record_status(r) != "ok"]
+
     @property
     def summary(self) -> str:
+        failed = f", {self.failed} failed" if self.failed else ""
         return (
             f"{len(self.records)} cells: {self.computed} computed, "
-            f"{self.cached} cached [workers={self.workers}, "
+            f"{self.cached} cached{failed} [workers={self.workers}, "
             f"{self.elapsed_s:.1f}s]"
         )
 
@@ -241,15 +445,25 @@ def run_campaign(
     workers: int = 1,
     chunksize: int | None = None,
     fingerprint: str | None = None,
+    policy: RetryPolicy | None = None,
 ) -> CampaignResult:
     """Evaluate every cell not already in ``store``; return ordered records.
 
     ``cells`` may be a :class:`SweepSpec` or any iterable of cells
     (duplicates are evaluated once).  ``store=None`` uses a throwaway
     in-memory store.  ``workers=1`` is the exact serial path; ``workers>1``
-    dispatches chunks to a process pool and appends each chunk's records to
-    the store as it completes.
+    dispatches cells to a process pool and appends each cell's record to
+    the store as it completes.  ``policy`` configures supervision
+    (timeout, retries, quarantine, abort threshold); cells that fail
+    past their retry budget become durable failure records, not crashes.
+    ``chunksize`` is accepted for backward compatibility but ignored —
+    dispatch and persistence are per-cell, so a dead worker can only
+    take its in-flight cells with it.
+
+    Raises :class:`CampaignAbort` when ``policy.max_failures`` is
+    exceeded (everything decided so far is already stored).
     """
+    del chunksize  # deprecated: per-cell dispatch made chunks obsolete
     if isinstance(cells, SweepSpec):
         cells = cells.cells()
     ordered: list[Cell] = []
@@ -260,25 +474,26 @@ def run_campaign(
             ordered.append(cell)
     store = store if store is not None else ResultStore(None)
     fingerprint = fingerprint or library_fingerprint()
+    policy = policy if policy is not None else DEFAULT_POLICY
     start = time.perf_counter()
 
-    pending = store.pending(ordered, fingerprint)
+    pending = store.pending(
+        ordered, fingerprint, retry_quarantined=policy.retry_quarantined
+    )
+    tracker = _FailureTracker(policy.max_failures)
     if workers <= 1 or len(pending) <= 1:
-        for cell in pending:
-            t0 = time.perf_counter()
-            result = evaluate_cell(cell)
-            store.put(
-                cell, result, fingerprint=fingerprint,
-                elapsed_s=time.perf_counter() - t0,
-            )
+        _run_serial(pending, store, fingerprint, policy, tracker)
     else:
-        _run_parallel(pending, store, workers, chunksize, fingerprint)
+        _run_parallel(pending, store, workers, fingerprint, policy, tracker)
 
     records = []
+    failed = 0
     for cell in ordered:
         record = store.get(cell_key(cell, fingerprint))
         if record is None:  # pragma: no cover - defensive
             raise RuntimeError(f"campaign finished but cell missing: {cell}")
+        if record_status(record) != "ok":
+            failed += 1
         records.append(record)
     return CampaignResult(
         cells=tuple(ordered),
@@ -286,39 +501,86 @@ def run_campaign(
         fingerprint=fingerprint,
         computed=len(pending),
         cached=len(ordered) - len(pending),
+        failed=failed,
         workers=max(1, workers),
         elapsed_s=time.perf_counter() - start,
     )
+
+
+def _run_serial(
+    pending,
+    store: ResultStore,
+    fingerprint: str,
+    policy: RetryPolicy,
+    tracker: _FailureTracker,
+) -> None:
+    for cell in pending:
+        outcome = supervised_evaluate(cell, policy)
+        # Persist before the abort check: an aborting campaign keeps the
+        # failure record that pushed it over the threshold.
+        _persist(store, cell, outcome, fingerprint)
+        tracker.note(outcome)
 
 
 def _run_parallel(
     pending: list[Cell],
     store: ResultStore,
     workers: int,
-    chunksize: int | None,
     fingerprint: str,
+    policy: RetryPolicy,
+    tracker: _FailureTracker,
 ) -> None:
-    workers = min(workers, len(pending))
-    if chunksize is None:
-        # ~4 chunks per worker balances scheduling slack against dispatch
-        # overhead; small campaigns degrade to one cell per chunk.
-        chunksize = max(1, len(pending) // (workers * 4))
-    chunks = _chunked(pending, chunksize)
+    """Per-cell pool dispatch with broken-pool recovery.
+
+    A :class:`BrokenProcessPool` (worker SIGKILLed, OOMed, segfaulted)
+    loses only the results that had not been drained yet; the pool is
+    respawned and the cells without a stored outcome re-dispatched.
+    After :data:`MAX_POOL_RESPAWNS` breaks the remainder runs serially —
+    progress beats parallelism.
+    """
+    todo: dict[Cell, None] = dict.fromkeys(pending)  # insertion-ordered set
     methods = tuple(sorted({cell.method for cell in pending}))
-    with ProcessPoolExecutor(
-        max_workers=workers, initializer=_warm_worker, initargs=(methods,)
-    ) as pool:
-        futures = {
-            pool.submit(_evaluate_chunk, tuple(chunk)): chunk for chunk in chunks
-        }
-        remaining = set(futures)
-        while remaining:
-            done, remaining = wait(remaining, return_when=FIRST_COMPLETED)
-            # Store each finished chunk immediately: a killed campaign
-            # keeps everything that completed before the kill.
-            for future in done:
-                chunk = futures[future]
-                for cell, (result, elapsed) in zip(chunk, future.result()):
-                    store.put(
-                        cell, result, fingerprint=fingerprint, elapsed_s=elapsed
-                    )
+    breaks = 0
+    while todo:
+        cells = list(todo)
+        pool = ProcessPoolExecutor(
+            max_workers=min(workers, len(cells)),
+            initializer=_warm_worker,
+            initargs=(methods,),
+        )
+        broken = False
+        try:
+            futures = {
+                pool.submit(supervised_evaluate, cell, policy): cell
+                for cell in cells
+            }
+            remaining = set(futures)
+            while remaining:
+                done, remaining = wait(remaining, return_when=FIRST_COMPLETED)
+                for future in done:
+                    try:
+                        outcome = future.result()
+                    except BrokenProcessPool:
+                        # This future died with the pool; siblings in the
+                        # same batch may still hold results — drain them.
+                        broken = True
+                        continue
+                    cell = futures[future]
+                    _persist(store, cell, outcome, fingerprint)
+                    tracker.note(outcome)
+                    del todo[cell]
+                if broken:
+                    break
+        except BrokenProcessPool:
+            # The pool can also break at submit time (e.g. a worker dies
+            # while the initializer runs); treat it like any other break.
+            broken = True
+        finally:
+            # On a break or an abort, drop queued work; completed futures
+            # were already drained and persisted above.
+            pool.shutdown(wait=False, cancel_futures=True)
+        if broken:
+            breaks += 1
+            if breaks > MAX_POOL_RESPAWNS:
+                _run_serial(list(todo), store, fingerprint, policy, tracker)
+                return

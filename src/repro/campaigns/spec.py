@@ -90,6 +90,59 @@ DEFAULT_BENCHMARKS = ("HS", "QFT", "QPE", "QAOA", "Ising", "GRC")
 DEFAULT_CONFIGS = ("gau+par", "optctrl+zzx", "pert+zzx")
 
 
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How the runner supervises each cell evaluation.
+
+    A cell gets up to ``max_attempts`` tries; transient errors (anything
+    not classified permanent by the runner) back off exponentially from
+    ``backoff_s`` with deterministic per-cell jitter, capped at
+    ``backoff_cap_s``.  ``timeout_s`` is the per-attempt wall-clock
+    budget (None = unlimited).  A cell that exhausts its attempts is
+    *quarantined*: its failure is recorded durably and the campaign
+    moves on — unless the run has already quarantined more than
+    ``max_failures`` cells, in which case it aborts cleanly.  Resumes
+    re-run failed-but-not-quarantined cells; ``retry_quarantined`` also
+    re-runs the quarantined ones (e.g. after a fix).
+    """
+
+    max_attempts: int = 3
+    timeout_s: float | None = None
+    backoff_s: float = 0.1
+    backoff_cap_s: float = 2.0
+    max_failures: int | None = None
+    retry_quarantined: bool = False
+
+    def __post_init__(self):
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.timeout_s is not None and self.timeout_s <= 0:
+            raise ValueError("timeout_s must be positive (or None)")
+        if self.backoff_s < 0 or self.backoff_cap_s < 0:
+            raise ValueError("backoff values must be >= 0")
+        if self.max_failures is not None and self.max_failures < 0:
+            raise ValueError("max_failures must be >= 0 (or None)")
+
+    def backoff_for(self, cell: "Cell", attempt: int) -> float:
+        """Deterministic exponential backoff + jitter before a retry.
+
+        Jitter derives from the cell payload and attempt number, so two
+        runs of the same campaign sleep identically — retries stay
+        reproducible — while colliding cells still decorrelate.
+        """
+        base = min(self.backoff_cap_s, self.backoff_s * (2 ** (attempt - 1)))
+        blob = json.dumps(
+            {"cell": cell.payload(), "attempt": attempt}, sort_keys=True
+        )
+        digest = hashlib.sha256(blob.encode()).digest()
+        jitter = 0.5 + digest[0] / 255.0  # [0.5, 1.5]
+        return base * jitter
+
+
+#: The runner's default supervision (used when no policy is passed).
+DEFAULT_POLICY = RetryPolicy()
+
+
 #: Topology families a :class:`DeviceSpec` can describe.  ``grid`` uses
 #: ``rows x cols``; ``heavy_hex`` reads ``rows`` as the lattice distance
 #: (IBM-style: d=7 is the 127-qubit Eagle, d=13 the 433-qubit Osprey).

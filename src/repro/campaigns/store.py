@@ -8,9 +8,21 @@ makes re-running a campaign skip every completed cell and makes the file
 safe to share between sweeps whose grids overlap.
 
 A truncated trailing line (the signature of a kill mid-append) is
-tolerated on load; duplicate keys resolve to the last record written.
-``ResultStore(None)`` is a process-local in-memory store with the same
-interface, used when no ``--store`` is given.
+tolerated on load — and *repaired* before the next append: appending
+blindly after a tail without a newline would corrupt the new record too,
+so the first write to a pre-existing file checks the final byte and
+terminates a dangling partial line first.  Duplicate keys resolve to the
+last record written.  ``ResultStore(None)`` is a process-local in-memory
+store with the same interface, used when no ``--store`` is given.
+
+Records describe failures as well as results: a record whose ``status``
+is ``"error"`` or ``"timeout"`` carries an ``error`` payload (exception
+type, message, traceback, attempt count, quarantine flag) instead of a
+``result``.  Records without a ``status`` field are successful — the
+historical layout is the success layout, byte for byte.  ``pending``
+treats failed-but-not-quarantined cells as still pending, so resuming a
+campaign retries them; quarantined cells stay failed unless explicitly
+retried.
 
 Records carry a ``format`` version (:data:`STORE_FORMAT`).  Loading a file
 holding records from a *newer* format raises :class:`StoreFormatError`
@@ -21,15 +33,31 @@ exit-2 error.
 from __future__ import annotations
 
 import json
+import logging
 import time
 from pathlib import Path
 
 from repro.campaigns.spec import Cell, cell_key
 
+logger = logging.getLogger(__name__)
+
 #: Record-format version stamped on every new record.  Bump on breaking
 #: layout changes; readers refuse files from the future instead of
 #: misinterpreting them.
 STORE_FORMAT = 1
+
+#: Statuses a record can carry; absence of the field means "ok".
+RECORD_STATUSES = ("ok", "error", "timeout")
+
+
+def record_status(record: dict) -> str:
+    """A record's outcome status (historical records are successes)."""
+    return record.get("status", "ok")
+
+
+def record_quarantined(record: dict) -> bool:
+    """True when the record is a failure whose retries were exhausted."""
+    return bool((record.get("error") or {}).get("quarantined"))
 
 
 class StoreFormatError(RuntimeError):
@@ -43,6 +71,7 @@ class ResultStore:
         self.path = Path(path) if path is not None else None
         self._records: dict[str, dict] = {}
         self._loaded = self.path is None
+        self._tail_checked = self.path is None
         self.skipped_lines = 0
 
     # -- loading ---------------------------------------------------------
@@ -73,6 +102,14 @@ class ResultStore:
                         "update the checkout or start a fresh --store file"
                     )
                 self._records[key] = record
+        if self.skipped_lines:
+            # Surface silent data loss: malformed lines usually mean a
+            # kill mid-append or on-disk corruption.
+            logger.warning(
+                "%s: skipped %d malformed line(s) on load",
+                self.path,
+                self.skipped_lines,
+            )
         return self
 
     def _ensure_loaded(self) -> None:
@@ -101,21 +138,58 @@ class ResultStore:
         record = self.get(cell_key(cell, fingerprint))
         return None if record is None else record["result"]
 
-    def pending(self, cells, fingerprint: str) -> list[Cell]:
-        """The sub-list of ``cells`` without a stored result."""
+    def failures(self) -> list[dict]:
+        """Every stored failure record (``status`` error or timeout)."""
         self._ensure_loaded()
-        return [c for c in cells if cell_key(c, fingerprint) not in self._records]
+        return [r for r in self._records.values() if record_status(r) != "ok"]
+
+    def pending(
+        self, cells, fingerprint: str, *, retry_quarantined: bool = False
+    ) -> list[Cell]:
+        """The sub-list of ``cells`` that still needs to run.
+
+        A cell is pending when it has no record, or when its record is a
+        failure that was *not* quarantined (an aborted or superseded
+        attempt — always worth retrying on resume).  Quarantined
+        failures are durable: they only re-run with
+        ``retry_quarantined=True``.
+        """
+        self._ensure_loaded()
+        out: list[Cell] = []
+        for cell in cells:
+            record = self._records.get(cell_key(cell, fingerprint))
+            if record is None:
+                out.append(cell)
+            elif record_status(record) != "ok" and (
+                retry_quarantined or not record_quarantined(record)
+            ):
+                out.append(cell)
+        return out
 
     # -- writes ----------------------------------------------------------
 
     def put(
         self,
         cell: Cell,
-        result: dict,
+        result: dict | None,
         *,
         fingerprint: str,
         elapsed_s: float | None = None,
+        status: str = "ok",
+        error: dict | None = None,
+        attempts: int | None = None,
     ) -> dict:
+        """Record one cell outcome.
+
+        Successful first-attempt records keep the exact historical
+        layout (no ``status``/``error``/``attempts`` fields), so the
+        fault-tolerant runner is byte-compatible with its predecessor on
+        the fault-free path.
+        """
+        if status not in RECORD_STATUSES:
+            raise ValueError(
+                f"unknown record status {status!r}; known: {RECORD_STATUSES}"
+            )
         record = {
             "key": cell_key(cell, fingerprint),
             "fingerprint": fingerprint,
@@ -124,6 +198,11 @@ class ResultStore:
             "elapsed_s": elapsed_s,
             "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
         }
+        if status != "ok":
+            record["status"] = status
+            record["error"] = error or {}
+        elif attempts is not None and attempts > 1:
+            record["attempts"] = attempts
         self.put_record(record)
         return record
 
@@ -133,9 +212,34 @@ class ResultStore:
         self._records[record["key"]] = record
         if self.path is not None:
             self.path.parent.mkdir(parents=True, exist_ok=True)
+            if not self._tail_checked:
+                self._repair_tail()
             with open(self.path, "a") as fh:
                 fh.write(json.dumps(record, sort_keys=True) + "\n")
                 fh.flush()
+
+    def _repair_tail(self) -> None:
+        """Terminate a dangling partial line before the first append.
+
+        A file killed mid-append ends without a newline; appending to it
+        blindly would weld the new record onto the partial one and lose
+        *both* lines.  Sealing the tail with a newline confines the
+        damage to the already-lost partial record.
+        """
+        self._tail_checked = True
+        if not self.path.exists():
+            return
+        with open(self.path, "rb+") as fh:
+            fh.seek(0, 2)
+            if fh.tell() == 0:
+                return
+            fh.seek(-1, 2)
+            if fh.read(1) != b"\n":
+                fh.write(b"\n")
+                logger.warning(
+                    "%s: repaired truncated trailing record before append",
+                    self.path,
+                )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         where = str(self.path) if self.path else "<memory>"

@@ -12,13 +12,19 @@ Subcommands:
   device + circuit through every oracle), optionally with the golden
   regression fixtures;
 - ``sched-bench`` — time the ZZXSched compile path on real-device
-  topologies (heavy-hex Falcon/Eagle/Osprey, large grids), cache on/off.
+  topologies (heavy-hex Falcon/Eagle/Osprey, large grids), cache on/off;
+- ``chaos`` — run a small campaign under each injected fault (cell
+  exception, hang, worker kill, store corruption) and assert the store
+  converges to the fault-free result.
 
 Campaign options (``--workers``, ``--store``, ``--seeds``, ``--full``,
 ``--backend``, ``--trajectories``) are shared by ``run`` and ``sweep``;
 ``--full`` replaces the deprecated ``REPRO_FULL=1`` environment toggle,
 and ``--backend`` selects the simulation engine (statevector, density, or
-Monte Carlo trajectories) as a first-class sweep axis.
+Monte Carlo trajectories) as a first-class sweep axis.  ``sweep`` adds
+the fault-tolerance knobs (``--cell-timeout``, ``--max-attempts``,
+``--max-failures``, ``--retry-quarantined``); see "When campaigns fail"
+in EXPERIMENTS.md.
 """
 
 from __future__ import annotations
@@ -29,7 +35,7 @@ import time
 
 from repro.experiments.registry import EXPERIMENTS, run_experiment
 
-SUBCOMMANDS = ("run", "sweep", "report", "list", "verify", "sched-bench")
+SUBCOMMANDS = ("run", "sweep", "report", "list", "verify", "sched-bench", "chaos")
 
 #: Grid axes shared by ``sweep`` and ``report`` (must build identical specs).
 def _add_grid_arguments(parser: argparse.ArgumentParser) -> None:
@@ -111,6 +117,37 @@ def _add_campaign_arguments(parser: argparse.ArgumentParser) -> None:
         default=None,
         metavar="N",
         help="Monte Carlo sample count (trajectories backend only)",
+    )
+
+
+def _add_policy_arguments(parser: argparse.ArgumentParser) -> None:
+    """Fault-tolerance knobs (sweep only; report never computes)."""
+    parser.add_argument(
+        "--cell-timeout",
+        type=float,
+        default=None,
+        metavar="SECS",
+        help="wall-clock budget per cell attempt (default: unlimited)",
+    )
+    parser.add_argument(
+        "--max-attempts",
+        type=int,
+        default=3,
+        metavar="N",
+        help="attempts per cell before quarantine (default 3)",
+    )
+    parser.add_argument(
+        "--max-failures",
+        type=int,
+        default=None,
+        metavar="N",
+        help="abort the campaign after more than N quarantined cells "
+        "(default: never abort — failures are recorded and skipped)",
+    )
+    parser.add_argument(
+        "--retry-quarantined",
+        action="store_true",
+        help="re-run cells whose stored record is a quarantined failure",
     )
 
 
@@ -241,18 +278,48 @@ def _checked_spec(args):
     return spec
 
 
+def _build_policy(args):
+    """The sweep's :class:`RetryPolicy`, or None to use the default."""
+    from repro.campaigns.spec import RetryPolicy
+
+    return RetryPolicy(
+        max_attempts=args.max_attempts,
+        timeout_s=args.cell_timeout,
+        max_failures=args.max_failures,
+        retry_quarantined=args.retry_quarantined,
+    )
+
+
 def _cmd_sweep(args) -> int:
     from repro.campaigns.report import as_store, sweep_table
-    from repro.campaigns.runner import run_campaign
+    from repro.campaigns.runner import CampaignAbort, run_campaign
 
     spec = _checked_spec(args)
     if spec is None:
         return 2
-    campaign = run_campaign(
-        spec, as_store(args.store), workers=args.workers
-    )
+    try:
+        policy = _build_policy(args)
+    except ValueError as exc:
+        print(f"invalid sweep: {exc}", file=sys.stderr)
+        return 2
+    try:
+        campaign = run_campaign(
+            spec, as_store(args.store), workers=args.workers, policy=policy
+        )
+    except CampaignAbort as exc:
+        # The abort is clean: every decided outcome is already stored.
+        print(f"aborted: {exc}", file=sys.stderr)
+        return 1
     print(sweep_table(spec, campaign).render())
     print(f"[{campaign.summary}]")
+    if campaign.failed:
+        print(
+            f"{campaign.failed} cells failed — inspect with "
+            f"'repro list --store {args.store}', re-run quarantined cells "
+            "with --retry-quarantined",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 
@@ -390,6 +457,31 @@ def _cmd_sched_bench(args) -> int:
     return 0
 
 
+def _cmd_chaos(args) -> int:
+    from repro.campaigns.chaos import run_chaos
+
+    scenarios = _csv(args.scenarios)
+    report = run_chaos(
+        workers=args.workers, out_dir=args.dir, scenarios=scenarios
+    )
+    if scenarios and not report.outcomes:
+        print(
+            f"invalid chaos: no scenario matches {args.scenarios!r}",
+            file=sys.stderr,
+        )
+        return 2
+    print(report.render())
+    if not report.passed:
+        for outcome in report.outcomes:
+            if not outcome.passed:
+                print(
+                    f"chaos FAILED [{outcome.scenario}]: {outcome.detail}",
+                    file=sys.stderr,
+                )
+        return 1
+    return 0
+
+
 def _cmd_list(args) -> int:
     if getattr(args, "store", None):
         from repro.campaigns.report import store_summary
@@ -427,6 +519,7 @@ def build_parser() -> argparse.ArgumentParser:
         "sweep", help="execute a campaign grid (resumable with --store)"
     )
     _add_grid_arguments(sweep_parser)
+    _add_policy_arguments(sweep_parser)
     sweep_parser.set_defaults(func=_cmd_sweep)
 
     report_parser = sub.add_parser(
@@ -498,6 +591,30 @@ def build_parser() -> argparse.ArgumentParser:
         help="run legality + suppression oracles on every schedule",
     )
     bench_parser.set_defaults(func=_cmd_sched_bench)
+
+    chaos_parser = sub.add_parser(
+        "chaos",
+        help="run a small campaign under injected faults and assert "
+        "the store converges to the fault-free result",
+    )
+    chaos_parser.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        help="pool size for the worker-kill scenario (default 2)",
+    )
+    chaos_parser.add_argument(
+        "--dir",
+        default=None,
+        metavar="PATH",
+        help="keep per-scenario stores here (default: temp dir, removed)",
+    )
+    chaos_parser.add_argument(
+        "--scenarios",
+        default=None,
+        help="comma-separated scenario names to run (default: all)",
+    )
+    chaos_parser.set_defaults(func=_cmd_chaos)
     return parser
 
 

@@ -12,6 +12,7 @@ from __future__ import annotations
 import hashlib
 import json
 import time
+import traceback
 from dataclasses import dataclass
 
 from repro.campaigns.fingerprint import library_fingerprint
@@ -60,6 +61,11 @@ class ScenarioOutcome:
     def passed(self) -> bool:
         return not any(self.failures.values())
 
+    @property
+    def crashed(self) -> bool:
+        """True when the oracles raised instead of reporting failures."""
+        return bool(self.failures.get("crash"))
+
     def row(self) -> dict:
         row: dict = {
             "seed": self.scenario.seed,
@@ -67,6 +73,10 @@ class ScenarioOutcome:
             "circuit": self.scenario.source,
         }
         for check in CHECK_NAMES:
+            if self.crashed:
+                # The oracle run died before producing per-check verdicts.
+                row[check] = "CRASH"
+                continue
             problems = self.failures.get(check, [])
             row[check] = "ok" if not problems else f"FAIL({len(problems)})"
         row["cached"] = "yes" if self.cached else ""
@@ -169,12 +179,22 @@ def verify_scenarios(
             # optimization when the committed cache is cold.
             library = build_library(method)
         t0 = time.perf_counter()
-        checks = run_all_oracles(scenario, library)
+        try:
+            checks = run_all_oracles(scenario, library)
+            failures = {
+                check: [str(problem) for problem in problems]
+                for check, problems in checks.items()
+            }
+        except Exception as exc:
+            # An oracle *crashing* is itself a verification failure: the
+            # scenario is recorded with the traceback and the run keeps
+            # checking the remaining seeds instead of aborting.
+            failures = {
+                "crash": [
+                    f"{type(exc).__name__}: {exc}\n{traceback.format_exc()}"
+                ]
+            }
         elapsed = time.perf_counter() - t0
-        failures = {
-            check: [str(problem) for problem in problems]
-            for check, problems in checks.items()
-        }
         store.put_record(
             {
                 "key": key,

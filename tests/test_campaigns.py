@@ -1,6 +1,7 @@
 """Campaign subsystem tests: spec expansion, store resume, parallel dispatch."""
 
 import json
+import math
 
 import pytest
 
@@ -127,6 +128,57 @@ class TestStore:
         store.put(cell, {"fidelity": 0.9}, fingerprint=FP)
         assert store.result_for(cell, FP) == {"fidelity": 0.9}
 
+    def test_append_after_truncation_repairs_the_tail(self, tmp_path):
+        """Regression: appending to a newline-less tail must not weld records.
+
+        Before the tail-repair fix, a store whose last line was chopped by a
+        kill mid-append would glue the next record onto the partial line,
+        losing *both*; now the partial line is sealed and only it is lost.
+        """
+        path = tmp_path / "store.jsonl"
+        store = ResultStore(path)
+        cells = SMALL_SPEC.cells()
+        for i, cell in enumerate(cells[:-1]):
+            store.put(cell, _fake_result(i), fingerprint=FP)
+        # Chop mid-record with no trailing newline (kill-mid-append tail).
+        raw = path.read_bytes()
+        path.write_bytes(raw[: len(raw) - 25])
+        appender = ResultStore(path)
+        appender.put(cells[-1], _fake_result(99), fingerprint=FP)
+        reloaded = ResultStore(path).load()
+        assert reloaded.skipped_lines == 1  # only the partial line is lost
+        assert reloaded.result_for(cells[-1], FP) == _fake_result(99)
+        for i, cell in enumerate(cells[:-2]):
+            assert reloaded.result_for(cell, FP) == _fake_result(i)
+
+    def test_failure_records_round_trip_and_pend(self, tmp_path):
+        path = tmp_path / "store.jsonl"
+        cells = SMALL_SPEC.cells()
+        store = ResultStore(path)
+        error = {
+            "type": "RuntimeError",
+            "message": "boom",
+            "traceback": "...",
+            "attempts": 3,
+            "quarantined": True,
+        }
+        store.put(cells[0], None, fingerprint=FP, status="error", error=error)
+        store.put(cells[1], _fake_result(1), fingerprint=FP)
+        reloaded = ResultStore(path)
+        assert len(reloaded.failures()) == 1
+        assert reloaded.failures()[0]["error"] == error
+        # Quarantined failures are durable: pending only with the flag.
+        assert reloaded.pending(cells[:2], FP) == []
+        assert reloaded.pending(cells[:2], FP, retry_quarantined=True) == [
+            cells[0]
+        ]
+
+    def test_unknown_status_rejected(self):
+        with pytest.raises(ValueError):
+            ResultStore(None).put(
+                SMALL_SPEC.cells()[0], None, fingerprint=FP, status="exploded"
+            )
+
 
 class TestRunner:
     def test_serial_matches_inline_harness_exactly(self):
@@ -221,6 +273,56 @@ class TestReport:
     def test_fingerprint_is_stable_within_process(self):
         assert library_fingerprint() == library_fingerprint()
         assert len(library_fingerprint()) == 12
+
+    def _store_with_failure(self, tmp_path):
+        """SMALL_SPEC store: first cell a quarantined failure, rest ok."""
+        path = tmp_path / "store.jsonl"
+        cells = SMALL_SPEC.cells()
+        store = ResultStore(path)
+        store.put(
+            cells[0],
+            None,
+            fingerprint=FP,
+            status="error",
+            error={"type": "RuntimeError", "quarantined": True},
+        )
+        for i, cell in enumerate(cells[1:], start=1):
+            store.put(cell, _fake_result(i), fingerprint=FP)
+        return path, cells
+
+    def test_report_from_store_separates_failed_from_missing(self, tmp_path):
+        path, cells = self._store_with_failure(tmp_path)
+        result, missing = report_from_store(SMALL_SPEC, path, fingerprint=FP)
+        assert missing == []  # the failed cell ran — it is not "missing"
+        assert "1 failed" in result.notes
+        assert "3 stored" in result.notes
+        # The failed cell renders as NaN in its config column.
+        assert math.isnan(result.rows[0][cells[0].config])
+        assert not math.isnan(result.rows[0][cells[1].config])
+
+    def test_store_summary_surfaces_failures(self, tmp_path):
+        path, _ = self._store_with_failure(tmp_path)
+        summary = store_summary(path)
+        assert sum(r["errors"] for r in summary.rows) == 1
+        assert sum(r["cells"] for r in summary.rows) == 4
+        assert "1 failure record(s)" in summary.notes
+
+    def test_store_summary_warns_on_skipped_lines(self, tmp_path):
+        path, _ = self._store_with_failure(tmp_path)
+        # Corrupt one line the way disk damage does.
+        lines = path.read_bytes().splitlines(keepends=True)
+        lines[1] = b"{not json at all\n"
+        path.write_bytes(b"".join(lines))
+        summary = store_summary(path)
+        assert "WARNING: 1 malformed line(s) skipped" in summary.notes
+
+    def test_sweep_table_renders_failed_cells_as_nan(self, tmp_path):
+        path, cells = self._store_with_failure(tmp_path)
+        campaign = run_campaign(SMALL_SPEC, ResultStore(path), fingerprint=FP)
+        assert campaign.computed == 0 and campaign.failed == 1
+        table = sweep_table(SMALL_SPEC, campaign)
+        assert ", 1 failed" in campaign.summary
+        assert math.isnan(table.rows[0][cells[0].config])
 
 
 class TestExperimentIntegration:

@@ -59,6 +59,61 @@ class TestCLI:
         assert main(["sweep", "--sizes", "12", "--grid", "2x3"]) == 2
         assert "0 cells" in capsys.readouterr().err
 
+    def test_sweep_rejects_bad_policy_flags(self, capsys):
+        base = ["sweep", "--benchmarks", "QAOA", "--sizes", "4",
+                "--configs", "gau+par"]
+        assert main([*base, "--max-attempts", "0"]) == 2
+        assert "max_attempts" in capsys.readouterr().err
+        assert main([*base, "--cell-timeout", "-1"]) == 2
+        assert "timeout_s" in capsys.readouterr().err
+        assert main([*base, "--max-failures", "-1"]) == 2
+        assert "max_failures" in capsys.readouterr().err
+
+    def test_sweep_max_failures_abort_exits_1(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        from repro.campaigns.faults import ENV_FAULT
+
+        monkeypatch.setenv(ENV_FAULT, "fatal:times=99")
+        store = str(tmp_path / "store.jsonl")
+        code = main([
+            "sweep", "--benchmarks", "QAOA", "--sizes", "4",
+            "--configs", "gau+par,pert+zzx", "--store", store,
+            "--max-attempts", "1", "--max-failures", "0",
+        ])
+        assert code == 1
+        assert "aborted:" in capsys.readouterr().err
+
+    def test_sweep_with_failures_exits_1_and_triages(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        from repro.campaigns.faults import ENV_FAULT
+
+        monkeypatch.setenv(ENV_FAULT, "fatal:times=99:match=QAOA")
+        store = str(tmp_path / "store.jsonl")
+        grid = [
+            "sweep", "--benchmarks", "QAOA,Ising", "--sizes", "4",
+            "--configs", "gau+par", "--store", store, "--max-attempts", "1",
+        ]
+        assert main(grid) == 1
+        captured = capsys.readouterr()
+        assert "1 failed" in captured.out
+        assert "--retry-quarantined" in captured.err
+        # Fault cleared: --retry-quarantined heals the store, exit 0.
+        monkeypatch.delenv(ENV_FAULT)
+        assert main([*grid, "--retry-quarantined"]) == 0
+        assert "1 computed, 1 cached" in capsys.readouterr().out
+
+    def test_chaos_scenario_filter(self, capsys):
+        # fault-free is the cheapest scenario: one campaign, no faults.
+        assert main(["chaos", "--scenarios", "fault-free"]) == 0
+        out = capsys.readouterr().out
+        assert "fault-free" in out and "1/1 passed" in out
+
+    def test_chaos_unknown_scenario_exits_2(self, capsys):
+        assert main(["chaos", "--scenarios", "no-such-scenario"]) == 2
+        assert "no scenario matches" in capsys.readouterr().err
+
     def test_run_warns_on_ignored_options(self, capsys):
         assert main(["run", "tab-compile", "--seeds", "11"]) == 0
         assert "does not take seeds" in capsys.readouterr().err

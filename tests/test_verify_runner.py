@@ -75,6 +75,37 @@ class TestVerifyScenarios:
         assert "1 computed" in out
         assert "scheduler_diff" in out
 
+    def test_oracle_crash_recorded_not_fatal(
+        self, tmp_path, lib_gaussian, monkeypatch
+    ):
+        """A crashing oracle becomes a failed scenario, not an abort."""
+        import repro.verify.runner as runner_mod
+
+        calls = {"n": 0}
+
+        def crash_on_first(scenario, library):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise RuntimeError("oracle exploded")
+            return {check: [] for check in CHECK_NAMES}
+
+        monkeypatch.setattr(runner_mod, "run_all_oracles", crash_on_first)
+        path = tmp_path / "verify.jsonl"
+        report = verify_scenarios(range(3), ResultStore(path), library=lib_gaussian)
+        # The crash did not stop the run: the remaining seeds completed.
+        assert report.computed == 3
+        assert not report.passed
+        crashed = [o for o in report.outcomes if o.crashed]
+        assert len(crashed) == 1
+        assert "RuntimeError: oracle exploded" in crashed[0].failures["crash"][0]
+        assert "Traceback" in crashed[0].failures["crash"][0]
+        assert all(v == "CRASH" for k, v in crashed[0].row().items()
+                   if k in CHECK_NAMES)
+        # The crash is durable and re-checked on resume (it is a failure).
+        rerun = verify_scenarios(range(3), ResultStore(path), library=lib_gaussian)
+        assert rerun.computed == 1 and rerun.cached == 2
+        assert rerun.passed
+
 
 class TestVerifyCLIFailurePaths:
     @pytest.mark.parametrize("bad", ["abc", "9-3", "1,,2", ""])

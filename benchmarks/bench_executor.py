@@ -6,6 +6,14 @@ the layer-propagator cache amortizes.  Acceptance (from the PR issue): the cache
 >= 1.5x speedup on the repeated-layer *density* walk with bit-identical
 fidelities, since the density path rebuilds the dominant ``4^n`` layer
 unitary on every repetition when uncached.
+
+The first timed variant used to absorb one-time process warmup (BLAS
+thread-pool spin-up, lazy imports), which BENCH_1 recorded as a phantom
+"cached slower than uncached" statevector regression; ``_timed`` now runs
+an untimed warmup execution first.  Since then ``cache=True`` resolves
+per backend (statevector never allocated propagators, only drive lists,
+so the cache was pure key-build overhead there) — cached and uncached
+statevector walks are the same code path and must time the same.
 """
 
 import time
@@ -22,17 +30,50 @@ from repro.units import US
 _DECO = DecoherenceModel(t1_ns=200.0 * US, t2_ns=200.0 * US)
 
 
+_STACK = None
+
+
 def _stack():
-    device = make_device(grid(2, 3), seed=7)
-    library = build_library("pert")
-    compiled = compile_circuit(ising(6, steps=6), device.topology)
-    schedule = zzx_schedule(compiled.circuit, device.topology)
-    return device, library, schedule
+    """Device/library/schedule, built once — the timings measure only the
+    layer walk, not schedule compilation (which is identical across
+    variants and would just add noise to the cached-vs-uncached compare)."""
+    global _STACK
+    if _STACK is None:
+        device = make_device(grid(2, 3), seed=7)
+        library = build_library("pert")
+        compiled = compile_circuit(ising(6, steps=6), device.topology)
+        schedule = zzx_schedule(compiled.circuit, device.topology)
+        _STACK = (device, library, schedule)
+    return _STACK
 
 
 #: (backend, cache) -> (wall seconds, fidelity); reused by the speedup
 #: assertion so the grid is timed once, not per test.
 _timings: dict[tuple[str, bool], tuple[float, float]] = {}
+
+
+_warmed = False
+
+
+def _warmup() -> None:
+    """One untimed execution before any timing.
+
+    The first execute in the process pays BLAS thread-pool spin-up and
+    lazy imports; without this the first variant timed looks artificially
+    slow (BENCH_1's phantom statevector-cached regression).  Called
+    outside the benchmarked callable so the warmup itself is never timed.
+    """
+    global _warmed
+    if not _warmed:
+        _warmed = True
+        device, library, schedule = _stack()
+        execute(schedule, device, library, "statevector", cache=False)
+
+
+#: Per-variant measurement repeats; the minimum is kept.  Single-shot
+#: timings on a shared CI host jitter by ~10%, which is enough to invert
+#: the statevector cached-vs-uncached comparison (identical code paths).
+ROUNDS = 3
 
 
 def _timed(backend: str, cache: bool) -> tuple[float, float]:
@@ -42,33 +83,64 @@ def _timed(backend: str, cache: bool) -> tuple[float, float]:
         kwargs = {}
         if backend == "density":
             kwargs["decoherence"] = _DECO
-        start = time.perf_counter()
-        out = execute(schedule, device, library, backend, cache=cache, **kwargs)
-        _timings[key] = (time.perf_counter() - start, out.fidelity)
+        best = float("inf")
+        for _ in range(ROUNDS):
+            start = time.perf_counter()
+            out = execute(
+                schedule, device, library, backend, cache=cache, **kwargs
+            )
+            best = min(best, time.perf_counter() - start)
+        _timings[key] = (best, out.fidelity)
     return _timings[key]
 
 
+def _bench(benchmark, backend: str, cache: bool) -> None:
+    """Measure one variant under pytest-benchmark and share its min.
+
+    The benchmark stats record *per-execute* wall time (ROUNDS rounds);
+    the minimum feeds ``_timings`` so the speedup assertion agrees with
+    the numbers in the BENCH snapshot.
+    """
+    _warmup()
+    device, library, schedule = _stack()
+    kwargs = {"decoherence": _DECO} if backend == "density" else {}
+    result = {}
+
+    def run():
+        result["out"] = execute(
+            schedule, device, library, backend, cache=cache, **kwargs
+        )
+
+    benchmark.pedantic(run, rounds=ROUNDS, iterations=1)
+    _timings[(backend, cache)] = (
+        benchmark.stats.stats.min,
+        result["out"].fidelity,
+    )
+
+
 def test_statevector_cached(benchmark, show):
-    benchmark.pedantic(lambda: _timed("statevector", True), rounds=1, iterations=1)
+    _bench(benchmark, "statevector", True)
 
 
 def test_statevector_uncached(benchmark, show):
-    benchmark.pedantic(lambda: _timed("statevector", False), rounds=1, iterations=1)
+    _bench(benchmark, "statevector", False)
 
 
 def test_density_cached(benchmark, show):
-    benchmark.pedantic(lambda: _timed("density", True), rounds=1, iterations=1)
+    _bench(benchmark, "density", True)
 
 
 def test_density_uncached(benchmark, show):
-    benchmark.pedantic(lambda: _timed("density", False), rounds=1, iterations=1)
+    _bench(benchmark, "density", False)
 
 
 def test_cache_speedup_and_equivalence(show):
     """Acceptance: >=1.5x on the repeated-layer density walk, bit-identical."""
+    _warmup()
     cached_s, cached_f = _timed("density", True)
     uncached_s, uncached_f = _timed("density", False)
-    sv_cached_s, _ = _timed("statevector", True)
+    sv_cached_s, sv_cached_f = _timed("statevector", True)
+    sv_uncached_s, sv_uncached_f = _timed("statevector", False)
     speedup = uncached_s / cached_s
 
     class _Report:
@@ -77,9 +149,15 @@ def test_cache_speedup_and_equivalence(show):
                 "== bench-executor: Ising-6 on grid 2x3 (repeated layers) ==\n"
                 f"density   uncached {uncached_s:7.3f}s\n"
                 f"density   cached   {cached_s:7.3f}s  ({speedup:.2f}x)\n"
+                f"statevec  uncached {sv_uncached_s:7.3f}s\n"
                 f"statevec  cached   {sv_cached_s:7.3f}s"
             )
 
     show(_Report())
     assert cached_f == uncached_f  # bit-identical, not approximate
+    assert sv_cached_f == sv_uncached_f
     assert speedup >= 1.5
+    # cache=True is a per-backend policy now: statevector opts out, so the
+    # cached walk is the uncached code path and must not pay for the cache.
+    # Generous margin — both sides are a single ~0.3s measurement.
+    assert sv_cached_s <= sv_uncached_s * 1.25

@@ -53,6 +53,7 @@ def main(argv=None) -> int:
         "benchmarks/bench_campaign.py",
         "benchmarks/bench_executor.py",
         "benchmarks/bench_sched_scale.py",
+        "benchmarks/bench_telemetry_overhead.py",
     ]
 
     with tempfile.TemporaryDirectory() as tmp:

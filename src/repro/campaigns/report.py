@@ -122,11 +122,16 @@ def sweep_table(spec: SweepSpec, campaign: CampaignResult) -> ExperimentResult:
     title = f"sweep {spec.kind}: {', '.join(spec.configs)}"
     if spec.backend != "statevector":
         title += f" [backend={spec.backend}]"
+    notes = f"{campaign.summary} | {_device_note(spec)}"
+    if campaign.workers > 1 and campaign.computed:
+        # Make the serial-vs-parallel crossover visible: how much wall
+        # time went to spawn/warmup/dispatch instead of evaluation.
+        notes += f" | {campaign.overhead_note}"
     return ExperimentResult(
         spec.name,
         title,
         rows=rows,
-        notes=f"{campaign.summary} | {_device_note(spec)}",
+        notes=notes,
     )
 
 
@@ -180,10 +185,15 @@ def store_summary(store: ResultStore | str | Path) -> ExperimentResult:
     counts: dict[tuple[str, str, str, str], list[int]] = {}
     fingerprints: set[str] = set()
     total_failed = 0
+    warmups, warmup_s = 0, 0.0
     for record in store.records():
         fingerprints.add(record.get("fingerprint", "?"))
         failed = record_status(record) != "ok"
         total_failed += failed
+        for span_data in (record.get("telemetry") or {}).get("spans", ()):
+            if span_data.get("path") == "campaign.worker_warmup":
+                warmups += span_data.get("count", 0)
+                warmup_s += span_data.get("total_s", 0.0)
         if "cell" not in record:
             # Non-campaign records (e.g. `repro verify` scenarios) share
             # the store file; summarize them by their payload kind.
@@ -214,6 +224,11 @@ def store_summary(store: ResultStore | str | Path) -> ExperimentResult:
     )
     if total_failed:
         notes += f" | {total_failed} failure record(s) — see EXPERIMENTS.md"
+    if warmups:
+        notes += (
+            f" | parallel overhead: {warmups} worker warmup(s), "
+            f"{warmup_s:.1f}s total"
+        )
     if store.skipped_lines:
         # Data loss must be loud: these lines were unreadable and their
         # cells will re-run on the next resume.

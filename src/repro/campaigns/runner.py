@@ -71,6 +71,7 @@ from repro.scheduling.parsched import par_schedule
 from repro.scheduling.plan_cache import SHARED_PLAN_CACHE
 from repro.scheduling.zzxsched import ZZXConfig, zzx_schedule
 from repro.sim.density import DecoherenceModel
+from repro.telemetry import capture, counter, merge_snapshot, observe, span
 from repro.units import US
 
 # -- per-process warm caches ------------------------------------------------
@@ -239,6 +240,10 @@ class CellOutcome:
     attempts: int = 1
     elapsed_s: float = 0.0
     error: dict | None = None
+    #: Telemetry snapshot of the evaluation (None when collection is off).
+    #: In parallel runs this is how a worker's trace rides back to the
+    #: parent, which merges it into the process-wide trace.
+    telemetry: dict | None = None
 
     @property
     def ok(self) -> bool:
@@ -288,6 +293,11 @@ def _error_payload(exc: BaseException, attempts: int) -> dict:
     }
 
 
+def _cell_label(cell: Cell) -> str:
+    """Telemetry group label: one per (grid point, config) latency bucket."""
+    return f"{cell.benchmark}-{cell.num_qubits}/{cell.config}"
+
+
 def supervised_evaluate(
     cell: Cell, policy: RetryPolicy = DEFAULT_POLICY
 ) -> CellOutcome:
@@ -297,16 +307,33 @@ def supervised_evaluate(
     ``policy.max_attempts`` with exponential backoff; fatal error types
     (:data:`FATAL_TYPES`) and exhausted retries quarantine the cell.
     Never raises on evaluation failure — the failure *is* the outcome.
+
+    When telemetry is on, everything the evaluation records — plus this
+    worker's one-time warmup cost, on its first cell — is captured on the
+    outcome's ``telemetry`` snapshot for the parent to merge and persist.
     """
+    with capture() as cap:
+        if cap.collector is not None:
+            cap.collector.merge_snapshot(_take_worker_warmup())
+        with span("campaign.cell", group=_cell_label(cell)):
+            outcome = _supervise(cell, policy)
+    outcome.telemetry = cap.snapshot()
+    return outcome
+
+
+def _supervise(cell: Cell, policy: RetryPolicy) -> CellOutcome:
     error: dict = {}
     status = "error"
     for attempt in range(1, policy.max_attempts + 1):
+        if attempt > 1:
+            counter("campaign.retries")
         t0 = time.perf_counter()
         try:
             with _deadline(policy.timeout_s):
                 result = evaluate_cell(cell)
         except _CellTimeout:
             status = "timeout"
+            counter("campaign.timeouts")
             error = {
                 "type": "CellTimeout",
                 "message": (
@@ -319,6 +346,7 @@ def supervised_evaluate(
         except FATAL_TYPES as exc:
             error = _error_payload(exc, attempt)
             error["quarantined"] = True
+            counter("campaign.quarantines")
             return CellOutcome(
                 status="error",
                 error=error,
@@ -340,6 +368,7 @@ def supervised_evaluate(
             if delay > 0:
                 time.sleep(delay)
     error["quarantined"] = True
+    counter("campaign.quarantines")
     return CellOutcome(
         status=status,
         error=error,
@@ -359,6 +388,7 @@ def _persist(
         status=outcome.status,
         error=outcome.error,
         attempts=outcome.attempts,
+        telemetry=outcome.telemetry,
     )
 
 
@@ -389,10 +419,25 @@ class _FailureTracker:
 MAX_POOL_RESPAWNS = 2
 
 
+#: Snapshot of this worker's one-time warmup cost, consumed by (attached
+#: to) the first cell the worker evaluates.
+_WORKER_WARMUP: dict | None = None
+
+
 def _warm_worker(methods: tuple[str, ...]) -> None:
     """Pool initializer: pre-load the pulse libraries a campaign needs."""
-    for method in methods:
-        cached_library(method)
+    global _WORKER_WARMUP
+    with capture() as cap:
+        with span("campaign.worker_warmup"):
+            for method in methods:
+                cached_library(method)
+    _WORKER_WARMUP = cap.snapshot()
+
+
+def _take_worker_warmup() -> dict | None:
+    global _WORKER_WARMUP
+    snap, _WORKER_WARMUP = _WORKER_WARMUP, None
+    return snap
 
 
 @dataclass
@@ -411,6 +456,9 @@ class CampaignResult:
     failed: int = 0
     workers: int = 1
     elapsed_s: float = 0.0
+    #: Total wall time spent *inside* freshly computed cells (CPU-side
+    #: work); the gap to ``elapsed_s`` is dispatch/spawn/warmup overhead.
+    cell_seconds: float = 0.0
     _by_key: dict[str, dict] = field(default_factory=dict, repr=False)
 
     def __post_init__(self):
@@ -435,6 +483,26 @@ class CampaignResult:
             f"{len(self.records)} cells: {self.computed} computed, "
             f"{self.cached} cached{failed} [workers={self.workers}, "
             f"{self.elapsed_s:.1f}s]"
+        )
+
+    @property
+    def overhead_s(self) -> float:
+        """Wall time beyond the ideal ``cell work / workers`` split.
+
+        For serial runs this is the runner's own bookkeeping; for parallel
+        runs it is dominated by pool spawn + per-worker cache warmup — the
+        quantity that decides the serial-vs-parallel crossover.
+        """
+        ideal = self.cell_seconds / max(1, self.workers)
+        return max(0.0, self.elapsed_s - ideal)
+
+    @property
+    def overhead_note(self) -> str:
+        """One-line account of where non-evaluation wall time went."""
+        return (
+            f"parallel overhead {self.overhead_s:.1f}s "
+            f"(wall {self.elapsed_s:.1f}s vs {self.cell_seconds:.1f}s cell "
+            f"work across {self.workers} workers)"
         )
 
 
@@ -488,12 +556,16 @@ def run_campaign(
 
     records = []
     failed = 0
+    pending_keys = {cell_key(cell, fingerprint) for cell in pending}
+    cell_seconds = 0.0
     for cell in ordered:
         record = store.get(cell_key(cell, fingerprint))
         if record is None:  # pragma: no cover - defensive
             raise RuntimeError(f"campaign finished but cell missing: {cell}")
         if record_status(record) != "ok":
             failed += 1
+        if record["key"] in pending_keys:
+            cell_seconds += record.get("elapsed_s") or 0.0
         records.append(record)
     return CampaignResult(
         cells=tuple(ordered),
@@ -504,6 +576,7 @@ def run_campaign(
         failed=failed,
         workers=max(1, workers),
         elapsed_s=time.perf_counter() - start,
+        cell_seconds=cell_seconds,
     )
 
 
@@ -543,17 +616,19 @@ def _run_parallel(
     breaks = 0
     while todo:
         cells = list(todo)
-        pool = ProcessPoolExecutor(
-            max_workers=min(workers, len(cells)),
-            initializer=_warm_worker,
-            initargs=(methods,),
-        )
+        with span("campaign.pool_spawn"):
+            pool = ProcessPoolExecutor(
+                max_workers=min(workers, len(cells)),
+                initializer=_warm_worker,
+                initargs=(methods,),
+            )
         broken = False
         try:
             futures = {
                 pool.submit(supervised_evaluate, cell, policy): cell
                 for cell in cells
             }
+            submitted = {future: time.perf_counter() for future in futures}
             remaining = set(futures)
             while remaining:
                 done, remaining = wait(remaining, return_when=FIRST_COMPLETED)
@@ -566,6 +641,20 @@ def _run_parallel(
                         broken = True
                         continue
                     cell = futures[future]
+                    # The worker's trace rides back on the outcome: fold it
+                    # into the parent's process-wide trace, and record the
+                    # dispatch-to-result time the cell did *not* spend
+                    # evaluating (queue wait + spawn/warmup + transfer).
+                    merge_snapshot(outcome.telemetry)
+                    observe(
+                        "campaign.queue_wait",
+                        max(
+                            0.0,
+                            time.perf_counter()
+                            - submitted[future]
+                            - outcome.elapsed_s,
+                        ),
+                    )
                     _persist(store, cell, outcome, fingerprint)
                     tracker.note(outcome)
                     del todo[cell]

@@ -178,13 +178,16 @@ class ResultStore:
         status: str = "ok",
         error: dict | None = None,
         attempts: int | None = None,
+        telemetry: dict | None = None,
     ) -> dict:
         """Record one cell outcome.
 
         Successful first-attempt records keep the exact historical
         layout (no ``status``/``error``/``attempts`` fields), so the
         fault-tolerant runner is byte-compatible with its predecessor on
-        the fault-free path.
+        the fault-free path.  ``telemetry`` (a snapshot from
+        :mod:`repro.telemetry`) is attached only when collection was on,
+        so telemetry-off records stay byte-identical too.
         """
         if status not in RECORD_STATUSES:
             raise ValueError(
@@ -203,6 +206,8 @@ class ResultStore:
             record["error"] = error or {}
         elif attempts is not None and attempts > 1:
             record["attempts"] = attempts
+        if telemetry:
+            record["telemetry"] = telemetry
         self.put_record(record)
         return record
 

@@ -15,7 +15,9 @@ Subcommands:
   topologies (heavy-hex Falcon/Eagle/Osprey, large grids), cache on/off;
 - ``chaos`` — run a small campaign under each injected fault (cell
   exception, hang, worker kill, store corruption) and assert the store
-  converges to the fault-free result.
+  converges to the fault-free result;
+- ``stats`` — render a telemetry trace (span tree, cache hit ratios,
+  latency percentiles), or diff two traces.
 
 Campaign options (``--workers``, ``--store``, ``--seeds``, ``--full``,
 ``--backend``, ``--trajectories``) are shared by ``run`` and ``sweep``;
@@ -25,6 +27,12 @@ Monte Carlo trajectories) as a first-class sweep axis.  ``sweep`` adds
 the fault-tolerance knobs (``--cell-timeout``, ``--max-attempts``,
 ``--max-failures``, ``--retry-quarantined``); see "When campaigns fail"
 in EXPERIMENTS.md.
+
+Every subcommand takes ``--telemetry [PATH]`` (collect per-phase spans
+and cache counters, writing a JSONL trace for ``repro stats``; equivalent
+to setting ``REPRO_TELEMETRY``) and ``--quiet``/``-v`` (diagnostic
+verbosity; tables and summaries always print).  See "Observing a run" in
+EXPERIMENTS.md.
 """
 
 from __future__ import annotations
@@ -32,10 +40,47 @@ from __future__ import annotations
 import argparse
 import sys
 import time
+from pathlib import Path
 
 from repro.experiments.registry import EXPERIMENTS, run_experiment
+from repro.telemetry import configure as _configure_logging
+from repro.telemetry import get_logger
 
-SUBCOMMANDS = ("run", "sweep", "report", "list", "verify", "sched-bench", "chaos")
+logger = get_logger(__name__)
+
+SUBCOMMANDS = (
+    "run", "sweep", "report", "list", "verify", "sched-bench", "chaos", "stats"
+)
+
+#: Where ``--telemetry`` without a path writes its trace.
+DEFAULT_TRACE = "repro_trace.jsonl"
+
+def _add_output_arguments(parser: argparse.ArgumentParser) -> None:
+    """Observability flags shared by every subcommand."""
+    parser.add_argument(
+        "-q",
+        "--quiet",
+        action="store_true",
+        help="suppress informational diagnostics (warnings/errors still print)",
+    )
+    parser.add_argument(
+        "-v",
+        "--verbose",
+        action="count",
+        default=0,
+        help="show debug diagnostics",
+    )
+    parser.add_argument(
+        "--telemetry",
+        nargs="?",
+        const=DEFAULT_TRACE,
+        default=None,
+        metavar="PATH",
+        help="collect per-phase spans and cache counters, writing a JSONL "
+        f"trace for 'repro stats' (default path: {DEFAULT_TRACE}; "
+        "equivalent to setting REPRO_TELEMETRY)",
+    )
+
 
 #: Grid axes shared by ``sweep`` and ``report`` (must build identical specs).
 def _add_grid_arguments(parser: argparse.ArgumentParser) -> None:
@@ -211,7 +256,7 @@ def _invalid_run_options(args) -> str | None:
 def _cmd_run(args) -> int:
     problem = _invalid_run_options(args)
     if problem:
-        print(f"invalid run: {problem}", file=sys.stderr)
+        logger.error(f"invalid run: {problem}")
         return 2
     targets = (
         sorted(EXPERIMENTS)
@@ -220,13 +265,8 @@ def _cmd_run(args) -> int:
     )
     unknown = [t for t in targets if t not in EXPERIMENTS]
     if unknown:
-        print(
-            f"unknown experiment(s): {', '.join(unknown)}", file=sys.stderr
-        )
-        print(
-            f"known experiments: {', '.join(sorted(EXPERIMENTS))}",
-            file=sys.stderr,
-        )
+        logger.error(f"unknown experiment(s): {', '.join(unknown)}")
+        logger.error(f"known experiments: {', '.join(sorted(EXPERIMENTS))}")
         return 2
     for target in targets:
         start = time.perf_counter()
@@ -252,7 +292,7 @@ def _checked_spec(args):
     try:
         spec = _build_spec(args)
     except ValueError as exc:
-        print(f"invalid sweep: {exc}", file=sys.stderr)
+        logger.error(f"invalid sweep: {exc}")
         return None
     if not spec.cells():
         if not spec.benchmarks or not spec.configs:
@@ -262,18 +302,14 @@ def _checked_spec(args):
                 f"every requested size exceeds the "
                 f"{spec.device.num_qubits}-qubit device ({spec.device.label})"
             )
-        print(
-            f"invalid sweep: grid expands to 0 cells — {reason}",
-            file=sys.stderr,
-        )
+        logger.error(f"invalid sweep: grid expands to 0 cells — {reason}")
         return None
     if spec.sizes is not None:
         dropped = sorted(s for s in spec.sizes if s > spec.device.num_qubits)
         if dropped:
-            print(
+            logger.warning(
                 f"note: size(s) {', '.join(map(str, dropped))} exceed the "
-                f"{spec.device.num_qubits}-qubit device — dropped",
-                file=sys.stderr,
+                f"{spec.device.num_qubits}-qubit device — dropped"
             )
     return spec
 
@@ -300,7 +336,7 @@ def _cmd_sweep(args) -> int:
     try:
         policy = _build_policy(args)
     except ValueError as exc:
-        print(f"invalid sweep: {exc}", file=sys.stderr)
+        logger.error(f"invalid sweep: {exc}")
         return 2
     try:
         campaign = run_campaign(
@@ -308,16 +344,15 @@ def _cmd_sweep(args) -> int:
         )
     except CampaignAbort as exc:
         # The abort is clean: every decided outcome is already stored.
-        print(f"aborted: {exc}", file=sys.stderr)
+        logger.error(f"aborted: {exc}")
         return 1
     print(sweep_table(spec, campaign).render())
     print(f"[{campaign.summary}]")
     if campaign.failed:
-        print(
+        logger.error(
             f"{campaign.failed} cells failed — inspect with "
             f"'repro list --store {args.store}', re-run quarantined cells "
-            "with --retry-quarantined",
-            file=sys.stderr,
+            "with --retry-quarantined"
         )
         return 1
     return 0
@@ -385,7 +420,7 @@ def _cmd_verify(args) -> int:
     try:
         seeds = parse_seed_spec(args.seeds)
     except ValueError as exc:
-        print(f"invalid verify: --seeds {exc}", file=sys.stderr)
+        logger.error(f"invalid verify: --seeds {exc}")
         return 2
     report = verify_scenarios(seeds, as_store(args.store))
     print(report.render())
@@ -396,7 +431,7 @@ def _cmd_verify(args) -> int:
             diffs = golden_module.compare_all()
         except ValueError as exc:
             # e.g. a fixture file written by a newer checkout.
-            print(f"invalid golden fixtures: {exc}", file=sys.stderr)
+            logger.error(f"invalid golden fixtures: {exc}")
             return 2
         if args.golden_report:
             import json
@@ -434,14 +469,13 @@ def _cmd_sched_bench(args) -> int:
         try:
             scale_topology(name)
         except ValueError as exc:
-            print(f"invalid sched-bench: {exc}", file=sys.stderr)
+            logger.error(f"invalid sched-bench: {exc}")
             return 2
     unknown = [c for c in circuits if c not in SCALE_CIRCUITS]
     if unknown:
-        print(
+        logger.error(
             f"invalid sched-bench: unknown circuit(s) {', '.join(unknown)}; "
-            f"known: {', '.join(sorted(SCALE_CIRCUITS))}",
-            file=sys.stderr,
+            f"known: {', '.join(sorted(SCALE_CIRCUITS))}"
         )
         return 2
     start = time.perf_counter()
@@ -465,20 +499,35 @@ def _cmd_chaos(args) -> int:
         workers=args.workers, out_dir=args.dir, scenarios=scenarios
     )
     if scenarios and not report.outcomes:
-        print(
-            f"invalid chaos: no scenario matches {args.scenarios!r}",
-            file=sys.stderr,
-        )
+        logger.error(f"invalid chaos: no scenario matches {args.scenarios!r}")
         return 2
     print(report.render())
     if not report.passed:
         for outcome in report.outcomes:
             if not outcome.passed:
-                print(
-                    f"chaos FAILED [{outcome.scenario}]: {outcome.detail}",
-                    file=sys.stderr,
+                logger.error(
+                    f"chaos FAILED [{outcome.scenario}]: {outcome.detail}"
                 )
         return 1
+    return 0
+
+
+def _cmd_stats(args) -> int:
+    from repro.telemetry.stats import load_stats, render_diff, render_stats
+
+    try:
+        snap = load_stats(args.trace)
+        if args.diff:
+            other = load_stats(args.diff)
+            text = render_diff(
+                snap, other, label_a=Path(args.trace).name, label_b=Path(args.diff).name
+            )
+        else:
+            text = render_stats(snap, title=args.trace)
+    except (OSError, ValueError) as exc:
+        logger.error(f"invalid stats: {exc}")
+        return 2
+    print(text)
     return 0
 
 
@@ -615,6 +664,25 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated scenario names to run (default: all)",
     )
     chaos_parser.set_defaults(func=_cmd_chaos)
+
+    stats_parser = sub.add_parser(
+        "stats",
+        help="render a telemetry trace: span tree, cache hit ratios, "
+        "latency percentiles (or diff two traces)",
+    )
+    stats_parser.add_argument(
+        "trace", help="JSONL trace written by --telemetry / REPRO_TELEMETRY"
+    )
+    stats_parser.add_argument(
+        "--diff",
+        default=None,
+        metavar="OTHER",
+        help="compare against a second trace, phase by phase",
+    )
+    stats_parser.set_defaults(func=_cmd_stats)
+
+    for sub_parser in sub.choices.values():
+        _add_output_arguments(sub_parser)
     return parser
 
 
@@ -633,16 +701,27 @@ def main(argv: list[str] | None = None) -> int:
     if getattr(args, "command", None) is None:
         parser.print_help()
         return 0
+    _configure_logging(-1 if args.quiet else args.verbose)
+    from repro import telemetry
+
+    if args.telemetry:
+        telemetry.enable(trace=args.telemetry)
     if args.command == "report" and not args.store:
-        print("report requires --store PATH", file=sys.stderr)
+        logger.error("report requires --store PATH")
         return 2
     from repro.campaigns.store import StoreFormatError
 
     try:
-        return args.func(args)
+        code = args.func(args)
     except StoreFormatError as exc:
-        print(f"invalid store: {exc}", file=sys.stderr)
-        return 2
+        logger.error(f"invalid store: {exc}")
+        code = 2
+    # Write the trace even on failure — a failing run is exactly the one
+    # worth profiling.
+    if telemetry.enabled() and telemetry.trace_path() is not None:
+        written = telemetry.write_trace(meta={"argv": argv})
+        logger.info(f"telemetry trace written to {written}")
+    return code
 
 
 if __name__ == "__main__":

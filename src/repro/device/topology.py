@@ -17,6 +17,8 @@ import numpy as np
 from scipy.sparse import csr_matrix
 from scipy.sparse.csgraph import shortest_path as _csgraph_shortest_path
 
+from repro.telemetry import span
+
 
 def edge_key(u: int, v: int) -> tuple[int, int]:
     """Canonical (sorted) form of an undirected edge."""
@@ -74,17 +76,18 @@ class Topology:
         the ``networkx`` all-pairs dict at real-device sizes (127-433
         qubits).  Unreachable pairs hold ``inf``.
         """
-        n = self.num_qubits
-        if not self.edges:
-            matrix = np.full((n, n), np.inf)
-            np.fill_diagonal(matrix, 0.0)
-            return matrix
-        us, vs = self.edge_arrays
-        data = np.ones(len(self.edges), dtype=np.int8)
-        adjacency = csr_matrix((data, (us, vs)), shape=(n, n))
-        return _csgraph_shortest_path(
-            adjacency, method="D", directed=False, unweighted=True
-        )
+        with span("sched.distance_matrix"):
+            n = self.num_qubits
+            if not self.edges:
+                matrix = np.full((n, n), np.inf)
+                np.fill_diagonal(matrix, 0.0)
+                return matrix
+            us, vs = self.edge_arrays
+            data = np.ones(len(self.edges), dtype=np.int8)
+            adjacency = csr_matrix((data, (us, vs)), shape=(n, n))
+            return _csgraph_shortest_path(
+                adjacency, method="D", directed=False, unweighted=True
+            )
 
     @cached_property
     def is_connected(self) -> bool:

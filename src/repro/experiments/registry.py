@@ -3,7 +3,6 @@
 from __future__ import annotations
 
 import inspect
-import sys
 from collections.abc import Callable
 
 from repro.experiments import (
@@ -22,6 +21,9 @@ from repro.experiments import (
     ramsey,
 )
 from repro.experiments.result import ExperimentResult
+from repro.telemetry import get_logger
+
+logger = get_logger(__name__)
 
 #: option sets already reported as ignored (avoid repeating on `run all`).
 _WARNED_DROPPED: set[tuple[str, ...]] = set()
@@ -64,9 +66,8 @@ def run_experiment(experiment_id: str, **options) -> ExperimentResult:
         # Warn once per option set, not once per experiment — `run all
         # --workers 4` would otherwise repeat this for every non-grid figure.
         _WARNED_DROPPED.add(dropped)
-        print(
+        logger.warning(
             f"note: {experiment_id} does not take "
-            f"{', '.join(dropped)} — ignored",
-            file=sys.stderr,
+            f"{', '.join(dropped)} — ignored"
         )
     return runner(**{k: v for k, v in given.items() if k in accepted})

@@ -30,6 +30,7 @@ from repro.graphs.pairing import (
     remove_projected_edges,
     top_k_paths,
 )
+from repro.telemetry import counter, span
 
 DEFAULT_ALPHA = 0.5
 DEFAULT_TOP_K = 3
@@ -239,6 +240,16 @@ def alpha_optimal_suppression(
     For bipartite topologies and empty ``gate_qubits`` this finds complete
     suppression (``NC = 0``).
     """
+    with span("sched.algorithm1"):
+        return _algorithm1(topology, gate_qubits, alpha, top_k)
+
+
+def _algorithm1(
+    topology: Topology,
+    gate_qubits: Iterable[int],
+    alpha: float,
+    top_k: int,
+) -> SuppressionPlan:
     if alpha < 0:
         raise ValueError("alpha must be non-negative")
     gate_qubits = frozenset(gate_qubits)
@@ -289,11 +300,13 @@ def alpha_optimal_suppression(
     # (their per-component color choices can affect the verdicts).
     if topology.is_connected:
         def search(indices: list[int]) -> float | None:
+            counter("sched.two_colorings")
             return _search_objective(
                 topology, union_paths(indices) | gate_edges, gate_qubits, alpha
             )
     else:
         def search(indices: list[int]) -> float | None:
+            counter("sched.two_colorings")
             plan = _evaluate(
                 topology, union_paths(indices), gate_edges, gate_qubits
             )
@@ -308,6 +321,7 @@ def alpha_optimal_suppression(
     # Step "Path Relaxing": greedy hill-climb over per-pair path indices.
     improved = True
     while improved:
+        counter("sched.path_relax_iterations")
         improved = False
         best_candidate: tuple[float, int] | None = None
         for i, paths in enumerate(path_lists):

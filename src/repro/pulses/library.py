@@ -38,6 +38,7 @@ from repro.pulses.pulse import (
 )
 from repro.pulses.waveform import Waveform
 from repro.qmath.unitaries import rx, rzx
+from repro.telemetry import counter, span
 
 METHODS = ("gaussian", "optctrl", "pert", "dcg")
 PHYSICAL_GATES = ("rx90", "id", "rzx90")
@@ -218,14 +219,19 @@ def build_library(
     for gate_name in PHYSICAL_GATES:
         record = cache.get(f"{method}/{gate_name}")
         if record is not None:
+            counter("pulse_cache.hit")
             pulses[gate_name] = _pulse_from_record(record, _gate_target(gate_name))
         else:
+            counter("pulse_cache.miss")
             missing.append(gate_name)
     if missing:
-        for gate_name, record in _optimize_many(
-            [(method, g) for g in missing], fast, max_workers
-        ):
-            pulses[gate_name] = _pulse_from_record(record, _gate_target(gate_name))
+        with span("pulse.build_library"):
+            for gate_name, record in _optimize_many(
+                [(method, g) for g in missing], fast, max_workers
+            ):
+                pulses[gate_name] = _pulse_from_record(
+                    record, _gate_target(gate_name)
+                )
     return PulseLibrary(method, pulses)
 
 

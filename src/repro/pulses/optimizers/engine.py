@@ -33,6 +33,7 @@ import numpy as np
 from scipy.optimize import minimize
 
 from repro.pulses.shapes import fourier_basis
+from repro.telemetry import counter, span
 
 #: Eigenvalue gaps below this are treated as degenerate in the Loewner matrix.
 _DEGENERACY_TOL = 1e-12
@@ -335,18 +336,21 @@ class ControlProblem:
         history: list[float] = []
 
         def objective(theta: np.ndarray):
+            counter("pulse.loss_evals")
             value, grad = loss_and_grad(theta)
             history.append(value)
             return value, grad
 
-        result = minimize(
-            objective,
-            np.asarray(theta0, dtype=float),
-            jac=True,
-            method="L-BFGS-B",
-            bounds=self.bounds(),
-            options={"maxiter": maxiter, "ftol": ftol, "gtol": gtol},
-        )
+        with span("pulse.optimize"):
+            result = minimize(
+                objective,
+                np.asarray(theta0, dtype=float),
+                jac=True,
+                method="L-BFGS-B",
+                bounds=self.bounds(),
+                options={"maxiter": maxiter, "ftol": ftol, "gtol": gtol},
+            )
+        counter("pulse.optimizer_iterations", int(result.nit))
         return OptimizationResult(
             theta=np.asarray(result.x),
             loss=float(result.fun),

@@ -5,6 +5,8 @@ from __future__ import annotations
 import numpy as np
 
 from repro.qmath.paulis import ID2, SX, SY, SZ
+from repro.telemetry import counter as _telemetry_counter
+from repro.telemetry import enabled as _telemetry_enabled
 
 HADAMARD = np.array([[1.0, 1.0], [1.0, -1.0]], dtype=complex) / np.sqrt(2.0)
 CNOT = np.array(
@@ -92,6 +94,12 @@ def expm_hermitian(h: np.ndarray, t: float = 1.0) -> np.ndarray:
     experiments.
     """
     h = np.asarray(h)
+    if _telemetry_enabled():
+        # One call may exponentiate a whole stack; count matrices, not calls.
+        _telemetry_counter("exec.expm_calls")
+        _telemetry_counter(
+            "exec.expm_matrices", int(np.prod(h.shape[:-2], dtype=np.int64))
+        )
     evals, evecs = np.linalg.eigh(h)
     phases = np.exp(-1.0j * evals * t)
     return (evecs * phases[..., None, :]) @ np.conj(np.swapaxes(evecs, -1, -2))

@@ -59,6 +59,13 @@ class SimBackend(ABC):
     #: the name the CLI / campaign ``backend`` axis resolves (overridden).
     name = "?"
 
+    #: Should ``execute(cache=True)`` allocate a ``LayerPropagatorCache``?
+    #: Only representations that reuse expensive per-layer artifacts (the
+    #: density path's full layer unitaries) opt in; for the statevector
+    #: walk the key-building overhead exceeds the drive-list reuse (see
+    #: BENCH notes).  An explicitly passed cache instance is always honored.
+    uses_propagator_cache = False
+
     def validate(self, num_qubits: int) -> None:
         """Reject device sizes the representation cannot afford."""
 

@@ -28,16 +28,30 @@ from __future__ import annotations
 import numpy as np
 
 from repro.scheduling.layer import Layer
+from repro.telemetry import counter
 
 
 class LayerPropagatorCache:
-    """Memoizes per-layer drives and (density-path) layer unitaries."""
+    """Memoizes per-layer drives and (density-path) layer unitaries.
 
-    def __init__(self):
+    ``maxsize`` bounds each of the two maps independently (FIFO eviction —
+    schedules revisit layers in order, so the oldest entry is the least
+    likely to recur); ``None`` keeps every entry, the historical behavior.
+    """
+
+    def __init__(self, maxsize: int | None = None):
         self._drives: dict[tuple, tuple] = {}
         self._unitaries: dict[tuple, np.ndarray] = {}
+        self.maxsize = maxsize
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
+
+    def _evict(self, entries: dict) -> None:
+        if self.maxsize is not None and len(entries) >= self.maxsize:
+            entries.pop(next(iter(entries)))
+            self.evictions += 1
+            counter("prop_cache.evict")
 
     @staticmethod
     def layer_key(layer: Layer, duration: float, dt: float) -> tuple:
@@ -52,9 +66,12 @@ class LayerPropagatorCache:
         found = self._drives.get(key)
         if found is not None:
             self.hits += 1
+            counter("prop_cache.hit")
             return found
         self.misses += 1
+        counter("prop_cache.miss")
         built = tuple(build())
+        self._evict(self._drives)
         self._drives[key] = built
         return built
 
@@ -63,9 +80,12 @@ class LayerPropagatorCache:
         found = self._unitaries.get(key)
         if found is not None:
             self.hits += 1
+            counter("prop_cache.hit")
             return found
         self.misses += 1
+        counter("prop_cache.miss")
         built = build()
+        self._evict(self._unitaries)
         self._unitaries[key] = built
         return built
 

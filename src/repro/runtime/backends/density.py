@@ -41,6 +41,7 @@ class DensityBackend(SimBackend):
     """Exact open-system evolution (``4^n`` memory, <= 8 qubits)."""
 
     name = "density"
+    uses_propagator_cache = True
 
     def __init__(self, decoherence: DecoherenceModel | None = None):
         self.decoherence = decoherence

@@ -44,6 +44,7 @@ from repro.sim import DEFAULT_DT
 from repro.sim.density import DecoherenceModel
 from repro.sim.noise import DriveNoise
 from repro.sim.trotter import TrotterEngine
+from repro.telemetry import span
 
 
 @dataclass
@@ -102,10 +103,13 @@ def execute(
 ) -> ExecutionResult:
     """Run ``schedule`` on ``device`` through the named (or given) backend.
 
-    ``cache=True`` memoizes repeated layers within this execution;
-    ``cache=False`` disables that; passing a
-    :class:`~repro.runtime.backends.LayerPropagatorCache` shares one across
-    executions (caller must keep library/device/noise fixed).
+    ``cache=True`` means *the backend's default policy*: a fresh
+    :class:`~repro.runtime.backends.LayerPropagatorCache` for backends that
+    profit from one (density — its full layer unitaries dominate), nothing
+    for the rest (the statevector walk pays more in key building than the
+    drive-list reuse returns).  ``cache=False`` disables caching outright;
+    passing a cache instance always uses it and shares it across executions
+    (caller must keep library/device/noise fixed).
     """
     n = schedule.num_qubits
     if n != device.num_qubits:
@@ -115,12 +119,15 @@ def execute(
     )
     backend.validate(n)
     if cache is True:
-        cache = LayerPropagatorCache()
+        cache = (
+            LayerPropagatorCache() if backend.uses_propagator_cache else None
+        )
     elif cache is False:
         cache = None
 
     engine = TrotterEngine(n, device.couplings(), dt)
-    steps = _plan_layers(schedule, library, dt, noise, cache)
+    with span("exec.plan_layers"):
+        steps = _plan_layers(schedule, library, dt, noise, cache)
     trailing = tuple(
         (virtual_matrix(gate), tuple(gate.qubits))
         for gate in schedule.trailing_virtual
@@ -133,12 +140,14 @@ def execute(
             for op, qubits in step.virtuals:
                 state = backend.apply_virtual(state, op, qubits, n)
             if step.duration > 0:
-                state = backend.evolve_layer(state, engine, step, cache)
+                with span("layer"):
+                    state = backend.evolve_layer(state, engine, step, cache)
         for op, qubits in trailing:
             state = backend.apply_virtual(state, op, qubits, n)
         return state
 
-    out = backend.outcome(walk, ideal)
+    with span("exec.run", group=backend.name):
+        out = backend.outcome(walk, ideal)
     return ExecutionResult(
         fidelity=out.fidelity,
         execution_time_ns=execution_time(schedule, library),

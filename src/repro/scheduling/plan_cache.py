@@ -26,6 +26,7 @@ from repro.graphs.suppression import (
     SuppressionPlan,
     alpha_optimal_suppression,
 )
+from repro.telemetry import counter
 
 
 class SuppressionPlanCache:
@@ -57,8 +58,10 @@ class SuppressionPlanCache:
         cached = self._plans.get(key)
         if cached is not None:
             self.hits += 1
+            counter("plan_cache.hit")
             return cached
         self.misses += 1
+        counter("plan_cache.miss")
         plan = alpha_optimal_suppression(
             topology, key[1], alpha=alpha, top_k=top_k
         )
@@ -87,6 +90,7 @@ class NullPlanCache(SuppressionPlanCache):
         top_k: int = DEFAULT_TOP_K,
     ) -> SuppressionPlan:
         self.misses += 1
+        counter("plan_cache.miss")
         return alpha_optimal_suppression(
             topology, frozenset(gate_qubits), alpha=alpha, top_k=top_k
         )

@@ -32,6 +32,7 @@ from repro.scheduling.distance import gate_distance_matrix
 from repro.scheduling.layer import Layer, Schedule
 from repro.scheduling.plan_cache import SuppressionPlanCache
 from repro.scheduling.requirement import SuppressionRequirement
+from repro.telemetry import counter, span
 
 IDENTITY_POLICIES = ("not_pending", "all_free")
 
@@ -77,55 +78,66 @@ def zzx_schedule(
     requirement = requirement or SuppressionRequirement.from_topology(topology)
     config = config or ZZXConfig()
     plan_cache = plan_cache if plan_cache is not None else SuppressionPlanCache()
-    frontier = SchedulingFrontier(circuit)
-    schedule = Schedule(num_qubits=circuit.num_qubits, policy="zzxsched")
+    with span("sched.zzx"):
+        frontier = SchedulingFrontier(circuit)
+        schedule = Schedule(num_qubits=circuit.num_qubits, policy="zzxsched")
 
-    while not frontier.exhausted:
-        virtual = frontier.pop_virtual()
-        ready = frontier.schedulable()
-        if not ready:
-            schedule.trailing_virtual.extend(virtual)
-            break
-        ready_gates = {i: frontier.gates[i] for i in ready}
-        two_qubit = {i: g for i, g in ready_gates.items() if g.num_qubits == 2}
+        while not frontier.exhausted:
+            virtual = frontier.pop_virtual()
+            ready = frontier.schedulable()
+            if not ready:
+                schedule.trailing_virtual.extend(virtual)
+                break
+            ready_gates = {i: frontier.gates[i] for i in ready}
+            two_qubit = {
+                i: g for i, g in ready_gates.items() if g.num_qubits == 2
+            }
 
-        if not two_qubit:
-            plan = plan_cache.plan(
-                topology, (), alpha=config.alpha, top_k=config.top_k
-            )
-            pulsed = _majority_side(plan, ready_gates.values())
-        else:
-            plan, pulsed = _two_q_schedule(
-                topology,
-                list(two_qubit.values()),
-                requirement,
-                config,
-                plan_cache,
-            )
+            if not two_qubit:
+                plan = plan_cache.plan(
+                    topology, (), alpha=config.alpha, top_k=config.top_k
+                )
+                pulsed = _majority_side(plan, ready_gates.values())
+            else:
+                plan, pulsed = _two_q_schedule(
+                    topology,
+                    list(two_qubit.values()),
+                    requirement,
+                    config,
+                    plan_cache,
+                )
 
-        chosen = [
-            i for i, g in ready_gates.items() if set(g.qubits) <= pulsed
-        ]
-        if not chosen:
-            # Defensive fallback (cannot occur with the fallback plans of
-            # Algorithm 1, which always cover the requested qubits).
-            chosen = [min(ready_gates)]
-            pulsed = frozenset(
-                q for q in range(topology.num_qubits)
-            )
-        gates = frontier.pop(chosen)
-        identity_qubits = _identity_qubits(
-            pulsed, gates, list(ready_gates.values()), config.identity_policy
-        )
-        layer = Layer(
-            gates=gates,
-            identities=[Gate("id", (q,)) for q in sorted(identity_qubits)],
-            virtual=virtual,
-            plan=plan,
-        )
-        layer.validate()
-        schedule.layers.append(layer)
-    schedule.trailing_virtual.extend(frontier.pop_virtual())
+            with span("layer_assembly"):
+                chosen = [
+                    i for i, g in ready_gates.items() if set(g.qubits) <= pulsed
+                ]
+                if not chosen:
+                    # Defensive fallback (cannot occur with the fallback
+                    # plans of Algorithm 1, which always cover the
+                    # requested qubits).
+                    chosen = [min(ready_gates)]
+                    pulsed = frozenset(
+                        q for q in range(topology.num_qubits)
+                    )
+                gates = frontier.pop(chosen)
+                identity_qubits = _identity_qubits(
+                    pulsed,
+                    gates,
+                    list(ready_gates.values()),
+                    config.identity_policy,
+                )
+                layer = Layer(
+                    gates=gates,
+                    identities=[
+                        Gate("id", (q,)) for q in sorted(identity_qubits)
+                    ],
+                    virtual=virtual,
+                    plan=plan,
+                )
+                layer.validate()
+                schedule.layers.append(layer)
+            counter("sched.layers")
+        schedule.trailing_virtual.extend(frontier.pop_virtual())
     return schedule
 
 

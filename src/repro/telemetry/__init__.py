@@ -1,0 +1,50 @@
+"""Repro-wide telemetry: spans, counters, gauges, traces, and logging.
+
+See :mod:`repro.telemetry.core` for the collection API and
+:mod:`repro.telemetry.stats` for the ``repro stats`` renderers.
+"""
+
+from repro.telemetry.core import (
+    ENV_TELEMETRY,
+    MAX_DURATIONS,
+    TRACE_FORMAT,
+    Collector,
+    capture,
+    counter,
+    disable,
+    enable,
+    enabled,
+    gauge,
+    merge_snapshot,
+    observe,
+    read_trace,
+    reset,
+    snapshot,
+    span,
+    trace_path,
+    write_trace,
+)
+from repro.telemetry.log import configure, get_logger
+
+__all__ = [
+    "ENV_TELEMETRY",
+    "MAX_DURATIONS",
+    "TRACE_FORMAT",
+    "Collector",
+    "capture",
+    "configure",
+    "counter",
+    "disable",
+    "enable",
+    "enabled",
+    "gauge",
+    "get_logger",
+    "merge_snapshot",
+    "observe",
+    "read_trace",
+    "reset",
+    "snapshot",
+    "span",
+    "trace_path",
+    "write_trace",
+]

@@ -1,0 +1,74 @@
+"""Structured diagnostic logging for the CLI and campaign runner.
+
+Replaces the historical bare ``print(..., file=sys.stderr)`` diagnostics
+with one leveled logger so every subcommand honors ``--quiet``/``-v``
+consistently.  Messages go to stderr (stdout is reserved for experiment
+tables and rendered reports); structured fields append as ``key=value``
+pairs, so grep-style assertions on the message text keep working.
+
+Levels: ``error`` and ``warning`` always print; ``info`` prints unless
+``--quiet``; ``debug`` prints only with ``-v``.
+"""
+
+from __future__ import annotations
+
+import sys
+
+DEBUG, INFO, WARNING, ERROR = 10, 20, 30, 40
+
+#: Process-wide threshold (INFO = the historical default chattiness).
+_level = INFO
+
+
+def configure(verbosity: int = 0) -> None:
+    """Set the threshold from a CLI verbosity: -1 quiet, 0 default, >=1 debug."""
+    global _level
+    if verbosity <= -1:
+        _level = WARNING
+    elif verbosity == 0:
+        _level = INFO
+    else:
+        _level = DEBUG
+
+
+def level() -> int:
+    return _level
+
+
+class Logger:
+    """A named leveled logger writing ``message key=value ...`` to stderr."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def _emit(self, severity: int, message: str, fields: dict) -> None:
+        if severity < _level:
+            return
+        parts = [message]
+        parts.extend(f"{key}={value}" for key, value in fields.items())
+        print(" ".join(parts), file=sys.stderr)
+
+    def debug(self, message: str, **fields) -> None:
+        self._emit(DEBUG, message, fields)
+
+    def info(self, message: str, **fields) -> None:
+        self._emit(INFO, message, fields)
+
+    def warning(self, message: str, **fields) -> None:
+        self._emit(WARNING, message, fields)
+
+    def error(self, message: str, **fields) -> None:
+        self._emit(ERROR, message, fields)
+
+
+_loggers: dict[str, Logger] = {}
+
+
+def get_logger(name: str) -> Logger:
+    """The (cached) logger for ``name`` (typically ``__name__``)."""
+    logger = _loggers.get(name)
+    if logger is None:
+        logger = _loggers[name] = Logger(name)
+    return logger

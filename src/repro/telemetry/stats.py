@@ -1,0 +1,267 @@
+"""Render telemetry traces: span tree, cache ratios, latency percentiles.
+
+Consumes the snapshot form produced by :mod:`repro.telemetry.core`
+(either live or loaded from a JSONL trace file) and renders the
+``repro stats`` views:
+
+- a flame-style **span tree** — total seconds, call counts and share of
+  the parent for every span path;
+- a **cache table** — hit/miss/evict counters and hit rates for every
+  ``<name>.hit``/``<name>.miss`` counter pair (plan cache, pulse cache,
+  propagator cache);
+- **latency percentiles** (p50/p90/p99) per group for grouped spans —
+  campaign cells report per-(benchmark, config) latency this way;
+- a **diff view** comparing two traces phase by phase, which is how the
+  BENCH_1 regressions were explained (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.telemetry.core import read_trace
+
+
+def load_stats(path: str | Path) -> dict:
+    """Snapshot form of a trace file (raises on missing/newer-format files)."""
+    return read_trace(path)
+
+
+# -- span tree ---------------------------------------------------------------
+
+
+def _path_totals(snap: dict) -> dict[str, dict]:
+    """Per-path aggregates with groups folded together."""
+    totals: dict[str, dict] = {}
+    for data in snap.get("spans", ()):
+        agg = totals.setdefault(
+            data["path"], {"count": 0, "total_s": 0.0, "errors": 0}
+        )
+        agg["count"] += data["count"]
+        agg["total_s"] += data["total_s"]
+        agg["errors"] += data.get("errors", 0)
+    return totals
+
+
+def render_span_tree(snap: dict) -> str:
+    """The flame-style tree: one line per span path, indented by depth."""
+    totals = _path_totals(snap)
+    if not totals:
+        return "(no spans recorded)"
+    children: dict[str, list[str]] = {}
+    roots: list[str] = []
+    for path in totals:
+        parent = path.rpartition("/")[0]
+        if parent and parent in totals:
+            children.setdefault(parent, []).append(path)
+        else:
+            roots.append(path)
+
+    name_width = max(
+        2 * path.count("/") + len(path.rpartition("/")[2]) for path in totals
+    )
+    name_width = max(name_width, len("span"))
+    lines = [
+        f"{'span':<{name_width}}  {'total':>9}  {'calls':>8}  {'share':>6}"
+    ]
+
+    def order(paths: list[str]) -> list[str]:
+        return sorted(paths, key=lambda p: (-totals[p]["total_s"], p))
+
+    def walk(path: str, depth: int, parent_total: float | None) -> None:
+        agg = totals[path]
+        name = "  " * depth + path.rpartition("/")[2]
+        share = (
+            f"{100.0 * agg['total_s'] / parent_total:5.1f}%"
+            if parent_total
+            else "     -"
+        )
+        errors = f"  !{agg['errors']}" if agg["errors"] else ""
+        lines.append(
+            f"{name:<{name_width}}  {agg['total_s']:>8.3f}s  "
+            f"{agg['count']:>8d}  {share}{errors}"
+        )
+        for child in order(children.get(path, [])):
+            walk(child, depth + 1, agg["total_s"])
+
+    for root in order(roots):
+        walk(root, 0, None)
+    return "\n".join(lines)
+
+
+# -- cache table -------------------------------------------------------------
+
+
+def cache_rows(snap: dict) -> list[dict]:
+    """One row per cache appearing as ``<name>.hit``/``.miss`` counters."""
+    counters = snap.get("counters", {})
+    names = sorted(
+        {
+            key.rsplit(".", 1)[0]
+            for key in counters
+            if key.endswith((".hit", ".miss"))
+        }
+    )
+    rows = []
+    for name in names:
+        hits = int(counters.get(f"{name}.hit", 0))
+        misses = int(counters.get(f"{name}.miss", 0))
+        evictions = int(counters.get(f"{name}.evict", 0))
+        total = hits + misses
+        rows.append(
+            {
+                "cache": name,
+                "hits": hits,
+                "misses": misses,
+                "evictions": evictions,
+                "hit_rate": hits / total if total else 0.0,
+            }
+        )
+    return rows
+
+
+def render_cache_table(snap: dict) -> str:
+    rows = cache_rows(snap)
+    if not rows:
+        return "(no cache counters recorded)"
+    width = max(len(r["cache"]) for r in rows)
+    width = max(width, len("cache"))
+    lines = [
+        f"{'cache':<{width}}  {'hits':>10}  {'misses':>10}  "
+        f"{'evicted':>8}  {'hit rate':>8}"
+    ]
+    for r in rows:
+        lines.append(
+            f"{r['cache']:<{width}}  {r['hits']:>10d}  {r['misses']:>10d}  "
+            f"{r['evictions']:>8d}  {100.0 * r['hit_rate']:>7.1f}%"
+        )
+    return "\n".join(lines)
+
+
+# -- latency percentiles -----------------------------------------------------
+
+
+def percentile_rows(snap: dict) -> list[dict]:
+    """p50/p90/p99 per (path, group) for every grouped span."""
+    rows = []
+    for data in snap.get("spans", ()):
+        group = data.get("group", "")
+        durations = data.get("durations_s", ())
+        if not group or not durations:
+            continue
+        d = np.asarray(durations, dtype=float)
+        rows.append(
+            {
+                "path": data["path"],
+                "group": group,
+                "count": data["count"],
+                "mean_s": float(data["total_s"]) / data["count"],
+                "p50_s": float(np.percentile(d, 50)),
+                "p90_s": float(np.percentile(d, 90)),
+                "p99_s": float(np.percentile(d, 99)),
+                "truncated": data["count"] > len(durations),
+            }
+        )
+    rows.sort(key=lambda r: (r["path"], r["group"]))
+    return rows
+
+
+def render_percentiles(snap: dict) -> str:
+    rows = percentile_rows(snap)
+    if not rows:
+        return "(no grouped spans recorded)"
+    width = max(len(r["group"]) for r in rows)
+    width = max(width, len("cell"))
+    out: list[str] = []
+    current_path = None
+    for r in rows:
+        if r["path"] != current_path:
+            if current_path is not None:
+                out.append("")
+            current_path = r["path"]
+            out.append(f"{current_path}:")
+            out.append(
+                f"  {'cell':<{width}}  {'n':>6}  {'mean':>8}  "
+                f"{'p50':>8}  {'p90':>8}  {'p99':>8}"
+            )
+        mark = "*" if r["truncated"] else ""
+        out.append(
+            f"  {r['group']:<{width}}  {r['count']:>6d}  {r['mean_s']:>7.3f}s"
+            f"  {r['p50_s']:>7.3f}s  {r['p90_s']:>7.3f}s  "
+            f"{r['p99_s']:>7.3f}s{mark}"
+        )
+    if any(r["truncated"] for r in rows):
+        out.append(
+            "  (* percentiles over the first "
+            "4096 samples; count keeps the true total)"
+        )
+    return "\n".join(out)
+
+
+# -- full report + diff ------------------------------------------------------
+
+
+def render_stats(snap: dict, title: str = "telemetry trace") -> str:
+    meta = snap.get("meta", {})
+    stamp = f" [{meta['timestamp']}]" if meta.get("timestamp") else ""
+    sections = [
+        f"== {title}{stamp} ==",
+        "",
+        "span tree:",
+        render_span_tree(snap),
+        "",
+        "caches:",
+        render_cache_table(snap),
+        "",
+        "latency percentiles:",
+        render_percentiles(snap),
+    ]
+    gauges = snap.get("gauges", {})
+    if gauges:
+        sections.append("")
+        sections.append("gauges:")
+        for name in sorted(gauges):
+            sections.append(f"  {name} = {gauges[name]:g}")
+    return "\n".join(sections)
+
+
+def render_diff(
+    snap_a: dict, snap_b: dict, label_a: str = "A", label_b: str = "B"
+) -> str:
+    """Phase-by-phase comparison of two traces (B relative to A)."""
+    totals_a = _path_totals(snap_a)
+    totals_b = _path_totals(snap_b)
+    paths = sorted(set(totals_a) | set(totals_b))
+    width = max((len(p) for p in paths), default=4)
+    width = max(width, len("span"))
+    lines = [
+        f"== telemetry diff: {label_a} vs {label_b} ==",
+        "",
+        f"{'span':<{width}}  {label_a:>10}  {label_b:>10}  "
+        f"{'delta':>10}  {'ratio':>7}",
+    ]
+    for path in paths:
+        a = totals_a.get(path, {}).get("total_s", 0.0)
+        b = totals_b.get(path, {}).get("total_s", 0.0)
+        ratio = f"{b / a:6.2f}x" if a > 0 else "      -"
+        lines.append(
+            f"{path:<{width}}  {a:>9.3f}s  {b:>9.3f}s  {b - a:>+9.3f}s  {ratio}"
+        )
+    counters_a = snap_a.get("counters", {})
+    counters_b = snap_b.get("counters", {})
+    names = sorted(set(counters_a) | set(counters_b))
+    if names:
+        cwidth = max(max(len(n) for n in names), len("counter"))
+        lines.append("")
+        lines.append(
+            f"{'counter':<{cwidth}}  {label_a:>12}  {label_b:>12}  {'delta':>12}"
+        )
+        for name in names:
+            a = counters_a.get(name, 0)
+            b = counters_b.get(name, 0)
+            lines.append(
+                f"{name:<{cwidth}}  {a:>12g}  {b:>12g}  {b - a:>+12g}"
+            )
+    return "\n".join(lines)

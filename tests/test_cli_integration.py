@@ -123,6 +123,71 @@ class TestCLI:
         assert "fig24" in capsys.readouterr().out
 
 
+class TestTelemetryCLI:
+    @pytest.fixture(autouse=True)
+    def _restore_telemetry(self, monkeypatch):
+        """--telemetry enables a process-global; undo it between tests."""
+        from repro import telemetry
+        from repro.telemetry import core, log
+
+        monkeypatch.delenv(core.ENV_TELEMETRY, raising=False)
+        yield
+        telemetry.disable()
+        telemetry.reset()
+        log.configure(0)
+
+    SWEEP = [
+        "sweep", "--benchmarks", "QAOA", "--sizes", "4",
+        "--configs", "gau+par",
+    ]
+
+    def test_sweep_telemetry_writes_trace_and_stats_renders(
+        self, tmp_path, capsys
+    ):
+        trace = str(tmp_path / "trace.jsonl")
+        assert main([*self.SWEEP, "--telemetry", trace]) == 0
+        captured = capsys.readouterr()
+        assert "1 computed" in captured.out
+        assert f"telemetry trace written to {trace}" in captured.err
+
+        assert main(["stats", trace]) == 0
+        out = capsys.readouterr().out
+        assert "span tree:" in out
+        assert "campaign.cell" in out
+        assert "latency percentiles:" in out
+        assert "QAOA-4/gau+par" in out
+
+    def test_stats_diff(self, tmp_path, capsys):
+        a = str(tmp_path / "a.jsonl")
+        b = str(tmp_path / "b.jsonl")
+        assert main([*self.SWEEP, "--telemetry", a]) == 0
+        assert main([*self.SWEEP, "--telemetry", b]) == 0
+        capsys.readouterr()
+        assert main(["stats", a, "--diff", b]) == 0
+        out = capsys.readouterr().out
+        assert "telemetry diff" in out
+        assert "ratio" in out
+
+    def test_stats_missing_trace_exits_2(self, tmp_path, capsys):
+        assert main(["stats", str(tmp_path / "absent.jsonl")]) == 2
+        assert "invalid stats" in capsys.readouterr().err
+
+    def test_quiet_suppresses_info_diagnostics(self, tmp_path, capsys):
+        trace = tmp_path / "trace.jsonl"
+        assert main([*self.SWEEP, "--telemetry", str(trace), "--quiet"]) == 0
+        captured = capsys.readouterr()
+        assert "telemetry trace written" not in captured.err
+        assert trace.exists()  # quiet mutes the message, not the trace
+        assert "1 computed" in captured.out  # tables always print
+
+    def test_telemetry_off_by_default(self, capsys):
+        from repro import telemetry
+
+        assert main(self.SWEEP) == 0
+        capsys.readouterr()
+        assert not telemetry.enabled()
+
+
 class TestEndToEnd:
     """The paper's headline claims on a 6-qubit device (fast subset)."""
 

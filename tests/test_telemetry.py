@@ -1,0 +1,307 @@
+"""Telemetry core: spans, counters, capture/merge, trace files, logger."""
+
+import json
+
+import pytest
+
+from repro import telemetry
+from repro.campaigns.spec import Cell
+from repro.campaigns.store import ResultStore
+from repro.telemetry import core as tcore
+from repro.telemetry import log as tlog
+
+
+@pytest.fixture(autouse=True)
+def _clean_telemetry(monkeypatch):
+    """Every test starts disabled and empty, and leaves no global state.
+
+    ``enable()`` exports ``REPRO_TELEMETRY=1`` (so campaign workers
+    inherit collection); restoring the environment here keeps telemetry
+    tests from leaking collection into unrelated tests.
+    """
+    monkeypatch.delenv(tcore.ENV_TELEMETRY, raising=False)
+    telemetry.disable()
+    telemetry.reset()
+    tlog.configure(0)
+    yield
+    telemetry.disable()
+    telemetry.reset()
+    tlog.configure(0)
+
+
+class TestSpans:
+    def test_nesting_builds_slash_paths(self):
+        telemetry.enable()
+        with telemetry.span("outer"):
+            with telemetry.span("inner"):
+                pass
+            with telemetry.span("inner"):
+                pass
+        snap = telemetry.snapshot()
+        paths = {s["path"]: s for s in snap["spans"]}
+        assert set(paths) == {"outer", "outer/inner"}
+        assert paths["outer"]["count"] == 1
+        assert paths["outer/inner"]["count"] == 2
+        # Parent wall time includes its children.
+        assert paths["outer"]["total_s"] >= paths["outer/inner"]["total_s"]
+
+    def test_exception_marks_error_and_propagates(self):
+        telemetry.enable()
+        with pytest.raises(RuntimeError, match="boom"):
+            with telemetry.span("failing"):
+                raise RuntimeError("boom")
+        (span_data,) = telemetry.snapshot()["spans"]
+        assert span_data["errors"] == 1
+        # The stack unwound: a later span is a root, not a child.
+        with telemetry.span("after"):
+            pass
+        assert {s["path"] for s in telemetry.snapshot()["spans"]} == {
+            "failing",
+            "after",
+        }
+
+    def test_group_separates_percentile_buckets(self):
+        telemetry.enable()
+        with telemetry.span("cell", group="a"):
+            pass
+        with telemetry.span("cell", group="b"):
+            pass
+        groups = {s["group"] for s in telemetry.snapshot()["spans"]}
+        assert groups == {"a", "b"}
+
+    def test_observe_records_like_a_span(self):
+        telemetry.enable()
+        telemetry.observe("queue_wait", 1.5)
+        (span_data,) = telemetry.snapshot()["spans"]
+        assert span_data["path"] == "queue_wait"
+        assert span_data["total_s"] == 1.5
+
+    def test_duration_retention_is_bounded(self):
+        stats = tcore.SpanStats()
+        for _ in range(tcore.MAX_DURATIONS + 10):
+            stats.add(0.001)
+        assert len(stats.durations) == tcore.MAX_DURATIONS
+        assert stats.count == tcore.MAX_DURATIONS + 10
+        assert stats.truncated
+
+
+class TestDisabled:
+    def test_span_is_shared_noop_singleton(self):
+        assert telemetry.span("a") is telemetry.span("b")
+        assert telemetry.span("a") is tcore._NULL_SPAN
+
+    def test_nothing_is_recorded(self):
+        with telemetry.span("a"):
+            telemetry.counter("c")
+            telemetry.gauge("g", 1.0)
+            telemetry.observe("o", 0.5)
+        snap = telemetry.snapshot()
+        assert snap["spans"] == []
+        assert snap["counters"] == {}
+        assert snap["gauges"] == {}
+
+    def test_capture_snapshots_to_none(self):
+        with telemetry.capture() as cap:
+            with telemetry.span("a"):
+                pass
+        assert cap.collector is None
+        assert cap.snapshot() is None
+
+    def test_merge_snapshot_is_noop(self):
+        telemetry.merge_snapshot({"counters": {"c": 3}})
+        assert telemetry.snapshot()["counters"] == {}
+
+    def test_env_enables_collection(self, monkeypatch, tmp_path):
+        monkeypatch.setenv(tcore.ENV_TELEMETRY, "1")
+        tcore._init_from_env()
+        assert telemetry.enabled()
+        assert telemetry.trace_path() is None
+        telemetry.disable()
+        trace = tmp_path / "t.jsonl"
+        monkeypatch.setenv(tcore.ENV_TELEMETRY, str(trace))
+        tcore._init_from_env()
+        assert telemetry.enabled()
+        assert telemetry.trace_path() == trace
+
+
+class TestCaptureAndMerge:
+    def test_capture_tees_into_global_trace(self):
+        telemetry.enable()
+        with telemetry.capture() as cap:
+            with telemetry.span("a"):
+                telemetry.counter("c", 2)
+        assert cap.snapshot() == telemetry.snapshot()
+
+    def test_capture_scopes_to_its_block(self):
+        telemetry.enable()
+        with telemetry.span("before"):
+            pass
+        with telemetry.capture() as cap:
+            with telemetry.span("during"):
+                pass
+        with telemetry.span("after"):
+            pass
+        assert {s["path"] for s in cap.snapshot()["spans"]} == {"during"}
+
+    def test_merge_is_order_independent(self):
+        telemetry.enable()
+        snap_a = {
+            "spans": [
+                {
+                    "path": "p",
+                    "group": "",
+                    "count": 2,
+                    "total_s": 1.0,
+                    "min_s": 0.4,
+                    "max_s": 0.6,
+                    "errors": 1,
+                    "durations_s": [0.4, 0.6],
+                }
+            ],
+            "counters": {"c": 3},
+            "gauges": {"g": 2.0},
+        }
+        snap_b = {
+            "spans": [
+                {
+                    "path": "p",
+                    "group": "",
+                    "count": 1,
+                    "total_s": 0.2,
+                    "min_s": 0.2,
+                    "max_s": 0.2,
+                    "errors": 0,
+                    "durations_s": [0.2],
+                }
+            ],
+            "counters": {"c": 4, "d": 1},
+            "gauges": {"g": 5.0},
+        }
+        ab, ba = tcore.Collector(), tcore.Collector()
+        ab.merge_snapshot(snap_a)
+        ab.merge_snapshot(snap_b)
+        ba.merge_snapshot(snap_b)
+        ba.merge_snapshot(snap_a)
+        merged = ab.snapshot()
+        (span_data,) = merged["spans"]
+        assert span_data["count"] == 3
+        assert span_data["total_s"] == pytest.approx(1.2)
+        assert span_data["min_s"] == 0.2
+        assert span_data["max_s"] == 0.6
+        assert span_data["errors"] == 1
+        assert merged["counters"] == {"c": 7, "d": 1}
+        assert merged["gauges"] == {"g": 5.0}  # gauges keep the max
+        # Deterministic: the same pair merged in either order agrees
+        # (durations may differ in order past the cap; not below it).
+        assert merged["counters"] == ba.snapshot()["counters"]
+        assert sorted(merged["spans"][0]["durations_s"]) == sorted(
+            ba.snapshot()["spans"][0]["durations_s"]
+        )
+
+    def test_merge_lands_in_active_captures(self):
+        telemetry.enable()
+        with telemetry.capture() as cap:
+            telemetry.merge_snapshot({"counters": {"c": 2}})
+        assert cap.snapshot()["counters"] == {"c": 2}
+        assert telemetry.snapshot()["counters"] == {"c": 2}
+
+
+class TestTraceFile:
+    def test_round_trip(self, tmp_path):
+        telemetry.enable()
+        with telemetry.span("outer"):
+            with telemetry.span("inner"):
+                pass
+        telemetry.counter("hits", 3)
+        telemetry.gauge("workers", 4)
+        path = telemetry.write_trace(tmp_path / "trace.jsonl")
+        loaded = telemetry.read_trace(path)
+        assert loaded["meta"]["format"] == tcore.TRACE_FORMAT
+        assert {s["path"] for s in loaded["spans"]} == {"outer", "outer/inner"}
+        assert loaded["counters"] == {"hits": 3}
+        assert loaded["gauges"] == {"workers": 4}
+
+    def test_write_without_path_returns_none(self):
+        telemetry.enable()  # no trace path configured
+        assert telemetry.write_trace() is None
+
+    def test_newer_format_is_rejected(self, tmp_path):
+        path = tmp_path / "future.jsonl"
+        path.write_text(
+            json.dumps({"type": "meta", "format": tcore.TRACE_FORMAT + 1})
+            + "\n"
+        )
+        with pytest.raises(ValueError, match="newer"):
+            telemetry.read_trace(path)
+
+
+class TestStoreBackCompat:
+    CELL = Cell(benchmark="HS", num_qubits=4, config="gau+par")
+
+    def test_disabled_records_keep_historical_layout(self, tmp_path):
+        store = ResultStore(tmp_path / "store.jsonl")
+        record = store.put(
+            self.CELL, {"fidelity": 0.9}, fingerprint="f", elapsed_s=0.1
+        )
+        # The exact historical key set — telemetry must not add fields
+        # when collection is off.
+        assert set(record) == {
+            "key",
+            "fingerprint",
+            "cell",
+            "result",
+            "elapsed_s",
+            "timestamp",
+            "format",
+        }
+
+    def test_telemetry_rides_along_when_present(self, tmp_path):
+        store = ResultStore(tmp_path / "store.jsonl")
+        snap = {"counters": {"c": 1}, "spans": [], "gauges": {}}
+        store.put(
+            self.CELL,
+            {"fidelity": 0.9},
+            fingerprint="f",
+            telemetry=snap,
+        )
+        reloaded = ResultStore(store.path).load()
+        (record,) = reloaded.records()
+        assert record["telemetry"] == snap
+
+    def test_old_records_without_telemetry_load(self, tmp_path):
+        store = ResultStore(tmp_path / "store.jsonl")
+        store.put(self.CELL, {"fidelity": 0.9}, fingerprint="f")
+        reloaded = ResultStore(store.path).load()
+        (record,) = reloaded.records()
+        assert "telemetry" not in record
+        assert record["result"] == {"fidelity": 0.9}
+
+
+class TestLogger:
+    def test_message_then_fields_on_stderr(self, capsys):
+        tlog.get_logger("t").info("something happened", cells=4, store="x")
+        captured = capsys.readouterr()
+        assert captured.out == ""
+        assert captured.err == "something happened cells=4 store=x\n"
+
+    def test_quiet_suppresses_info_not_warnings(self, capsys):
+        tlog.configure(-1)
+        logger = tlog.get_logger("t")
+        logger.info("chatty")
+        logger.warning("important")
+        logger.error("broken")
+        err = capsys.readouterr().err
+        assert "chatty" not in err
+        assert "important" in err
+        assert "broken" in err
+
+    def test_debug_needs_verbose(self, capsys):
+        logger = tlog.get_logger("t")
+        logger.debug("details")
+        assert "details" not in capsys.readouterr().err
+        tlog.configure(1)
+        logger.debug("details")
+        assert "details" in capsys.readouterr().err
+
+    def test_get_logger_is_cached(self):
+        assert tlog.get_logger("same") is tlog.get_logger("same")

@@ -2,7 +2,7 @@
 """Dump microbenchmark timings to ``BENCH_<n>.json`` for trend tracking.
 
 Runs the microbenchmark suites (``benchmarks/bench_micro.py``, the
-campaign serial-vs-parallel throughput bench
+campaign cost-model-dispatch bench (uniform + skewed grids)
 ``benchmarks/bench_campaign.py``, the layer-walk cached-vs-uncached
 bench ``benchmarks/bench_executor.py``, and the scheduler-scale compile
 bench ``benchmarks/bench_sched_scale.py``) through pytest-benchmark, extracts
@@ -93,6 +93,14 @@ def main(argv=None) -> int:
                 "min_s": b["stats"]["min"],
                 "stddev_s": b["stats"]["stddev"],
                 "rounds": b["stats"]["rounds"],
+                # Host-dependent context a benchmark chose to record —
+                # e.g. the campaign bench stores its dispatch decision,
+                # so a "slow" snapshot on a 1-core runner is legible.
+                **(
+                    {"extra_info": b["extra_info"]}
+                    if b.get("extra_info")
+                    else {}
+                ),
             }
             for b in data.get("benchmarks", [])
         },

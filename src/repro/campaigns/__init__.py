@@ -9,10 +9,17 @@ seeds.  This subsystem turns that grid into first-class objects:
   :class:`ResultStore` keyed by content hash + library fingerprint, so
   campaigns resume after interruption and skip completed cells;
 - :mod:`repro.campaigns.runner` — :func:`run_campaign`, a process-pool
-  engine with chunked dispatch and per-worker warm caches whose
-  ``workers=1`` path is bit-identical to the inline experiment loops;
+  engine with cost-model dispatch (fan out only when it pays),
+  fork-warm caches, and longest-job-first submission, whose serial
+  path is bit-identical to the inline experiment loops;
+- :mod:`repro.campaigns.costmodel` — per-cell cost estimates (calibrated
+  from stored timings) behind the serial/parallel decision;
 - :mod:`repro.campaigns.report` — pivots stored cells back into
   :class:`~repro.experiments.result.ExperimentResult` tables.
+
+Multi-machine scale-out: ``SweepSpec`` grids shard deterministically
+(:class:`Shard` / :func:`shard_of`) and shard stores merge back into one
+(:func:`merge_stores`), bit-identical to a single-machine run.
 
 Quickstart::
 
@@ -24,6 +31,12 @@ Quickstart::
     print(sweep_table(spec, campaign).render())
 """
 
+from repro.campaigns.costmodel import (
+    CostCalibration,
+    DispatchDecision,
+    decide_dispatch,
+    estimate_cost,
+)
 from repro.campaigns.fingerprint import library_fingerprint
 from repro.campaigns.report import (
     campaign_results,
@@ -46,11 +59,18 @@ from repro.campaigns.spec import (
     Cell,
     DeviceSpec,
     RetryPolicy,
+    Shard,
     SweepSpec,
     cell_key,
     paper_sizes,
+    shard_of,
 )
-from repro.campaigns.store import ResultStore
+from repro.campaigns.store import (
+    ResultStore,
+    StoreMergeError,
+    merge_stores,
+    semantic_record,
+)
 
 __all__ = [
     "BACKENDS",
@@ -60,17 +80,26 @@ __all__ = [
     "CampaignResult",
     "Cell",
     "CellOutcome",
+    "CostCalibration",
     "DeviceSpec",
+    "DispatchDecision",
     "ResultStore",
     "RetryPolicy",
+    "Shard",
+    "StoreMergeError",
     "SweepSpec",
     "campaign_results",
     "cell_key",
+    "decide_dispatch",
+    "estimate_cost",
     "evaluate_cell",
     "library_fingerprint",
+    "merge_stores",
     "paper_sizes",
     "report_from_store",
     "run_campaign",
+    "semantic_record",
+    "shard_of",
     "store_summary",
     "supervised_evaluate",
     "sweep_table",

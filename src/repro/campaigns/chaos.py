@@ -299,6 +299,10 @@ def _scenarios(out_dir: Path, fingerprint: str, workers: int, baseline_store):
                 workers=max(2, workers),
                 fingerprint=fingerprint,
                 policy=CHAOS_POLICY,
+                # Force a real pool: auto dispatch may pick serial on a
+                # small grid, and the kill fault must land in a worker —
+                # in the chaos harness itself it would end the run.
+                dispatch="parallel",
             )
         problems = convergence_problems(store, baseline)
         if campaign.failed:

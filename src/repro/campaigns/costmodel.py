@@ -1,0 +1,297 @@
+"""Cost-model-driven campaign dispatch: when does fan-out actually pay?
+
+BENCH_2 showed a 4-worker campaign *losing* to serial (22.78s vs 22.13s)
+because the pool was spawned unconditionally — on a 1-core container the
+workers time-slice one CPU while each pays its own cold-cache warmup.
+This module makes dispatch a *decision* instead of a default:
+
+- :func:`estimate_cost` predicts one cell's evaluation time from its
+  content (backend, circuit size, device topology, kind).  The heuristic
+  constants are deliberately coarse — ordinal accuracy is all dispatch
+  needs — and are overridden whenever the result store already holds
+  timings for cells with the same cost features
+  (:class:`CostCalibration`), so a resumed or neighboring campaign
+  dispatches on *measured* numbers.
+- :func:`decide_dispatch` compares the predicted serial wall time against
+  the predicted parallel wall time (spawn + warmup + the longest-job /
+  even-split bound) over the *usable* cores and picks the cheaper side.
+  Requesting ``--workers 4`` on a 1-core box now yields a deliberate
+  serial fast path, with the reasoning recorded on the campaign result.
+- :func:`order_longest_first` sorts pending cells into a longest-job-first
+  queue.  The pool's workers pull cells as they free up, so LJF submission
+  is work stealing for skewed grids: the expensive osprey/12-qubit cells
+  start immediately and the cheap cells fill the tail, instead of a big
+  cell landing last and serializing the final stretch.  Store contents
+  are content-keyed, so evaluation order never changes any record.
+
+Everything here is pure and deterministic: same cells + same calibration
+records -> same estimates, same decision, same order.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+from repro.campaigns.spec import Cell, default_backend
+from repro.campaigns.store import record_status
+
+# -- heuristic constants ----------------------------------------------------
+# Rough per-unit costs in seconds, fitted against measured cell timings
+# on the reference container (QFT gau+par: 0.28s at 4q -> 3.4s at 12q;
+# pert+zzx ~3.6x that at 10q).  The statevector walk applies small
+# per-layer unitaries, so its cost grows roughly with layers x gates ~
+# n**2 at paper sizes — NOT 2**n; only the exact density walk pays the
+# exponential.  These only need to rank cells and clear the
+# serial/parallel crossover; store calibration supplies precision.
+
+#: Statevector cost per n**2 unit (layer count x gates per layer).
+SV_UNIT_S = 0.018
+#: Extra simulation factor for ZZX schedules (suppression layers make
+#: deeper schedules than the par baseline, plus the plan search itself).
+ZZX_SIM_FACTOR = 3.0
+#: Density-matrix cost per 4**n element unit (exact T1/T2 walk).
+DM_UNIT_S = 0.004
+#: Per-trajectory fraction of the equivalent statevector run.
+TRAJECTORY_FACTOR = 0.7
+#: Scheduling cost per device-qubit^1.5 (plan search + layer assembly).
+SCHED_UNIT_S = 5e-4
+#: Floor for any evaluation (dispatch, bookkeeping, tiny analysis).
+MIN_CELL_S = 0.01
+
+#: One-time pool creation cost (measured ~1-50ms; keep slack for CI).
+SPAWN_COST_S = 0.1
+#: Per-pool residual worker warmup.  Fork-warm caches make this near
+#: zero on fork platforms; the constant keeps margin for spawn starts.
+WORKER_WARMUP_S = 0.15
+#: Required predicted win before fanning out: parallel must beat serial
+#: by this factor, because the estimates are coarse and losing by a
+#: little (the BENCH_2 regression) is worse than winning by a little.
+PARALLEL_MARGIN = 1.2
+#: Grids predicted to finish faster than this never fan out — the spawn
+#: and warmup costs cannot amortize, and estimate noise dominates.
+MIN_PARALLEL_TOTAL_S = 3.0
+
+
+def available_cores() -> int:
+    """CPUs this process may actually run on (affinity-aware)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux fallback
+        return os.cpu_count() or 1
+
+
+def cost_features(payload: dict) -> tuple:
+    """The feature bucket a cell's cost is keyed by (payload form).
+
+    Two cells with equal features are assumed to cost the same: identical
+    kind, backend, benchmark, circuit size, device shape, and trajectory
+    count.  Device/circuit seeds are deliberately excluded — a different
+    crosstalk sample does not change the simulation dimension.
+    """
+    device = payload.get("device", {})
+    kind = payload.get("kind", "statevector")
+    return (
+        kind,
+        payload.get("backend", default_backend(kind)),
+        payload["benchmark"],
+        payload["num_qubits"],
+        device.get("family", "grid"),
+        device.get("rows"),
+        device.get("cols"),
+        payload.get("trajectories"),
+    )
+
+
+def _device_qubits(cell: Cell) -> int:
+    return cell.device.num_qubits
+
+
+def heuristic_cost(cell: Cell) -> float:
+    """Model-predicted evaluation seconds for one cell (no calibration)."""
+    n = cell.num_qubits
+    sched = MIN_CELL_S
+    if cell.scheduler == "zzx":
+        sched += SCHED_UNIT_S * _device_qubits(cell) ** 1.5
+    if cell.kind in ("exec_time", "couplings"):
+        return sched
+    sv = SV_UNIT_S * n * n
+    if cell.scheduler == "zzx":
+        sv *= ZZX_SIM_FACTOR
+    if cell.backend == "density":
+        sim = DM_UNIT_S * 4.0**n
+    elif cell.backend == "trajectories":
+        sim = TRAJECTORY_FACTOR * (cell.trajectories or 1) * sv
+    else:
+        sim = sv
+    return sched + sim
+
+
+class CostCalibration:
+    """Mean measured cost per feature bucket, mined from store records.
+
+    ``elapsed_s`` of successful records is exactly the quantity the model
+    predicts, so a store populated by any earlier (or sharded, or
+    neighboring) campaign calibrates this one for free.  Unknown buckets
+    fall back to :func:`heuristic_cost`.
+    """
+
+    def __init__(self, means: dict[tuple, float] | None = None):
+        self._means = means or {}
+
+    def __len__(self) -> int:
+        return len(self._means)
+
+    @classmethod
+    def from_records(cls, records) -> "CostCalibration":
+        sums: dict[tuple, list[float]] = {}
+        for record in records:
+            if record_status(record) != "ok" or "cell" not in record:
+                continue
+            elapsed = record.get("elapsed_s")
+            if not elapsed or elapsed <= 0:
+                continue
+            try:
+                key = cost_features(record["cell"])
+            except KeyError:
+                continue
+            sums.setdefault(key, []).append(float(elapsed))
+        return cls(
+            {key: sum(values) / len(values) for key, values in sums.items()}
+        )
+
+    def estimate(self, cell: Cell) -> float:
+        """Measured mean for the cell's bucket, else the heuristic."""
+        mean = self._means.get(cost_features(cell.payload()))
+        if mean is not None:
+            return max(MIN_CELL_S, mean)
+        return heuristic_cost(cell)
+
+
+#: The no-data calibration (pure heuristics).
+EMPTY_CALIBRATION = CostCalibration()
+
+
+def estimate_cost(
+    cell: Cell, calibration: CostCalibration | None = None
+) -> float:
+    """Predicted evaluation seconds for ``cell``."""
+    return (calibration or EMPTY_CALIBRATION).estimate(cell)
+
+
+def order_longest_first(
+    cells, calibration: CostCalibration | None = None
+) -> list[Cell]:
+    """Cost-sorted longest-job-first queue order (deterministic, stable).
+
+    Ties keep the input order, so two runs of the same campaign submit
+    identically.
+    """
+    calibration = calibration or EMPTY_CALIBRATION
+    indexed = list(enumerate(cells))
+    indexed.sort(key=lambda item: (-calibration.estimate(item[1]), item[0]))
+    return [cell for _, cell in indexed]
+
+
+DISPATCH_MODES = ("auto", "serial", "parallel")
+
+
+@dataclass(frozen=True)
+class DispatchDecision:
+    """What the cost model decided for one campaign run.
+
+    ``workers`` is the effective worker count (1 = serial); ``mode`` is
+    ``"serial"`` or ``"parallel"``; ``reason`` is the one-line account
+    surfaced on the campaign result and in sweep-table notes.
+    """
+
+    workers: int
+    mode: str
+    reason: str
+    est_serial_s: float = 0.0
+    est_parallel_s: float = 0.0
+
+    @property
+    def serial(self) -> bool:
+        return self.workers <= 1
+
+
+def decide_dispatch(
+    cells,
+    requested_workers: int,
+    *,
+    calibration: CostCalibration | None = None,
+    cores: int | None = None,
+    dispatch: str = "auto",
+) -> DispatchDecision:
+    """Pick serial or parallel execution for ``cells``.
+
+    ``dispatch="serial"``/``"parallel"`` forces the mode (the chaos
+    harness and benchmarks need a real pool regardless of the model);
+    ``"auto"`` runs the cost comparison described in the module docs.
+    ``cores`` overrides core detection (tests; multi-machine planning).
+    """
+    if dispatch not in DISPATCH_MODES:
+        raise ValueError(
+            f"unknown dispatch mode {dispatch!r}; known: {DISPATCH_MODES}"
+        )
+    cells = list(cells)
+    calibration = calibration or EMPTY_CALIBRATION
+    if dispatch == "serial":
+        return DispatchDecision(1, "serial", "serial dispatch forced")
+    if requested_workers <= 1:
+        return DispatchDecision(1, "serial", "workers=1 requested")
+    if len(cells) <= 1:
+        return DispatchDecision(
+            1, "serial", f"{len(cells)} pending cell(s) — nothing to fan out"
+        )
+    if dispatch == "parallel":
+        workers = min(requested_workers, len(cells))
+        return DispatchDecision(
+            workers, "parallel", "parallel dispatch forced"
+        )
+    cores = cores if cores is not None else available_cores()
+    effective = min(requested_workers, cores, len(cells))
+    costs = [calibration.estimate(cell) for cell in cells]
+    est_serial = sum(costs)
+    if effective <= 1:
+        return DispatchDecision(
+            1,
+            "serial",
+            f"{cores} usable core(s) — a pool would time-slice one CPU",
+            est_serial_s=est_serial,
+        )
+    # Parallel wall time is bounded below by the longest single cell and
+    # by the even split; LJF submission gets close to that bound.
+    est_parallel = (
+        SPAWN_COST_S
+        + WORKER_WARMUP_S
+        + max(max(costs), est_serial / effective)
+    )
+    if est_serial < MIN_PARALLEL_TOTAL_S:
+        return DispatchDecision(
+            1,
+            "serial",
+            f"est {est_serial:.1f}s of cell work — too small to amortize "
+            "pool spawn/warmup",
+            est_serial_s=est_serial,
+            est_parallel_s=est_parallel,
+        )
+    if est_serial > PARALLEL_MARGIN * est_parallel:
+        return DispatchDecision(
+            effective,
+            "parallel",
+            f"est {est_serial:.1f}s serial vs {est_parallel:.1f}s on "
+            f"{effective} worker(s)",
+            est_serial_s=est_serial,
+            est_parallel_s=est_parallel,
+        )
+    return DispatchDecision(
+        1,
+        "serial",
+        f"est {est_serial:.1f}s serial vs {est_parallel:.1f}s on "
+        f"{effective} worker(s) — predicted win below the "
+        f"{PARALLEL_MARGIN}x margin",
+        est_serial_s=est_serial,
+        est_parallel_s=est_parallel,
+    )

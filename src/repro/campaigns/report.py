@@ -47,6 +47,7 @@ def campaign_results(
     workers: int = 1,
     fingerprint: str | None = None,
     policy: RetryPolicy | None = None,
+    dispatch: str = "auto",
 ) -> CampaignResult:
     """Run (or resume) a campaign; the figure modules' single entry point."""
     return run_campaign(
@@ -55,6 +56,7 @@ def campaign_results(
         workers=workers,
         fingerprint=fingerprint,
         policy=policy,
+        dispatch=dispatch,
     )
 
 
@@ -123,7 +125,14 @@ def sweep_table(spec: SweepSpec, campaign: CampaignResult) -> ExperimentResult:
     if spec.backend != "statevector":
         title += f" [backend={spec.backend}]"
     notes = f"{campaign.summary} | {_device_note(spec)}"
-    if campaign.workers > 1 and campaign.computed:
+    if campaign.downgraded:
+        # A requested fan-out the cost model declined: say why, so a
+        # "--workers 4 but it ran serial" report is self-explaining.
+        notes += (
+            f" | serial by cost model ({campaign.dispatch_reason}; "
+            f"requested workers={campaign.requested_workers})"
+        )
+    elif campaign.workers > 1 and campaign.computed:
         # Make the serial-vs-parallel crossover visible: how much wall
         # time went to spawn/warmup/dispatch instead of evaluation.
         notes += f" | {campaign.overhead_note}"

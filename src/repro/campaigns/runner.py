@@ -6,23 +6,34 @@ already holds, evaluates the rest, and returns records in the *original
 cell order* regardless of completion order — parallel runs are
 reproducible and byte-compatible with serial ones.
 
-Two dispatch paths:
+Dispatch is a *decision*, not a default (``dispatch="auto"``): the cost
+model (:mod:`repro.campaigns.costmodel`) estimates serial vs parallel
+wall time — calibrated from ``elapsed_s`` of prior store records when
+available — and only fans out when the model predicts a real win on the
+cores this process can actually use.  The decision and its reasoning
+land on :attr:`CampaignResult.dispatch` / ``dispatch_reason``.
 
-- ``workers=1`` (default) evaluates in-process through this module's
-  warm caches — which the experiments harness (``experiments/common.py``)
-  also delegates to, so the serial path is bit-identical to the
-  historical inline loops and nothing is compiled or sampled twice;
-- ``workers>1`` fans cells out over a
-  :class:`~concurrent.futures.ProcessPoolExecutor`.  Each worker process
-  keeps its own warm device/pulse-library/schedule caches (the pool
-  initializer pre-builds the pulse libraries the campaign needs), so the
-  per-cell cost after warm-up is the simulation itself.  Dispatch and
-  persistence are *per cell*: every completed cell is appended to the
-  store the moment it lands, so a killed campaign — or a killed worker —
-  loses at most the cells that were actually in flight.
+- the serial path evaluates in-process through this module's warm
+  caches — which the experiments harness (``experiments/common.py``)
+  also delegates to, so it is bit-identical to the historical inline
+  loops and nothing is compiled or sampled twice;
+- the parallel path fans cells out over a
+  :class:`~concurrent.futures.ProcessPoolExecutor` in longest-job-first
+  order (cost-sorted, so workers pulling from the queue steal the cheap
+  tail while the expensive cells run — skewed grids keep every worker
+  busy).  Before the pool spawns, the *parent* pre-warms the shared
+  caches (pulse libraries, devices, plan cache, simulation schedules):
+  on fork-start platforms workers inherit every warm cache for free; on
+  spawn-start platforms the initializer ships a serialized plan-cache
+  snapshot instead.  Dispatch and persistence are *per cell*: every
+  completed cell is appended to the store the moment it lands, so a
+  killed campaign — or a killed worker — loses at most the cells that
+  were actually in flight.
 
 Numerically the two paths are identical: every worker executes the same
-pure evaluation function on the same inputs.
+pure evaluation function on the same inputs, and all caches are keyed
+by content (plans, devices, schedules are pure functions of their key),
+so warm-vs-cold can change timing only, never a record.
 
 Both paths run under *supervision* (:func:`supervised_evaluate`): each
 cell gets a configurable wall-clock timeout, bounded retries with
@@ -38,6 +49,8 @@ degrades to serial execution rather than giving up.
 
 from __future__ import annotations
 
+import multiprocessing
+import os
 import signal
 import threading
 import time
@@ -48,6 +61,12 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from functools import lru_cache
 
+from repro.campaigns.costmodel import (
+    CostCalibration,
+    DispatchDecision,
+    decide_dispatch,
+    order_longest_first,
+)
 from repro.campaigns.faults import maybe_fault
 from repro.campaigns.fingerprint import library_fingerprint
 from repro.campaigns.spec import (
@@ -418,17 +437,109 @@ class _FailureTracker:
 #: stops respawning it and finishes the campaign serially.
 MAX_POOL_RESPAWNS = 2
 
+#: Env knob: ``REPRO_COLD_WORKERS=1`` disables the parent pre-warm and
+#: makes every pool worker clear its (possibly fork-inherited) caches —
+#: i.e. the pre-PR cold-start behavior.  Exists so CI and benchmarks can
+#: measure the warm-fork win as an A/B on the same grid.
+COLD_WORKERS_ENV = "REPRO_COLD_WORKERS"
+
+
+def _cold_workers() -> bool:
+    return os.environ.get(COLD_WORKERS_ENV, "") not in ("", "0")
+
+
+def _clear_warm_caches() -> None:
+    """Reset every per-process warm cache to the cold-start state."""
+    from repro.pulses.library import _read_cache_file
+
+    SHARED_PLAN_CACHE.clear()
+    cached_topology.cache_clear()
+    cached_device.cache_clear()
+    cached_library.cache_clear()
+    _cached_compiled.cache_clear()
+    _cached_schedule.cache_clear()
+    _read_cache_file.cache_clear()
+
+
+#: Kinds whose cost *is* the scheduling analysis — pre-computing their
+#: schedules in the parent would serialize the whole campaign, so the
+#: parent pre-warm skips them (the plan cache still carries over).
+_SCHED_DOMINANT_KINDS = ("exec_time", "couplings")
+
+
+def _prewarm_parent(pending: list[Cell]) -> None:
+    """Warm the shared caches in the parent before the pool forks.
+
+    On fork-start platforms (Linux default) every worker inherits these
+    caches at zero cost, which is what eliminates the per-worker
+    plan-miss blowup (13 -> 39 at 4 workers on the bench grid).  Pulse
+    libraries and devices are warmed for all cells; compile+schedule
+    (which populates ``SHARED_PLAN_CACHE``) only for simulation-kind
+    cells, where scheduling is warmup rather than the measured work —
+    and deduplicated by schedule signature, so the parent schedules each
+    distinct (circuit, topology, scheduler) once, not once per seed.
+    """
+    with span("campaign.prewarm"):
+        for method in sorted({cell.method for cell in pending}):
+            cached_library(method)
+        for spec in {cell.device for cell in pending}:
+            cached_device(spec)
+        scheduled: set[tuple] = set()
+        for cell in pending:
+            if cell.kind in _SCHED_DOMINANT_KINDS:
+                continue
+            signature = (
+                cell.benchmark,
+                cell.num_qubits,
+                cell.circuit_seed,
+                cell.device.family,
+                cell.device.rows,
+                cell.device.cols,
+                cell.scheduler,
+                cell.zzx,
+            )
+            if signature not in scheduled:
+                scheduled.add(signature)
+                schedule_for_cell(cell)
+
+
+def _plan_snapshot_for_workers() -> tuple | None:
+    """The plan-cache snapshot to ship via the pool initializer.
+
+    Only needed on spawn-start platforms — forked workers inherit
+    ``SHARED_PLAN_CACHE`` directly, and shipping a copy would just tax
+    pickling.
+    """
+    if multiprocessing.get_start_method() == "fork":
+        return None
+    return SHARED_PLAN_CACHE.export()
+
 
 #: Snapshot of this worker's one-time warmup cost, consumed by (attached
 #: to) the first cell the worker evaluates.
 _WORKER_WARMUP: dict | None = None
 
 
-def _warm_worker(methods: tuple[str, ...]) -> None:
-    """Pool initializer: pre-load the pulse libraries a campaign needs."""
+def _warm_worker(
+    methods: tuple[str, ...],
+    plan_snapshot: tuple | None = None,
+    cold: bool = False,
+) -> None:
+    """Pool initializer: make this worker's caches as warm as possible.
+
+    On fork platforms the caches arrive warm from the parent and the
+    library loop below is a no-op lookup; on spawn platforms the shipped
+    ``plan_snapshot`` seeds the plan cache and the libraries are built
+    here.  ``cold=True`` (the :data:`COLD_WORKERS_ENV` A/B) instead
+    clears everything inherited, reproducing pre-warm-fork behavior.
+    """
     global _WORKER_WARMUP
     with capture() as cap:
         with span("campaign.worker_warmup"):
+            if cold:
+                _clear_warm_caches()
+            elif plan_snapshot:
+                SHARED_PLAN_CACHE.absorb(plan_snapshot)
             for method in methods:
                 cached_library(method)
     _WORKER_WARMUP = cap.snapshot()
@@ -454,11 +565,18 @@ class CampaignResult:
     computed: int = 0
     cached: int = 0
     failed: int = 0
+    #: Effective worker count the dispatch decision settled on (1 = serial).
     workers: int = 1
     elapsed_s: float = 0.0
     #: Total wall time spent *inside* freshly computed cells (CPU-side
     #: work); the gap to ``elapsed_s`` is dispatch/spawn/warmup overhead.
     cell_seconds: float = 0.0
+    #: What was asked for (``--workers``) before the cost model weighed in.
+    requested_workers: int = 1
+    #: ``"serial"`` or ``"parallel"`` — the executed mode.
+    dispatch: str = "serial"
+    #: One-line account of why the cost model picked that mode.
+    dispatch_reason: str = ""
     _by_key: dict[str, dict] = field(default_factory=dict, repr=False)
 
     def __post_init__(self):
@@ -475,6 +593,11 @@ class CampaignResult:
     def failures(self) -> list[dict]:
         """The failure records of this run (empty when everything passed)."""
         return [r for r in self.records if record_status(r) != "ok"]
+
+    @property
+    def downgraded(self) -> bool:
+        """True when parallelism was requested but the model chose serial."""
+        return self.requested_workers > 1 and self.dispatch == "serial"
 
     @property
     def summary(self) -> str:
@@ -511,27 +634,30 @@ def run_campaign(
     store: ResultStore | None = None,
     *,
     workers: int = 1,
-    chunksize: int | None = None,
     fingerprint: str | None = None,
     policy: RetryPolicy | None = None,
+    dispatch: str = "auto",
 ) -> CampaignResult:
     """Evaluate every cell not already in ``store``; return ordered records.
 
     ``cells`` may be a :class:`SweepSpec` or any iterable of cells
     (duplicates are evaluated once).  ``store=None`` uses a throwaway
-    in-memory store.  ``workers=1`` is the exact serial path; ``workers>1``
-    dispatches cells to a process pool and appends each cell's record to
+    in-memory store.  ``workers`` is a *request*: under
+    ``dispatch="auto"`` the cost model compares predicted serial vs
+    parallel wall time (calibrated from the store's recorded timings)
+    and runs serially when fan-out would not pay — the decision lands on
+    the result's ``dispatch``/``dispatch_reason``.  ``dispatch="serial"``
+    / ``"parallel"`` force a mode (fault-injection harnesses need a real
+    pool regardless of the model).  The parallel path pre-warms the
+    shared caches in the parent (forked workers inherit them) and
+    dispatches cells longest-job-first, appending each cell's record to
     the store as it completes.  ``policy`` configures supervision
     (timeout, retries, quarantine, abort threshold); cells that fail
     past their retry budget become durable failure records, not crashes.
-    ``chunksize`` is accepted for backward compatibility but ignored —
-    dispatch and persistence are per-cell, so a dead worker can only
-    take its in-flight cells with it.
 
     Raises :class:`CampaignAbort` when ``policy.max_failures`` is
     exceeded (everything decided so far is already stored).
     """
-    del chunksize  # deprecated: per-cell dispatch made chunks obsolete
     if isinstance(cells, SweepSpec):
         cells = cells.cells()
     ordered: list[Cell] = []
@@ -548,11 +674,19 @@ def run_campaign(
     pending = store.pending(
         ordered, fingerprint, retry_quarantined=policy.retry_quarantined
     )
+    calibration = CostCalibration.from_records(store.records())
+    decision = decide_dispatch(
+        pending, workers, calibration=calibration, dispatch=dispatch
+    )
+    counter(f"campaign.dispatch.{decision.mode}")
     tracker = _FailureTracker(policy.max_failures)
-    if workers <= 1 or len(pending) <= 1:
+    if decision.serial:
         _run_serial(pending, store, fingerprint, policy, tracker)
     else:
-        _run_parallel(pending, store, workers, fingerprint, policy, tracker)
+        _run_parallel(
+            pending, store, decision, fingerprint, policy, tracker,
+            calibration=calibration,
+        )
 
     records = []
     failed = 0
@@ -574,9 +708,12 @@ def run_campaign(
         computed=len(pending),
         cached=len(ordered) - len(pending),
         failed=failed,
-        workers=max(1, workers),
+        workers=decision.workers,
         elapsed_s=time.perf_counter() - start,
         cell_seconds=cell_seconds,
+        requested_workers=max(1, workers),
+        dispatch=decision.mode,
+        dispatch_reason=decision.reason,
     )
 
 
@@ -598,29 +735,41 @@ def _run_serial(
 def _run_parallel(
     pending: list[Cell],
     store: ResultStore,
-    workers: int,
+    decision: DispatchDecision,
     fingerprint: str,
     policy: RetryPolicy,
     tracker: _FailureTracker,
+    calibration: CostCalibration | None = None,
 ) -> None:
     """Per-cell pool dispatch with broken-pool recovery.
 
-    A :class:`BrokenProcessPool` (worker SIGKILLed, OOMed, segfaulted)
-    loses only the results that had not been drained yet; the pool is
-    respawned and the cells without a stored outcome re-dispatched.
-    After :data:`MAX_POOL_RESPAWNS` breaks the remainder runs serially —
+    Cells are submitted in longest-job-first order (work stealing: pool
+    workers pull the next cell as they finish, so the cheap tail fills
+    in around the expensive heads).  A :class:`BrokenProcessPool`
+    (worker SIGKILLed, OOMed, segfaulted) loses only the results that
+    had not been drained yet; the pool is respawned and the cells
+    without a stored outcome re-dispatched.  After
+    :data:`MAX_POOL_RESPAWNS` breaks the remainder runs serially —
     progress beats parallelism.
     """
-    todo: dict[Cell, None] = dict.fromkeys(pending)  # insertion-ordered set
+    cold = _cold_workers()
+    if not cold:
+        _prewarm_parent(pending)
+    plan_snapshot = None if cold else _plan_snapshot_for_workers()
+    # LJF ordering only changes *when* a cell is evaluated; records are
+    # content-keyed, so store contents are identical under any order.
+    todo: dict[Cell, None] = dict.fromkeys(
+        order_longest_first(pending, calibration)
+    )
     methods = tuple(sorted({cell.method for cell in pending}))
     breaks = 0
     while todo:
         cells = list(todo)
         with span("campaign.pool_spawn"):
             pool = ProcessPoolExecutor(
-                max_workers=min(workers, len(cells)),
+                max_workers=min(decision.workers, len(cells)),
                 initializer=_warm_worker,
-                initargs=(methods,),
+                initargs=(methods, plan_snapshot, cold),
             )
         broken = False
         try:

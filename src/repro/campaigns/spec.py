@@ -335,6 +335,61 @@ class Cell:
         )
 
 
+def shard_of(cell: Cell, num_shards: int) -> int:
+    """Deterministic shard index of a cell, independent of fingerprint.
+
+    Hashes the canonical cell payload (not the store key), so the
+    partition depends only on the grid — two machines with different
+    pulse-library fingerprints still agree on who owns which cell, and
+    re-sharding after a library change is a no-op.
+    """
+    blob = json.dumps(cell.payload(), sort_keys=True, separators=(",", ":"))
+    digest = hashlib.sha256(blob.encode()).digest()
+    return int.from_bytes(digest[:8], "big") % num_shards
+
+
+@dataclass(frozen=True)
+class Shard:
+    """One machine's slice of a sharded campaign: ``index`` of ``count``."""
+
+    index: int
+    count: int
+
+    def __post_init__(self):
+        if self.count < 1:
+            raise ValueError("shard count must be >= 1")
+        if not 0 <= self.index < self.count:
+            raise ValueError(
+                f"shard index {self.index} out of range for {self.count} "
+                "shard(s) (indices are 0-based: 0/2 and 1/2 cover a "
+                "two-machine split)"
+            )
+
+    @staticmethod
+    def parse(text: str) -> "Shard":
+        """Parse the CLI spelling ``i/N`` (e.g. ``--shard 0/2``)."""
+        index, sep, count = text.partition("/")
+        try:
+            if not sep:
+                raise ValueError
+            return Shard(int(index), int(count))
+        except ValueError:
+            raise ValueError(
+                f"invalid shard {text!r}; expected i/N with 0 <= i < N "
+                "(e.g. 0/2)"
+            ) from None
+
+    def owns(self, cell: Cell) -> bool:
+        return shard_of(cell, self.count) == self.index
+
+    def select(self, cells) -> tuple[Cell, ...]:
+        """This shard's cells, in the original grid order."""
+        return tuple(cell for cell in cells if self.owns(cell))
+
+    def __str__(self) -> str:
+        return f"{self.index}/{self.count}"
+
+
 def cell_key(cell: Cell, fingerprint: str) -> str:
     """Content hash of a cell + code/data fingerprint — the store key.
 

@@ -28,6 +28,15 @@ Records carry a ``format`` version (:data:`STORE_FORMAT`).  Loading a file
 holding records from a *newer* format raises :class:`StoreFormatError`
 instead of guessing at their layout; the CLI surfaces that as a clear
 exit-2 error.
+
+Content keys also make stores *mergeable*: :func:`merge_stores` unions
+shard stores (from ``repro sweep --shard i/N`` runs on different
+machines) into one file by dedup-by-key concatenation.  Because every
+record is self-describing and keyed by content, the merged store is
+indistinguishable from one produced by a single-machine run of the full
+grid — the merge just refuses to mix fingerprints or formats
+(:class:`StoreMergeError`), since those records could never have come
+from one run.
 """
 
 from __future__ import annotations
@@ -249,3 +258,144 @@ class ResultStore:
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         where = str(self.path) if self.path else "<memory>"
         return f"ResultStore({where}, {len(self)} records)"
+
+
+# -- shard merging ----------------------------------------------------------
+
+#: Record fields that differ between two runs of the same computation
+#: (wall-clock measurements and traces); everything else is a pure
+#: function of the cell + fingerprint.
+VOLATILE_RECORD_FIELDS = ("elapsed_s", "timestamp", "telemetry")
+
+
+def semantic_record(record: dict) -> dict:
+    """The record minus its volatile (wall-clock) fields.
+
+    Two records are *the same result* iff their semantic forms are equal
+    — this is the equality the shard merge enforces, and what tests use
+    for "identical modulo timing" comparisons.
+    """
+    return {
+        k: v for k, v in record.items() if k not in VOLATILE_RECORD_FIELDS
+    }
+
+
+class StoreMergeError(RuntimeError):
+    """The input stores could not have come from one campaign.
+
+    Raised on mismatched fingerprints (different pulse libraries /
+    package versions), or when two inputs hold *semantically different*
+    records for the same key — both mean the shards were not slices of
+    the same run, and a silent union would fabricate a campaign that
+    never happened.  The CLI surfaces this as exit 2, like
+    :class:`StoreFormatError`.
+    """
+
+
+def _merge_pick(current: dict, incoming: dict, key: str) -> dict:
+    """Resolve two records for one key (disjoint shards never hit this).
+
+    A success beats a failure (the cell was retried successfully
+    elsewhere); two successes or two failures must agree semantically —
+    evaluation is deterministic, so disagreement means the inputs came
+    from different code or data.
+    """
+    current_ok = record_status(current) == "ok"
+    incoming_ok = record_status(incoming) == "ok"
+    if current_ok != incoming_ok:
+        return current if current_ok else incoming
+    if semantic_record(current) != semantic_record(incoming):
+        raise StoreMergeError(
+            f"conflicting records for key {key}: the inputs disagree on "
+            "the result of the same cell — these stores are not shards "
+            "of one campaign"
+        )
+    return current
+
+
+def merge_stores(
+    inputs, out: str | Path, *, expect_fingerprint: str | None = None
+) -> "MergeReport":
+    """Union shard stores into ``out`` (dedup-by-key concatenation).
+
+    ``inputs`` are paths of the shard stores; ``out`` is created (or
+    appended to — an existing output acts as one more input, so a merge
+    is resumable).  Records land in *key-sorted order*, so merging the
+    same shards in any order produces a byte-identical file.  All input
+    records must share one fingerprint (and a readable format — the
+    per-store :class:`StoreFormatError` propagates); pass
+    ``expect_fingerprint`` to additionally pin which one.
+    """
+    out = Path(out)
+    paths = [Path(p) for p in inputs]
+    missing = [str(p) for p in paths if not p.exists()]
+    if missing:
+        raise StoreMergeError(f"missing input store(s): {', '.join(missing)}")
+    merged: dict[str, dict] = {}
+    fingerprints: set[str] = set()
+    duplicates = 0
+    sources = list(paths)
+    if out.exists():
+        sources.insert(0, out)
+    for path in sources:
+        for record in ResultStore(path).records():
+            fp = record.get("fingerprint")
+            if fp is not None:
+                fingerprints.add(fp)
+            key = record["key"]
+            if key in merged:
+                duplicates += 1
+                merged[key] = _merge_pick(merged[key], record, key)
+            else:
+                merged[key] = record
+    if expect_fingerprint is not None:
+        fingerprints.add(expect_fingerprint)
+    if len(fingerprints) > 1:
+        raise StoreMergeError(
+            "fingerprint mismatch across inputs: "
+            f"{', '.join(sorted(fingerprints))} — these stores were "
+            "written by different pulse libraries / versions and their "
+            "records answer different questions; re-run the stale "
+            "shard(s) instead of merging"
+        )
+    existing = set()
+    if out.exists():
+        existing = {r["key"] for r in ResultStore(out).records()}
+    target = ResultStore(out)
+    added = 0
+    # Key-sorted writes make the output independent of input order; the
+    # append path reuses put_record, so tail repair applies to a
+    # half-written output from an interrupted earlier merge.
+    for key in sorted(merged):
+        if key not in existing:
+            target.put_record(merged[key])
+            added += 1
+    return MergeReport(
+        out=out,
+        inputs=tuple(paths),
+        records=len(merged),
+        added=added,
+        duplicates=duplicates,
+        fingerprint=next(iter(fingerprints)) if fingerprints else None,
+    )
+
+
+class MergeReport:
+    """What :func:`merge_stores` did, for CLI reporting."""
+
+    def __init__(self, *, out, inputs, records, added, duplicates, fingerprint):
+        self.out = out
+        self.inputs = inputs
+        self.records = records
+        self.added = added
+        self.duplicates = duplicates
+        self.fingerprint = fingerprint
+
+    @property
+    def summary(self) -> str:
+        return (
+            f"merged {len(self.inputs)} store(s) -> {self.out}: "
+            f"{self.records} record(s), {self.added} written, "
+            f"{self.duplicates} duplicate key(s)"
+            + (f" [fingerprint={self.fingerprint}]" if self.fingerprint else "")
+        )

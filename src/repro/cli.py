@@ -5,7 +5,11 @@ Subcommands:
 - ``run [ids|all]`` — reproduce paper experiments (the historical default;
   a bare ``python -m repro fig20`` still works);
 - ``sweep`` — execute a declarative campaign grid, resumably, across
-  worker processes;
+  worker processes (``--shard i/N`` runs one machine's deterministic
+  slice; ``--dispatch`` overrides the cost model's serial/parallel
+  decision);
+- ``merge`` — union shard stores into one file, bit-identical to a
+  single-machine run of the full grid;
 - ``report`` — re-render a stored sweep without computing anything;
 - ``list`` — list experiments, or summarize a result store;
 - ``verify`` — run N seeded differential-verification scenarios (random
@@ -49,7 +53,8 @@ from repro.telemetry import get_logger
 logger = get_logger(__name__)
 
 SUBCOMMANDS = (
-    "run", "sweep", "report", "list", "verify", "sched-bench", "chaos", "stats"
+    "run", "sweep", "merge", "report", "list", "verify", "sched-bench",
+    "chaos", "stats",
 )
 
 #: Where ``--telemetry`` without a path writes its trace.
@@ -162,6 +167,26 @@ def _add_campaign_arguments(parser: argparse.ArgumentParser) -> None:
         default=None,
         metavar="N",
         help="Monte Carlo sample count (trajectories backend only)",
+    )
+
+
+def _add_sweep_scale_arguments(parser: argparse.ArgumentParser) -> None:
+    """Scale-out knobs (sweep only)."""
+    from repro.campaigns.costmodel import DISPATCH_MODES
+
+    parser.add_argument(
+        "--dispatch",
+        default="auto",
+        choices=DISPATCH_MODES,
+        help="serial/parallel policy: 'auto' (default) lets the cost model "
+        "decide whether --workers pays; 'serial'/'parallel' force a mode",
+    )
+    parser.add_argument(
+        "--shard",
+        default=None,
+        metavar="I/N",
+        help="run only this machine's deterministic slice of the grid "
+        "(e.g. 0/2 and 1/2 on two machines), then 'repro merge' the stores",
     )
 
 
@@ -329,6 +354,7 @@ def _build_policy(args):
 def _cmd_sweep(args) -> int:
     from repro.campaigns.report import as_store, sweep_table
     from repro.campaigns.runner import CampaignAbort, run_campaign
+    from repro.campaigns.spec import Shard
 
     spec = _checked_spec(args)
     if spec is None:
@@ -338,16 +364,44 @@ def _cmd_sweep(args) -> int:
     except ValueError as exc:
         logger.error(f"invalid sweep: {exc}")
         return 2
+    cells = spec.cells()
+    shard = None
+    if args.shard is not None:
+        try:
+            shard = Shard.parse(args.shard)
+        except ValueError as exc:
+            logger.error(f"invalid sweep: {exc}")
+            return 2
+        full_grid = len(cells)
+        cells = shard.select(cells)
+        logger.info(
+            f"shard {shard}: {len(cells)} of {full_grid} cells on this machine"
+        )
     try:
         campaign = run_campaign(
-            spec, as_store(args.store), workers=args.workers, policy=policy
+            cells,
+            as_store(args.store),
+            workers=args.workers,
+            policy=policy,
+            dispatch=args.dispatch,
         )
     except CampaignAbort as exc:
         # The abort is clean: every decided outcome is already stored.
         logger.error(f"aborted: {exc}")
         return 1
-    print(sweep_table(spec, campaign).render())
+    if shard is None:
+        print(sweep_table(spec, campaign).render())
+    else:
+        # A shard's table would be mostly NaN (other machines own the
+        # rest of the grid); the full table comes from `repro report`
+        # against the merged store.
+        print(
+            f"shard {shard} done — merge the shard stores with "
+            "'repro merge', then render with 'repro report'"
+        )
     print(f"[{campaign.summary}]")
+    if campaign.downgraded:
+        logger.info(f"dispatch: serial by cost model — {campaign.dispatch_reason}")
     if campaign.failed:
         logger.error(
             f"{campaign.failed} cells failed — inspect with "
@@ -355,6 +409,18 @@ def _cmd_sweep(args) -> int:
             "with --retry-quarantined"
         )
         return 1
+    return 0
+
+
+def _cmd_merge(args) -> int:
+    from repro.campaigns.store import StoreMergeError, merge_stores
+
+    try:
+        report = merge_stores(args.inputs, args.out)
+    except StoreMergeError as exc:
+        logger.error(f"invalid merge: {exc}")
+        return 2
+    print(report.summary)
     return 0
 
 
@@ -568,8 +634,24 @@ def build_parser() -> argparse.ArgumentParser:
         "sweep", help="execute a campaign grid (resumable with --store)"
     )
     _add_grid_arguments(sweep_parser)
+    _add_sweep_scale_arguments(sweep_parser)
     _add_policy_arguments(sweep_parser)
     sweep_parser.set_defaults(func=_cmd_sweep)
+
+    merge_parser = sub.add_parser(
+        "merge",
+        help="union shard stores (from sweep --shard runs) into one store",
+    )
+    merge_parser.add_argument(
+        "inputs", nargs="+", metavar="STORE", help="shard store files to merge"
+    )
+    merge_parser.add_argument(
+        "--out",
+        required=True,
+        metavar="PATH",
+        help="merged store (appended to if it exists — merges are resumable)",
+    )
+    merge_parser.set_defaults(func=_cmd_merge)
 
     report_parser = sub.add_parser(
         "report", help="aggregate a stored sweep without recomputing"

@@ -16,6 +16,7 @@ from __future__ import annotations
 import json
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
+from functools import lru_cache
 from importlib import resources
 from pathlib import Path
 
@@ -115,13 +116,29 @@ def _default_cache_path() -> Path | None:
         return None
 
 
+@lru_cache(maxsize=4)
+def _read_cache_file(path_str: str) -> dict:
+    """Parse one pulse-cache file at most once per process.
+
+    ``build_library`` is called for every pulse method a campaign touches
+    (and once per campaign *cell* on the serial path); the committed cache
+    JSON never changes within a process, so re-reading it per call is pure
+    overhead.  The memo also rides into forked campaign workers for free.
+    """
+    with open(path_str) as fh:
+        return json.load(fh)
+
+
 def load_cache(path: Path | None = None) -> dict:
-    """Load the JSON pulse cache; empty dict if missing."""
+    """Load the JSON pulse cache; empty dict if missing.
+
+    Returns a shallow copy of a per-process memo — callers may add/remove
+    top-level entries, but must treat the pulse records as read-only.
+    """
     path = path or _default_cache_path()
     if path is None or not Path(path).exists():
         return {}
-    with open(path) as fh:
-        return json.load(fh)
+    return dict(_read_cache_file(str(path)))
 
 
 def save_cache(cache: dict, path: Path) -> None:
@@ -129,6 +146,7 @@ def save_cache(cache: dict, path: Path) -> None:
     path.parent.mkdir(parents=True, exist_ok=True)
     with open(path, "w") as fh:
         json.dump(cache, fh, indent=1)
+    _read_cache_file.cache_clear()  # the file changed under the memo
 
 
 def _optimize(method: str, gate_name: str, fast: bool) -> GatePulse:

@@ -69,6 +69,31 @@ class SuppressionPlanCache:
             self._plans[key] = plan
         return plan
 
+    def export(self) -> tuple[tuple[tuple, SuppressionPlan], ...]:
+        """Picklable snapshot of every cached plan (for worker shipping).
+
+        Plans are immutable pure functions of their key, so a snapshot
+        taken in a campaign parent can seed a spawn-started worker's
+        cache without any coherence concern.
+        """
+        return tuple(self._plans.items())
+
+    def absorb(self, items) -> int:
+        """Seed the cache from an :meth:`export` snapshot; returns adds.
+
+        Existing entries win (they are identical by construction), and
+        absorbed plans count as neither hits nor misses — they were
+        computed elsewhere.
+        """
+        added = 0
+        for key, plan in items:
+            if key not in self._plans and (
+                self.maxsize is None or len(self._plans) < self.maxsize
+            ):
+                self._plans[key] = plan
+                added += 1
+        return added
+
     def clear(self) -> None:
         self._plans.clear()
         self.hits = 0

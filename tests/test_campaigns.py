@@ -223,9 +223,13 @@ class TestRunner:
         )
         serial = run_campaign(spec, workers=1)
         parallel = run_campaign(
-            spec, ResultStore(tmp_path / "par.jsonl"), workers=4
+            spec,
+            ResultStore(tmp_path / "par.jsonl"),
+            workers=4,
+            dispatch="parallel",  # pin a real pool; auto may go serial here
         )
         assert parallel.computed == len(spec.cells())
+        assert parallel.dispatch == "parallel" and parallel.workers > 1
         for cell in spec.cells():
             assert parallel[cell] == serial[cell]
 

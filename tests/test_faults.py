@@ -316,6 +316,7 @@ class TestParallelFaultHandling:
             workers=2,
             fingerprint=FP,
             policy=FAST,
+            dispatch="parallel",  # fault injection needs a real pool
         )
         assert campaign.failed == 2
         for cell in SPEC.cells():
@@ -332,6 +333,7 @@ class TestParallelFaultHandling:
             workers=2,
             fingerprint=FP,
             policy=FAST,
+            dispatch="parallel",  # the kill must land in a worker, not here
         )
         assert budget.stat().st_size == 1, "kill fault never fired"
         assert campaign.failed == 0
@@ -351,6 +353,7 @@ class TestParallelFaultHandling:
             workers=2,
             fingerprint=FP,
             policy=FAST,
+            dispatch="parallel",  # the kill must land in a worker, not here
         )
         assert campaign.failed == 0
         for cell in SPEC.cells():

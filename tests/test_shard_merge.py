@@ -1,0 +1,275 @@
+"""Shard determinism and store-merge tests (multi-machine campaigns).
+
+The contract under test: running ``--shard 0/2`` and ``--shard 1/2``
+into separate stores and merging them yields records *byte-identical*
+to the unsharded run — failure records included — and a merge refuses
+stores that could not have come from one campaign (mixed fingerprints,
+newer formats, conflicting results) with the CLI's exit-2 convention.
+"""
+
+import json
+
+import pytest
+
+from repro.campaigns.spec import Shard, SweepSpec, cell_key, shard_of
+from repro.campaigns.store import (
+    STORE_FORMAT,
+    ResultStore,
+    StoreMergeError,
+    merge_stores,
+    semantic_record,
+)
+from repro.cli import main
+
+FP = "shard-fp"
+
+GRID = SweepSpec(
+    name="shardgrid",
+    benchmarks=("QAOA", "Ising", "GRC"),
+    sizes=(4,),
+    configs=("gau+par", "pert+zzx"),
+)
+
+
+class TestSharding:
+    def test_shard_of_is_deterministic_and_in_range(self):
+        cells = GRID.cells()
+        for n in (1, 2, 3, 5):
+            shards = [shard_of(cell, n) for cell in cells]
+            assert shards == [shard_of(cell, n) for cell in cells]
+            assert all(0 <= s < n for s in shards)
+
+    def test_shards_partition_the_grid(self):
+        cells = GRID.cells()
+        slices = [Shard(i, 3).select(cells) for i in range(3)]
+        flat = [cell for piece in slices for cell in piece]
+        assert sorted(flat, key=str) == sorted(cells, key=str)
+        for i, piece in enumerate(slices):
+            for cell in piece:
+                assert not any(
+                    cell in other for j, other in enumerate(slices) if j != i
+                )
+
+    def test_shard_selection_is_fingerprint_independent(self):
+        # The partition hashes cell payloads, not store keys: machines
+        # running different library builds still agree on ownership.
+        cells = GRID.cells()
+        assert [shard_of(c, 2) for c in cells] == [
+            shard_of(c, 2) for c in GRID.cells()
+        ]
+        keys_a = {cell_key(c, "fp-a") for c in cells}
+        keys_b = {cell_key(c, "fp-b") for c in cells}
+        assert keys_a != keys_b  # keys differ, shards don't
+
+    def test_shard_parse_accepts_i_slash_n_only(self):
+        assert Shard.parse("0/2") == Shard(0, 2)
+        assert str(Shard.parse("1/2")) == "1/2"
+        for bad in ("2/2", "3", "a/b", "-1/2", "1/0", "1/"):
+            with pytest.raises(ValueError):
+                Shard.parse(bad)
+
+
+def _pinned_record(cell, i, status="ok"):
+    """A fully deterministic record (no wall-clock fields vary)."""
+    record = {
+        "key": cell_key(cell, FP),
+        "fingerprint": FP,
+        "cell": cell.payload(),
+        "result": None if status != "ok" else {"fidelity": 0.9 + i / 100.0},
+        "elapsed_s": 0.25,
+        "timestamp": "2026-01-01T00:00:00",
+    }
+    if status != "ok":
+        record["status"] = status
+        record["error"] = {"type": "RuntimeError", "quarantined": True}
+    return record
+
+
+def _write(path, records):
+    store = ResultStore(path)
+    for record in records:
+        store.put_record(dict(record))
+    return path
+
+
+class TestMerge:
+    def test_merged_shards_byte_identical_to_unsharded(self, tmp_path):
+        cells = GRID.cells()
+        # Cell 0 is a durable failure — failures must merge too.
+        records = [
+            _pinned_record(cell, i, status="error" if i == 0 else "ok")
+            for i, cell in enumerate(cells)
+        ]
+        unsharded = _write(tmp_path / "full.jsonl", records)
+        shard0 = _write(
+            tmp_path / "s0.jsonl",
+            [r for c, r in zip(cells, records) if Shard(0, 2).owns(c)],
+        )
+        shard1 = _write(
+            tmp_path / "s1.jsonl",
+            [r for c, r in zip(cells, records) if Shard(1, 2).owns(c)],
+        )
+        out = tmp_path / "merged.jsonl"
+        report = merge_stores([shard0, shard1], out)
+        assert report.records == len(cells) and report.duplicates == 0
+        assert sorted(out.read_text().splitlines()) == sorted(
+            unsharded.read_text().splitlines()
+        )
+
+    def test_merge_order_does_not_change_the_file(self, tmp_path):
+        cells = GRID.cells()
+        records = [_pinned_record(c, i) for i, c in enumerate(cells)]
+        s0 = _write(tmp_path / "s0.jsonl",
+                    [r for c, r in zip(cells, records) if Shard(0, 2).owns(c)])
+        s1 = _write(tmp_path / "s1.jsonl",
+                    [r for c, r in zip(cells, records) if Shard(1, 2).owns(c)])
+        a, b = tmp_path / "ab.jsonl", tmp_path / "ba.jsonl"
+        merge_stores([s0, s1], a)
+        merge_stores([s1, s0], b)
+        assert a.read_bytes() == b.read_bytes()
+
+    def test_merge_is_resumable_into_existing_output(self, tmp_path):
+        cells = GRID.cells()
+        records = [_pinned_record(c, i) for i, c in enumerate(cells)]
+        s0 = _write(tmp_path / "s0.jsonl", records[:2])
+        s1 = _write(tmp_path / "s1.jsonl", records[2:])
+        out = tmp_path / "m.jsonl"
+        merge_stores([s0], out)
+        report = merge_stores([s1], out)
+        assert report.records == len(cells)
+        assert len(ResultStore(out).records()) == len(cells)
+
+    def test_success_beats_failure_for_the_same_key(self, tmp_path):
+        cell = GRID.cells()[0]
+        failed = _write(tmp_path / "a.jsonl", [_pinned_record(cell, 0, "error")])
+        healed = _write(tmp_path / "b.jsonl", [_pinned_record(cell, 0)])
+        out = tmp_path / "m.jsonl"
+        report = merge_stores([failed, healed], out)
+        assert report.duplicates == 1
+        merged = ResultStore(out).records()
+        assert len(merged) == 1 and "status" not in merged[0]
+
+    def test_conflicting_results_refuse_to_merge(self, tmp_path):
+        cell = GRID.cells()[0]
+        a = _pinned_record(cell, 0)
+        b = _pinned_record(cell, 0)
+        b["result"] = {"fidelity": 0.1}  # same key, different answer
+        pa = _write(tmp_path / "a.jsonl", [a])
+        pb = _write(tmp_path / "b.jsonl", [b])
+        with pytest.raises(StoreMergeError, match="conflicting"):
+            merge_stores([pa, pb], tmp_path / "m.jsonl")
+
+    def test_volatile_fields_never_conflict(self, tmp_path):
+        cell = GRID.cells()[0]
+        a = _pinned_record(cell, 0)
+        b = dict(a, elapsed_s=9.9, timestamp="2026-02-02T00:00:00")
+        pa = _write(tmp_path / "a.jsonl", [a])
+        pb = _write(tmp_path / "b.jsonl", [b])
+        report = merge_stores([pa, pb], tmp_path / "m.jsonl")
+        assert report.records == 1 and report.duplicates == 1
+        assert semantic_record(a) == semantic_record(b)
+
+    def test_mismatched_fingerprints_refuse_to_merge(self, tmp_path):
+        cell = GRID.cells()[0]
+        a = _pinned_record(cell, 0)
+        b = dict(_pinned_record(GRID.cells()[1], 1), fingerprint="other-fp")
+        pa = _write(tmp_path / "a.jsonl", [a])
+        pb = _write(tmp_path / "b.jsonl", [b])
+        with pytest.raises(StoreMergeError, match="fingerprint mismatch"):
+            merge_stores([pa, pb], tmp_path / "m.jsonl")
+
+    def test_missing_input_refuses_to_merge(self, tmp_path):
+        with pytest.raises(StoreMergeError, match="missing input"):
+            merge_stores([tmp_path / "nope.jsonl"], tmp_path / "m.jsonl")
+
+
+class TestMergeCLI:
+    def _shard_stores(self, tmp_path):
+        cells = GRID.cells()
+        records = [_pinned_record(c, i) for i, c in enumerate(cells)]
+        s0 = _write(tmp_path / "s0.jsonl",
+                    [r for c, r in zip(cells, records) if Shard(0, 2).owns(c)])
+        s1 = _write(tmp_path / "s1.jsonl",
+                    [r for c, r in zip(cells, records) if Shard(1, 2).owns(c)])
+        return s0, s1, len(cells)
+
+    def test_merge_subcommand(self, tmp_path, capsys):
+        s0, s1, total = self._shard_stores(tmp_path)
+        out = tmp_path / "merged.jsonl"
+        assert main(["merge", str(s0), str(s1), "--out", str(out)]) == 0
+        assert f"{total} record(s)" in capsys.readouterr().out
+        assert len(ResultStore(out).records()) == total
+
+    def test_merge_exit_2_on_fingerprint_mismatch(self, tmp_path, capsys):
+        s0, s1, _ = self._shard_stores(tmp_path)
+        lines = s1.read_text().splitlines()
+        doctored = [
+            json.dumps(
+                dict(json.loads(line), fingerprint="other-fp"), sort_keys=True
+            )
+            for line in lines
+        ]
+        s1.write_text("\n".join(doctored) + "\n")
+        code = main(["merge", str(s0), str(s1), "--out", str(tmp_path / "m.jsonl")])
+        assert code == 2
+        assert "fingerprint mismatch" in capsys.readouterr().err
+
+    def test_merge_exit_2_on_newer_store_format(self, tmp_path, capsys):
+        s0, s1, _ = self._shard_stores(tmp_path)
+        lines = s1.read_text().splitlines()
+        record = dict(json.loads(lines[0]), format=STORE_FORMAT + 1)
+        s1.write_text(json.dumps(record, sort_keys=True) + "\n")
+        code = main(["merge", str(s0), str(s1), "--out", str(tmp_path / "m.jsonl")])
+        assert code == 2
+        assert "format" in capsys.readouterr().err
+
+    def test_merge_exit_2_on_missing_input(self, tmp_path, capsys):
+        code = main([
+            "merge", str(tmp_path / "ghost.jsonl"),
+            "--out", str(tmp_path / "m.jsonl"),
+        ])
+        assert code == 2
+        assert "missing input" in capsys.readouterr().err
+
+
+class TestShardedSweepEndToEnd:
+    """Real evaluations: two CLI shard sweeps + merge == one unsharded sweep."""
+
+    GRID_ARGS = [
+        "--benchmarks", "QAOA,Ising", "--sizes", "4",
+        "--configs", "gau+par,pert+zzx", "--name", "e2e",
+    ]
+
+    def test_sharded_cli_run_merges_to_the_unsharded_store(self, tmp_path, capsys):
+        full = tmp_path / "full.jsonl"
+        assert main(["sweep", *self.GRID_ARGS, "--store", str(full)]) == 0
+        s0, s1 = tmp_path / "s0.jsonl", tmp_path / "s1.jsonl"
+        assert main([
+            "sweep", *self.GRID_ARGS, "--shard", "0/2", "--store", str(s0)
+        ]) == 0
+        assert main([
+            "sweep", *self.GRID_ARGS, "--shard", "1/2", "--store", str(s1)
+        ]) == 0
+        out = tmp_path / "merged.jsonl"
+        assert main(["merge", str(s0), str(s1), "--out", str(out)]) == 0
+        capsys.readouterr()
+
+        reference = {r["key"]: r for r in ResultStore(full).records()}
+        merged = {r["key"]: r for r in ResultStore(out).records()}
+        assert set(merged) == set(reference)
+        for key, record in merged.items():
+            # Identical modulo wall-clock fields: results, keys, cell
+            # payloads, fingerprints all match the single-machine run.
+            assert semantic_record(record) == semantic_record(reference[key])
+
+        # The merged store renders the full table offline.
+        assert main([
+            "report", *self.GRID_ARGS, "--store", str(out)
+        ]) == 0
+        assert "QAOA-4" in capsys.readouterr().out
+
+    def test_sweep_rejects_bad_shard_spec(self, capsys):
+        assert main([
+            "sweep", *self.GRID_ARGS, "--shard", "2/2", "--store", "x.jsonl"
+        ]) == 2
+        assert "invalid shard" in capsys.readouterr().err

@@ -4,8 +4,10 @@
 Runs the microbenchmark suites (``benchmarks/bench_micro.py``, the
 campaign cost-model-dispatch bench (uniform + skewed grids)
 ``benchmarks/bench_campaign.py``, the layer-walk cached-vs-uncached
-bench ``benchmarks/bench_executor.py``, and the scheduler-scale compile
-bench ``benchmarks/bench_sched_scale.py``) through pytest-benchmark, extracts
+bench ``benchmarks/bench_executor.py``, the scheduler-scale compile
+bench ``benchmarks/bench_sched_scale.py``, and the serve daemon
+warm-vs-cold bench ``benchmarks/bench_serve.py``) through
+pytest-benchmark, extracts
 per-benchmark statistics, and writes them (plus environment metadata) to
 the first free ``BENCH_<n>.json`` in the repo root — so each PR's perf
 snapshot lands in a new numbered file and the trajectory is diffable
@@ -54,6 +56,7 @@ def main(argv=None) -> int:
         "benchmarks/bench_executor.py",
         "benchmarks/bench_sched_scale.py",
         "benchmarks/bench_telemetry_overhead.py",
+        "benchmarks/bench_serve.py",
     ]
 
     with tempfile.TemporaryDirectory() as tmp:

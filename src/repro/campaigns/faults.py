@@ -163,7 +163,11 @@ def maybe_fault(cell) -> None:
     if spec.kind == "fatal":
         raise InjectedFatalFault(f"injected fatal fault on {cell_label(cell)}")
     if spec.kind == "hang":
-        time.sleep(spec.secs)
+        # Chunked, so the runner's soft (thread-timer) timeout can land
+        # between sleeps; SIGALRM interrupts either form identically.
+        deadline = time.monotonic() + spec.secs
+        while time.monotonic() < deadline:
+            time.sleep(min(0.05, max(0.0, deadline - time.monotonic())))
         return
     if spec.kind == "kill":  # pragma: no cover - kills the process
         os.kill(os.getpid(), signal.SIGKILL)

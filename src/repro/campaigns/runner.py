@@ -181,8 +181,15 @@ def schedule_for_cell(cell: Cell) -> Schedule:
     )
 
 
-def evaluate_cell(cell: Cell) -> dict:
-    """Evaluate one cell; pure in its inputs, so safe on any worker."""
+def evaluate_cell(cell: Cell, prop_cache=None) -> dict:
+    """Evaluate one cell; pure in its inputs, so safe on any worker.
+
+    ``prop_cache`` optionally shares a
+    :class:`~repro.runtime.backends.LayerPropagatorCache` across
+    evaluations (the serve daemon passes one per (library, device, noise)
+    combination so repeated requests reuse layer unitaries); ``None``
+    keeps the per-execution default.  Reuse is bit-exact either way.
+    """
     maybe_fault(cell)
     schedule = schedule_for_cell(cell)
     device = cached_device(cell.device)
@@ -209,6 +216,7 @@ def evaluate_cell(cell: Cell) -> dict:
         cell.backend,
         decoherence=decoherence,
         trajectories=cell.trajectories,
+        cache=True if prop_cache is None else prop_cache,
     )
     record = {
         "fidelity": out.fidelity,
@@ -273,33 +281,68 @@ class CellOutcome:
         return bool(self.error and self.error.get("quarantined"))
 
 
+def _async_raise_timeout(thread_id: int, expired: threading.Event) -> None:
+    """Raise :class:`_CellTimeout` asynchronously in ``thread_id``.
+
+    ``expired`` guards the race between the timer firing and the
+    protected block finishing: once the block's ``finally`` sets it, the
+    exception is no longer injected.
+    """
+    if expired.is_set():
+        return
+    import ctypes
+
+    ctypes.pythonapi.PyThreadState_SetAsyncExc(
+        ctypes.c_ulong(thread_id), ctypes.py_object(_CellTimeout)
+    )
+
+
 @contextmanager
 def _deadline(seconds: float | None):
-    """Enforce a wall-clock budget on the enclosed block via SIGALRM.
+    """Enforce a wall-clock budget on the enclosed block.
 
-    Timers only work on the main thread of a process; pool workers run
-    tasks on their main thread, so both dispatch paths are covered.  On
-    platforms without SIGALRM (or off the main thread) the budget is
-    simply not enforced — supervision degrades, it never breaks.
+    On the main thread this arms SIGALRM (``signal.signal`` raises
+    ``ValueError`` anywhere else); pool workers run tasks on their main
+    thread, so both campaign dispatch paths use the hard timer.  Off the
+    main thread — ``repro serve`` evaluates cells on executor threads —
+    a :class:`threading.Timer` injects :class:`_CellTimeout` into the
+    evaluating thread instead.  That fallback is *soft*: the exception
+    lands at the next bytecode boundary, so a single long-blocking C
+    call can overrun its budget (a chunked sleep or python-level loop
+    cannot).  On platforms without SIGALRM the soft timer is also used.
     """
-    if (
-        seconds is None
-        or not hasattr(signal, "SIGALRM")
-        or threading.current_thread() is not threading.main_thread()
-    ):
+    if seconds is None:
         yield
         return
+    if (
+        hasattr(signal, "SIGALRM")
+        and threading.current_thread() is threading.main_thread()
+    ):
+        def _on_alarm(signum, frame):
+            raise _CellTimeout()
 
-    def _on_alarm(signum, frame):
-        raise _CellTimeout()
+        previous = signal.signal(signal.SIGALRM, _on_alarm)
+        signal.setitimer(signal.ITIMER_REAL, seconds)
+        try:
+            yield
+        finally:
+            signal.setitimer(signal.ITIMER_REAL, 0.0)
+            signal.signal(signal.SIGALRM, previous)
+        return
 
-    previous = signal.signal(signal.SIGALRM, _on_alarm)
-    signal.setitimer(signal.ITIMER_REAL, seconds)
+    expired = threading.Event()
+    timer = threading.Timer(
+        seconds,
+        _async_raise_timeout,
+        args=(threading.get_ident(), expired),
+    )
+    timer.daemon = True
+    timer.start()
     try:
         yield
     finally:
-        signal.setitimer(signal.ITIMER_REAL, 0.0)
-        signal.signal(signal.SIGALRM, previous)
+        expired.set()
+        timer.cancel()
 
 
 def _error_payload(exc: BaseException, attempts: int) -> dict:
@@ -318,7 +361,7 @@ def _cell_label(cell: Cell) -> str:
 
 
 def supervised_evaluate(
-    cell: Cell, policy: RetryPolicy = DEFAULT_POLICY
+    cell: Cell, policy: RetryPolicy = DEFAULT_POLICY, prop_cache=None
 ) -> CellOutcome:
     """Evaluate one cell under timeout/retry/quarantine supervision.
 
@@ -335,12 +378,14 @@ def supervised_evaluate(
         if cap.collector is not None:
             cap.collector.merge_snapshot(_take_worker_warmup())
         with span("campaign.cell", group=_cell_label(cell)):
-            outcome = _supervise(cell, policy)
+            outcome = _supervise(cell, policy, prop_cache)
     outcome.telemetry = cap.snapshot()
     return outcome
 
 
-def _supervise(cell: Cell, policy: RetryPolicy) -> CellOutcome:
+def _supervise(
+    cell: Cell, policy: RetryPolicy, prop_cache=None
+) -> CellOutcome:
     error: dict = {}
     status = "error"
     for attempt in range(1, policy.max_attempts + 1):
@@ -349,7 +394,13 @@ def _supervise(cell: Cell, policy: RetryPolicy) -> CellOutcome:
         t0 = time.perf_counter()
         try:
             with _deadline(policy.timeout_s):
-                result = evaluate_cell(cell)
+                # Positional only when set: tests substitute single-arg
+                # fakes for evaluate_cell, and the default path must keep
+                # calling it exactly as before.
+                if prop_cache is None:
+                    result = evaluate_cell(cell)
+                else:
+                    result = evaluate_cell(cell, prop_cache)
         except _CellTimeout:
             status = "timeout"
             counter("campaign.timeouts")

@@ -21,7 +21,13 @@ Subcommands:
   exception, hang, worker kill, store corruption) and assert the store
   converges to the fault-free result;
 - ``stats`` — render a telemetry trace (span tree, cache hit ratios,
-  latency percentiles), or diff two traces.
+  latency percentiles), or diff two traces;
+- ``serve`` — run the compilation-as-a-service daemon: warm caches in
+  one long-lived process answering compile/simulate requests over local
+  HTTP/JSON (see "Serving compiles" in EXPERIMENTS.md);
+- ``bench-serve`` — load-test an in-process daemon with concurrent mixed
+  workloads and report latency percentiles, batching, and the speedup
+  over per-request cold processes.
 
 Campaign options (``--workers``, ``--store``, ``--seeds``, ``--full``,
 ``--backend``, ``--trajectories``) are shared by ``run`` and ``sweep``;
@@ -54,7 +60,7 @@ logger = get_logger(__name__)
 
 SUBCOMMANDS = (
     "run", "sweep", "merge", "report", "list", "verify", "sched-bench",
-    "chaos", "stats",
+    "chaos", "stats", "serve", "bench-serve",
 )
 
 #: Where ``--telemetry`` without a path writes its trace.
@@ -527,22 +533,12 @@ def _cmd_verify(args) -> int:
 
 def _cmd_sched_bench(args) -> int:
     from repro.scheduling.scalebench import run_sched_bench
-    from repro.verify.generators import SCALE_CIRCUITS, scale_topology
 
     devices = _csv(args.devices) or ()
     circuits = _csv(args.circuits) or ()
-    for name in devices:
-        try:
-            scale_topology(name)
-        except ValueError as exc:
-            logger.error(f"invalid sched-bench: {exc}")
-            return 2
-    unknown = [c for c in circuits if c not in SCALE_CIRCUITS]
-    if unknown:
-        logger.error(
-            f"invalid sched-bench: unknown circuit(s) {', '.join(unknown)}; "
-            f"known: {', '.join(sorted(SCALE_CIRCUITS))}"
-        )
+    problem = _check_scale_workload(devices, circuits)
+    if problem:
+        logger.error(f"invalid sched-bench: {problem}")
         return 2
     start = time.perf_counter()
     result = run_sched_bench(
@@ -594,6 +590,98 @@ def _cmd_stats(args) -> int:
         logger.error(f"invalid stats: {exc}")
         return 2
     print(text)
+    return 0
+
+
+def _check_scale_workload(devices, circuits) -> str | None:
+    """Validate sched-bench/serve device and circuit names (None = ok)."""
+    from repro.verify.generators import SCALE_CIRCUITS, scale_topology
+
+    for name in devices:
+        try:
+            scale_topology(name)
+        except ValueError as exc:
+            return str(exc)
+    unknown = [c for c in circuits if c not in SCALE_CIRCUITS]
+    if unknown:
+        return (
+            f"unknown circuit(s) {', '.join(unknown)}; "
+            f"known: {', '.join(sorted(SCALE_CIRCUITS))}"
+        )
+    return None
+
+
+def _cmd_serve(args) -> int:
+    from repro.serve.daemon import ReproServer, ServeConfig
+
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        queue_size=args.queue_size,
+        batch_window_s=args.batch_window,
+        max_batch=args.max_batch,
+        workers=args.serve_workers,
+        plan_cache_size=args.plan_cache_size,
+        store=args.store,
+    )
+    server = ReproServer(config)
+    thread = server.start_background()
+    print(
+        f"repro serve listening on {config.host}:{server.port} "
+        f"({config.workers} workers, queue {config.queue_size}, "
+        f"batch window {config.batch_window_s * 1000:.0f}ms) — "
+        "Ctrl-C or POST /shutdown to stop"
+    )
+    try:
+        while thread.is_alive():
+            thread.join(0.5)
+    except KeyboardInterrupt:
+        server.request_stop()
+        thread.join(10.0)
+    return 0
+
+
+def _cmd_bench_serve(args) -> int:
+    import json
+
+    from repro.serve.daemon import ServeConfig
+    from repro.serve.loadtest import render, run_load_test
+
+    devices = _csv(args.devices) or ()
+    circuits = _csv(args.circuits) or ()
+    problem = _check_scale_workload(devices, circuits)
+    if problem:
+        logger.error(f"invalid bench-serve: {problem}")
+        return 2
+    config = ServeConfig(
+        port=0,
+        queue_size=args.queue_size,
+        batch_window_s=args.batch_window,
+        max_batch=args.max_batch,
+        workers=args.serve_workers,
+    )
+    start = time.perf_counter()
+    report = run_load_test(
+        requests=args.requests,
+        clients=args.clients,
+        devices=devices,
+        circuits=circuits,
+        seeds=args.seeds,
+        config=config,
+        baseline_samples=args.baseline,
+        check=not args.no_check,
+    )
+    print(render(report))
+    print(f"[bench-serve took {time.perf_counter() - start:.1f}s]")
+    if args.out:
+        Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
+        print(f"[report written to {args.out}]")
+    if report.get("errors"):
+        logger.error(f"bench-serve: {len(report['errors'])} request(s) failed")
+        return 1
+    if (report.get("equivalence") or {}).get("mismatches"):
+        logger.error("bench-serve: served schedules diverge from one-shot compiles")
+        return 1
     return 0
 
 
@@ -763,9 +851,125 @@ def build_parser() -> argparse.ArgumentParser:
     )
     stats_parser.set_defaults(func=_cmd_stats)
 
+    serve_parser = sub.add_parser(
+        "serve",
+        help="run the compile/simulate daemon: warm caches in one "
+        "long-lived process behind a local HTTP/JSON endpoint",
+    )
+    serve_parser.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default 127.0.0.1)"
+    )
+    serve_parser.add_argument(
+        "--port",
+        type=int,
+        default=8177,
+        help="bind port (default 8177; 0 picks an ephemeral port)",
+    )
+    serve_parser.add_argument(
+        "--store",
+        default=None,
+        metavar="PATH",
+        help="answer simulate requests from (and record into) this "
+        "campaign result store",
+    )
+    _add_serve_tuning_arguments(serve_parser)
+    serve_parser.add_argument(
+        "--plan-cache-size",
+        type=int,
+        default=4096,
+        help="suppression-plan cache bound, entries (default 4096)",
+    )
+    serve_parser.set_defaults(func=_cmd_serve)
+
+    bench_serve_parser = sub.add_parser(
+        "bench-serve",
+        help="load-test an in-process serve daemon: concurrent mixed "
+        "compile requests, latency percentiles, cold-process speedup",
+    )
+    bench_serve_parser.add_argument(
+        "--requests",
+        type=int,
+        default=200,
+        help="total timed requests (default 200)",
+    )
+    bench_serve_parser.add_argument(
+        "--clients",
+        type=int,
+        default=4,
+        help="concurrent client threads (default 4)",
+    )
+    bench_serve_parser.add_argument(
+        "--devices",
+        default="eagle,osprey",
+        help="comma-separated device names (falcon, hummingbird, eagle, "
+        "osprey, heavyhex:<d>, grid:<W>x<H>)",
+    )
+    bench_serve_parser.add_argument(
+        "--circuits",
+        default="qaoa,qv",
+        help="comma-separated workload kinds (qaoa, qv)",
+    )
+    bench_serve_parser.add_argument(
+        "--seeds",
+        type=int,
+        default=1,
+        help="workload seeds per (device, circuit) combo (default 1)",
+    )
+    _add_serve_tuning_arguments(bench_serve_parser)
+    bench_serve_parser.add_argument(
+        "--baseline",
+        type=int,
+        default=0,
+        metavar="N",
+        help="also time N per-request cold processes and report the "
+        "warm-serve speedup (default: skip)",
+    )
+    bench_serve_parser.add_argument(
+        "--no-check",
+        action="store_true",
+        help="skip the served-vs-one-shot schedule digest equivalence check",
+    )
+    bench_serve_parser.add_argument(
+        "--out",
+        default=None,
+        metavar="PATH",
+        help="also write the full report as JSON",
+    )
+    bench_serve_parser.set_defaults(func=_cmd_bench_serve)
+
     for sub_parser in sub.choices.values():
         _add_output_arguments(sub_parser)
     return parser
+
+
+def _add_serve_tuning_arguments(parser: argparse.ArgumentParser) -> None:
+    """Daemon tunables shared by ``serve`` and ``bench-serve``."""
+    parser.add_argument(
+        "--queue-size",
+        type=int,
+        default=256,
+        help="bounded request queue; overflow answers 503 (default 256)",
+    )
+    parser.add_argument(
+        "--batch-window",
+        type=float,
+        default=0.01,
+        metavar="SECONDS",
+        help="extra wait to coalesce same-topology requests while all "
+        "workers are busy (default 0.01; idle daemons dispatch at once)",
+    )
+    parser.add_argument(
+        "--max-batch",
+        type=int,
+        default=32,
+        help="requests per batch cap (default 32)",
+    )
+    parser.add_argument(
+        "--serve-workers",
+        type=int,
+        default=4,
+        help="daemon worker threads (default 4)",
+    )
 
 
 def main(argv: list[str] | None = None) -> int:

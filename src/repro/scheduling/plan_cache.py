@@ -11,12 +11,20 @@ coupling structure, so one cache instance may safely serve several
 topology objects (and, shared at module level, a whole campaign, like the
 ``LayerPropagatorCache`` of the runtime backends).
 
+The cache is **thread-safe** and computes each plan **exactly once**: a
+thread that asks for a key another thread is already solving waits for
+that solve instead of duplicating it, which is what lets one instance
+back the concurrent ``repro serve`` compile daemon.  With ``maxsize``
+set, a full cache evicts its oldest entry FIFO (the same policy as
+``LayerPropagatorCache._evict``) rather than refusing new inserts.
+
 ``NullPlanCache`` recomputes every plan; the differential oracles run the
 scheduler through it to pin cache-on == cache-off bit-identical.
 """
 
 from __future__ import annotations
 
+import threading
 from collections.abc import Iterable
 
 from repro.device.topology import Topology
@@ -34,17 +42,37 @@ class SuppressionPlanCache:
 
     Keys are ``(topology fingerprint, frozenset(Q), alpha, top_k)``.  Plans
     are immutable (frozen dataclasses), so returning the cached instance is
-    safe; hit/miss counters feed the ``sched-bench`` reports.
+    safe; hit/miss/eviction counters feed the ``sched-bench`` reports and
+    the ``repro serve`` stats endpoint.
+
+    Concurrency: all state lives behind one lock, held only for dict
+    lookups and bookkeeping — never during Algorithm 1 itself.  A miss
+    registers an in-flight event; concurrent requests for the same key
+    wait on it and count as hits (they did not compute).  The
+    single-threaded fast path pays one uncontended lock acquire per call.
     """
 
     def __init__(self, maxsize: int | None = None):
         self._plans: dict[tuple, SuppressionPlan] = {}
+        self._inflight: dict[tuple, threading.Event] = {}
+        self._lock = threading.Lock()
         self.maxsize = maxsize
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     def __len__(self) -> int:
         return len(self._plans)
+
+    def _insert(self, key: tuple, plan: SuppressionPlan) -> None:
+        """Store under the FIFO bound (lock held by the caller)."""
+        if key in self._plans:
+            return
+        if self.maxsize is not None and len(self._plans) >= self.maxsize:
+            self._plans.pop(next(iter(self._plans)))
+            self.evictions += 1
+            counter("plan_cache.evict")
+        self._plans[key] = plan
 
     def plan(
         self,
@@ -55,18 +83,33 @@ class SuppressionPlanCache:
     ) -> SuppressionPlan:
         """The plan for one Algorithm-1 problem, computed at most once."""
         key = (topology.fingerprint, frozenset(gate_qubits), alpha, top_k)
-        cached = self._plans.get(key)
-        if cached is not None:
-            self.hits += 1
-            counter("plan_cache.hit")
-            return cached
-        self.misses += 1
-        counter("plan_cache.miss")
-        plan = alpha_optimal_suppression(
-            topology, key[1], alpha=alpha, top_k=top_k
-        )
-        if self.maxsize is None or len(self._plans) < self.maxsize:
-            self._plans[key] = plan
+        while True:
+            with self._lock:
+                cached = self._plans.get(key)
+                if cached is not None:
+                    self.hits += 1
+                    counter("plan_cache.hit")
+                    return cached
+                pending = self._inflight.get(key)
+                if pending is None:
+                    event = self._inflight[key] = threading.Event()
+                    self.misses += 1
+                    counter("plan_cache.miss")
+                    break
+            # Another thread is solving this key: wait, then re-check (the
+            # plan may have been evicted in between, in which case we loop
+            # around and become the computing thread ourselves).
+            pending.wait()
+        try:
+            plan = alpha_optimal_suppression(
+                topology, key[1], alpha=alpha, top_k=top_k
+            )
+            with self._lock:
+                self._insert(key, plan)
+        finally:
+            with self._lock:
+                self._inflight.pop(key, None)
+            event.set()
         return plan
 
     def export(self) -> tuple[tuple[tuple, SuppressionPlan], ...]:
@@ -76,32 +119,41 @@ class SuppressionPlanCache:
         taken in a campaign parent can seed a spawn-started worker's
         cache without any coherence concern.
         """
-        return tuple(self._plans.items())
+        with self._lock:
+            return tuple(self._plans.items())
 
     def absorb(self, items) -> int:
         """Seed the cache from an :meth:`export` snapshot; returns adds.
 
         Existing entries win (they are identical by construction), and
         absorbed plans count as neither hits nor misses — they were
-        computed elsewhere.
+        computed elsewhere.  The ``maxsize`` bound applies exactly as on
+        :meth:`plan`: a full cache evicts its oldest entry FIFO instead
+        of dropping the absorbed one.
         """
         added = 0
-        for key, plan in items:
-            if key not in self._plans and (
-                self.maxsize is None or len(self._plans) < self.maxsize
-            ):
-                self._plans[key] = plan
-                added += 1
+        with self._lock:
+            for key, plan in items:
+                if key not in self._plans:
+                    self._insert(key, plan)
+                    added += 1
         return added
 
     def clear(self) -> None:
-        self._plans.clear()
-        self.hits = 0
-        self.misses = 0
+        with self._lock:
+            self._plans.clear()
+            self.hits = 0
+            self.misses = 0
+            self.evictions = 0
 
     @property
     def stats(self) -> dict[str, int]:
-        return {"hits": self.hits, "misses": self.misses, "size": len(self)}
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "size": len(self),
+        }
 
 
 class NullPlanCache(SuppressionPlanCache):
@@ -114,7 +166,8 @@ class NullPlanCache(SuppressionPlanCache):
         alpha: float = DEFAULT_ALPHA,
         top_k: int = DEFAULT_TOP_K,
     ) -> SuppressionPlan:
-        self.misses += 1
+        with self._lock:
+            self.misses += 1
         counter("plan_cache.miss")
         return alpha_optimal_suppression(
             topology, frozenset(gate_qubits), alpha=alpha, top_k=top_k

@@ -1,0 +1,35 @@
+"""Compilation-as-a-service: the ``repro serve`` daemon and its clients.
+
+A long-lived asyncio process that keeps the warm caches
+(:class:`~repro.scheduling.plan_cache.SuppressionPlanCache`, the pulse
+library cache, per-(library, device, noise)
+:class:`~repro.runtime.backends.LayerPropagatorCache` instances, and a
+campaign :class:`~repro.campaigns.store.ResultStore`) hot in one process
+and serves concurrent compile/simulate requests over a local HTTP/JSON
+protocol — see EXPERIMENTS.md "Serving compiles".
+"""
+
+from repro.serve.client import ServeClient, ServeError
+from repro.serve.daemon import ReproServer, ServeConfig, run_server
+from repro.serve.protocol import (
+    CompileRequest,
+    ProtocolError,
+    SimulateRequest,
+    parse_request,
+    schedule_digest,
+)
+from repro.serve.service import CompileService
+
+__all__ = [
+    "CompileRequest",
+    "CompileService",
+    "ProtocolError",
+    "ReproServer",
+    "ServeClient",
+    "ServeConfig",
+    "ServeError",
+    "SimulateRequest",
+    "parse_request",
+    "run_server",
+    "schedule_digest",
+]

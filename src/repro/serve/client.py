@@ -1,0 +1,116 @@
+"""Blocking HTTP/JSON client for the ``repro serve`` daemon.
+
+Standard-library only (:mod:`http.client`), one connection per call —
+the daemon closes connections after each response, and for a local
+socket the reconnect cost is noise next to a compile.  Thread-safe by
+construction: clients hold no mutable state, so the load harness gives
+each worker thread its own instance purely out of politeness.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import socket
+import time
+
+from repro.campaigns.spec import Cell
+from repro.serve.protocol import CompileRequest, SimulateRequest
+
+DEFAULT_TIMEOUT_S = 300.0
+
+
+class ServeError(RuntimeError):
+    """A non-200 answer from the daemon (payload preserved)."""
+
+    def __init__(self, message: str, status: int = 0, payload: dict | None = None):
+        super().__init__(message)
+        self.status = status
+        self.payload = payload or {}
+
+
+class ServeClient:
+    """Talk to one daemon at ``host:port``."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8177,
+        timeout_s: float = DEFAULT_TIMEOUT_S,
+    ):
+        self.host = host
+        self.port = port
+        self.timeout_s = timeout_s
+
+    # -- transport ----------------------------------------------------------
+
+    def _call(self, method: str, path: str, payload: dict | None = None) -> dict:
+        conn = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout_s
+        )
+        try:
+            body = None if payload is None else json.dumps(payload)
+            conn.request(
+                method,
+                path,
+                body=body,
+                headers={"Content-Type": "application/json"} if body else {},
+            )
+            response = conn.getresponse()
+            raw = response.read()
+            try:
+                data = json.loads(raw.decode() or "{}")
+            except json.JSONDecodeError:
+                raise ServeError(
+                    f"non-JSON answer from {method} {path}: {raw[:200]!r}",
+                    status=response.status,
+                )
+            if response.status != 200:
+                message = (data.get("error") or {}).get(
+                    "message", f"HTTP {response.status}"
+                )
+                raise ServeError(
+                    f"{method} {path} failed: {message}",
+                    status=response.status,
+                    payload=data,
+                )
+            return data
+        finally:
+            conn.close()
+
+    # -- endpoints ----------------------------------------------------------
+
+    def request(self, payload: dict) -> dict:
+        """Send one raw protocol request object."""
+        return self._call("POST", "/request", payload)
+
+    def compile(self, device: str, circuit: str, seed: int = 0) -> dict:
+        return self.request(CompileRequest(device, circuit, seed).payload())
+
+    def simulate(self, cell: Cell | dict) -> dict:
+        if isinstance(cell, Cell):
+            return self.request(SimulateRequest(cell).payload())
+        return self.request({"kind": "simulate", "cell": cell})
+
+    def health(self) -> dict:
+        return self._call("GET", "/health")
+
+    def stats(self) -> dict:
+        return self._call("GET", "/stats")
+
+    def shutdown(self) -> dict:
+        return self._call("POST", "/shutdown")
+
+    def wait_ready(self, timeout_s: float = 30.0) -> dict:
+        """Poll /health until the daemon answers (or time runs out)."""
+        deadline = time.monotonic() + timeout_s
+        while True:
+            try:
+                return self.health()
+            except (ConnectionError, socket.error, ServeError):
+                if time.monotonic() >= deadline:
+                    raise ServeError(
+                        f"daemon at {self.host}:{self.port} not ready "
+                        f"after {timeout_s:.0f}s"
+                    )
+                time.sleep(0.05)

@@ -1,0 +1,327 @@
+"""The ``repro serve`` daemon: asyncio front, thread-pool back.
+
+Architecture (one process, caches shared by construction):
+
+- an :mod:`asyncio` server accepts local HTTP/1.1 connections and parses
+  one JSON request per connection (``POST /request``), plus ``GET
+  /health``, ``GET /stats`` and ``POST /shutdown`` control endpoints;
+- accepted requests enter a **bounded** queue — when it is full the
+  daemon answers ``503 {"status": "overloaded"}`` immediately instead of
+  buffering unboundedly;
+- a single batcher coroutine drains the queue adaptively — whatever is
+  already queued ships at once when a worker is free, and while all
+  workers are busy it keeps coalescing up to ``batch_window_s`` more —
+  groups what it drained by topology fingerprint
+  (:meth:`CompileService.batch_key`) and
+  hands each group to a thread pool — one ``serve.batch`` telemetry span
+  covers the whole group, so one warm Algorithm-1 plan lookup serves
+  every circuit in it;
+- worker threads call the thread-safe :class:`CompileService` handlers
+  and resolve each request's future back on the event loop.
+
+Queue wait (enqueue → batch start) is observed as ``serve.queue_wait``
+so ``repro stats`` shows where latency goes under load.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import logging
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+
+from repro.serve.protocol import PROTOCOL_VERSION, ProtocolError, parse_request
+from repro.serve.service import (
+    DEFAULT_PLAN_CACHE_SIZE,
+    DEFAULT_PROP_CACHE_SIZE,
+    CompileService,
+)
+from repro.telemetry import counter, gauge_max, observe, span
+
+logger = logging.getLogger(__name__)
+
+#: Default port; chosen outside the common registered ranges.
+DEFAULT_PORT = 8177
+
+_REASONS = {200: "OK", 400: "Bad Request", 404: "Not Found", 503: "Service Unavailable"}
+
+#: Cap on request bodies; a local JSON request has no business being larger.
+MAX_BODY_BYTES = 4 * 1024 * 1024
+
+
+@dataclass
+class ServeConfig:
+    """Tunables of one daemon instance (all have serving defaults)."""
+
+    host: str = "127.0.0.1"
+    port: int = DEFAULT_PORT
+    #: Bounded request queue; overflow answers 503 instead of buffering.
+    queue_size: int = 256
+    #: Extra seconds the batcher waits for company while all workers are
+    #: busy; an idle daemon always dispatches immediately.
+    batch_window_s: float = 0.01
+    #: Hard cap on requests per batch.
+    max_batch: int = 32
+    #: Worker threads executing batches.
+    workers: int = 4
+    plan_cache_size: int | None = DEFAULT_PLAN_CACHE_SIZE
+    prop_cache_size: int | None = DEFAULT_PROP_CACHE_SIZE
+    #: Optional ResultStore path for simulate requests.
+    store: str | None = None
+
+
+@dataclass
+class _Pending:
+    """One queued request, waiting for a batch slot."""
+
+    request: object
+    future: asyncio.Future
+    enqueued: float = field(default_factory=time.perf_counter)
+
+
+class ReproServer:
+    """A runnable serve daemon; blocking ``run()`` or background thread."""
+
+    def __init__(self, config: ServeConfig | None = None, service: CompileService | None = None):
+        self.config = config or ServeConfig()
+        self.service = service or CompileService(
+            plan_cache_size=self.config.plan_cache_size,
+            prop_cache_size=self.config.prop_cache_size,
+            store=self.config.store,
+        )
+        #: Actual bound port, available once ``started`` is set (lets
+        #: tests and the load harness bind port 0 for an ephemeral port).
+        self.port: int | None = None
+        self.started = threading.Event()
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._stop: asyncio.Event | None = None
+        self._queue: asyncio.Queue | None = None
+        self._executor: ThreadPoolExecutor | None = None
+        self._inflight: set = set()
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def run(self) -> None:
+        """Serve until /shutdown or KeyboardInterrupt (blocking)."""
+        try:
+            asyncio.run(self._amain())
+        except KeyboardInterrupt:
+            pass
+
+    def start_background(self) -> threading.Thread:
+        """Serve on a daemon thread; returns once the port is bound."""
+        thread = threading.Thread(target=self.run, name="repro-serve", daemon=True)
+        thread.start()
+        if not self.started.wait(timeout=30.0):
+            raise RuntimeError("serve daemon failed to start within 30s")
+        return thread
+
+    def request_stop(self) -> None:
+        """Thread-safe shutdown trigger (the /shutdown endpoint's path)."""
+        loop, stop = self._loop, self._stop
+        if loop is not None and stop is not None:
+            loop.call_soon_threadsafe(stop.set)
+
+    async def _amain(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._stop = asyncio.Event()
+        self._queue = asyncio.Queue(maxsize=self.config.queue_size)
+        # Backpressure: the batcher only dispatches while a worker slot is
+        # free, so saturation fills the bounded queue (and trips 503s)
+        # instead of growing the executor's unbounded internal queue.
+        self._slots = asyncio.Semaphore(self.config.workers)
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.config.workers, thread_name_prefix="serve-worker"
+        )
+        server = await asyncio.start_server(
+            self._handle_connection, self.config.host, self.config.port
+        )
+        self.port = server.sockets[0].getsockname()[1]
+        batcher = asyncio.create_task(self._batch_loop())
+        self.started.set()
+        logger.info("repro serve listening on %s:%d", self.config.host, self.port)
+        try:
+            async with server:
+                await self._stop.wait()
+        finally:
+            batcher.cancel()
+            # Fail queued requests cleanly rather than hanging clients.
+            while not self._queue.empty():
+                pending = self._queue.get_nowait()
+                if not pending.future.done():
+                    pending.future.set_result(
+                        {"status": "error", "error": {"type": "Shutdown",
+                                                      "message": "server shutting down"}}
+                    )
+            self._executor.shutdown(wait=True)
+
+    # -- HTTP front ---------------------------------------------------------
+
+    async def _handle_connection(self, reader, writer) -> None:
+        try:
+            method, path, body = await self._read_request(reader)
+        except (asyncio.IncompleteReadError, ConnectionError, ValueError) as exc:
+            logger.debug("bad connection: %s", exc)
+            writer.close()
+            return
+        try:
+            status, payload = await self._dispatch(method, path, body)
+        except Exception:  # defensive: a handler bug must not kill the loop
+            logger.exception("request handler failed")
+            status, payload = 500, {"status": "error",
+                                    "error": {"type": "InternalError",
+                                              "message": "internal server error"}}
+        blob = json.dumps(payload).encode()
+        head = (
+            f"HTTP/1.1 {status} {_REASONS.get(status, 'Error')}\r\n"
+            "Content-Type: application/json\r\n"
+            f"Content-Length: {len(blob)}\r\n"
+            "Connection: close\r\n\r\n"
+        ).encode()
+        try:
+            writer.write(head + blob)
+            await writer.drain()
+            writer.close()
+        except ConnectionError:
+            pass
+
+    @staticmethod
+    async def _read_request(reader) -> tuple[str, str, bytes]:
+        request_line = (await reader.readline()).decode("latin-1").strip()
+        parts = request_line.split()
+        if len(parts) != 3:
+            raise ValueError(f"malformed request line {request_line!r}")
+        method, path = parts[0].upper(), parts[1]
+        length = 0
+        while True:
+            line = (await reader.readline()).decode("latin-1").strip()
+            if not line:
+                break
+            name, _, value = line.partition(":")
+            if name.strip().lower() == "content-length":
+                length = int(value.strip())
+        if length > MAX_BODY_BYTES:
+            raise ValueError(f"body of {length} bytes exceeds cap")
+        body = await reader.readexactly(length) if length else b""
+        return method, path, body
+
+    async def _dispatch(self, method: str, path: str, body: bytes) -> tuple[int, dict]:
+        if method == "GET" and path == "/health":
+            return 200, {"status": "ok", "version": PROTOCOL_VERSION}
+        if method == "GET" and path == "/stats":
+            stats = self.service.stats()
+            stats["queue_depth"] = self._queue.qsize()
+            return 200, stats
+        if method == "POST" and path == "/shutdown":
+            self._stop.set()
+            return 200, {"status": "stopping"}
+        if method == "POST" and path in ("/", "/request"):
+            return await self._enqueue(body)
+        return 404, {"status": "error",
+                     "error": {"type": "NotFound",
+                               "message": f"{method} {path} is not an endpoint"}}
+
+    async def _enqueue(self, body: bytes) -> tuple[int, dict]:
+        try:
+            request = parse_request(json.loads(body.decode() or "null"))
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            return 400, {"status": "error",
+                         "error": {"type": "ProtocolError",
+                                   "message": f"request body is not JSON: {exc}"}}
+        except ProtocolError as exc:
+            return 400, {"status": "error",
+                         "error": {"type": "ProtocolError", "message": str(exc)}}
+        pending = _Pending(request=request, future=self._loop.create_future())
+        try:
+            self._queue.put_nowait(pending)
+        except asyncio.QueueFull:
+            counter("serve.overload")
+            return 503, {"status": "overloaded",
+                         "error": {"type": "Overloaded",
+                                   "message": f"request queue is full "
+                                              f"({self.config.queue_size})"}}
+        response = await pending.future
+        status = 200 if response.get("status") in ("ok", "error") else 500
+        return status, response
+
+    # -- batching back ------------------------------------------------------
+
+    async def _batch_loop(self) -> None:
+        while True:
+            first = await self._queue.get()
+            batch = [first]
+            # Adaptive coalescing: take everything already queued, but
+            # only *wait* for company while every worker is busy — a solo
+            # request on an idle daemon ships immediately (no window tax),
+            # while saturation grows batches for free.
+            while len(batch) < self.config.max_batch:
+                try:
+                    batch.append(self._queue.get_nowait())
+                    continue
+                except asyncio.QueueEmpty:
+                    pass
+                if not self._slots.locked():
+                    break
+                try:
+                    batch.append(
+                        await asyncio.wait_for(
+                            self._queue.get(), self.config.batch_window_s
+                        )
+                    )
+                except asyncio.TimeoutError:
+                    break
+            groups: dict[str, list[_Pending]] = {}
+            for pending in batch:
+                groups.setdefault(self._batch_key(pending), []).append(pending)
+            for key, group in groups.items():
+                await self._slots.acquire()
+                task = self._loop.run_in_executor(
+                    self._executor, self._run_batch, key, group
+                )
+                self._inflight.add(task)
+                task.add_done_callback(self._batch_done)
+
+    def _batch_done(self, task) -> None:
+        # Runs on the event loop (run_in_executor future callbacks do).
+        self._inflight.discard(task)
+        self._slots.release()
+
+    def _batch_key(self, pending: _Pending) -> str:
+        # Cheap after the first resolution per device (cached); a bad
+        # device name groups alone and fails inside handle() instead.
+        try:
+            return self.service.batch_key(pending.request)
+        except Exception:
+            return f"!{id(pending)}"
+
+    def _run_batch(self, key: str, group: list[_Pending]) -> None:
+        """Worker-thread body: serve one same-fingerprint group."""
+        started = time.perf_counter()
+        for pending in group:
+            observe("serve.queue_wait", max(0.0, started - pending.enqueued))
+        # Account the batch before resolving futures: a client must not
+        # see its response while /stats still lacks the batch it rode in.
+        self.service.note_batch(len(group))
+        with span("serve.batch", group=f"x{len(group)}"):
+            counter("serve.batches")
+            counter("serve.batched_requests", len(group))
+            gauge_max("serve.batch_max", len(group))
+            for pending in group:
+                response = dict(self.service.handle(pending.request))
+                response.setdefault("batch_size", len(group))
+                self._loop.call_soon_threadsafe(
+                    _resolve, pending.future, response
+                )
+
+
+def _resolve(future: asyncio.Future, response: dict) -> None:
+    if not future.done():
+        future.set_result(response)
+
+
+def run_server(config: ServeConfig | None = None) -> None:
+    """Entry point of ``repro serve``: block until shutdown."""
+    ReproServer(config).run()

@@ -1,0 +1,157 @@
+"""The ``repro serve`` request/response protocol.
+
+Requests are JSON objects with a ``kind`` discriminator:
+
+- ``{"kind": "compile", "device": "eagle", "circuit": "qaoa", "seed": 0}``
+  schedules a device-native workload (the ``sched-bench`` vocabulary:
+  device names resolve through
+  :func:`repro.verify.generators.scale_topology`, circuits through
+  ``SCALE_CIRCUITS``) and answers with the schedule's structure and a
+  content digest;
+- ``{"kind": "simulate", "cell": {...}}`` evaluates one campaign
+  :class:`~repro.campaigns.spec.Cell` payload (the exact JSON the sweep
+  store records) and answers with the cell's result record.
+
+Responses always carry ``status`` (``"ok"`` | ``"error"``) plus, on
+success, ``elapsed_s`` (service-side evaluation time) and ``batch_size``
+(how many requests shared the batch that served this one).
+
+:func:`schedule_digest` is the equivalence currency: it hashes the same
+``(name, qubits, params)`` gate tuples the verify oracles diff
+(:func:`repro.verify.oracles.diff_schedules`), so two schedules share a
+digest iff the oracle layer-by-layer diff is empty — serve responses are
+pinned bit-identical to one-shot CLI compiles by comparing digests.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+from repro.campaigns.spec import Cell
+from repro.scheduling.layer import Schedule
+
+#: Protocol version, echoed by /health so clients can detect skew.
+PROTOCOL_VERSION = 1
+
+REQUEST_KINDS = ("compile", "simulate")
+
+
+class ProtocolError(ValueError):
+    """Malformed request payload (answered with HTTP 400)."""
+
+
+@dataclass(frozen=True)
+class CompileRequest:
+    """Schedule one device-native workload (no simulation)."""
+
+    device: str
+    circuit: str
+    seed: int = 0
+
+    kind = "compile"
+
+    def payload(self) -> dict:
+        return {
+            "kind": "compile",
+            "device": self.device,
+            "circuit": self.circuit,
+            "seed": self.seed,
+        }
+
+
+@dataclass(frozen=True)
+class SimulateRequest:
+    """Evaluate one campaign cell (fidelity/exec-time/couplings)."""
+
+    cell: Cell
+
+    kind = "simulate"
+
+    def payload(self) -> dict:
+        return {"kind": "simulate", "cell": self.cell.payload()}
+
+
+def parse_request(data) -> CompileRequest | SimulateRequest:
+    """Validate one decoded request JSON object into a typed request."""
+    if not isinstance(data, dict):
+        raise ProtocolError("request must be a JSON object")
+    kind = data.get("kind")
+    if kind not in REQUEST_KINDS:
+        raise ProtocolError(
+            f"unknown request kind {kind!r}; known: {', '.join(REQUEST_KINDS)}"
+        )
+    if kind == "compile":
+        device = data.get("device")
+        circuit = data.get("circuit")
+        seed = data.get("seed", 0)
+        if not isinstance(device, str) or not device:
+            raise ProtocolError("compile requests need a 'device' name")
+        if not isinstance(circuit, str) or not circuit:
+            raise ProtocolError("compile requests need a 'circuit' kind")
+        if not isinstance(seed, int) or isinstance(seed, bool):
+            raise ProtocolError("'seed' must be an integer")
+        return CompileRequest(device=device, circuit=circuit, seed=seed)
+    payload = data.get("cell")
+    if not isinstance(payload, dict):
+        raise ProtocolError("simulate requests need a 'cell' payload object")
+    try:
+        cell = Cell.from_payload(payload)
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ProtocolError(f"invalid cell payload: {exc}") from None
+    return SimulateRequest(cell=cell)
+
+
+def _gate_tuple(gate) -> list:
+    """JSON-able mirror of the verify oracles' gate identity tuple."""
+    return [gate.name, list(gate.qubits), list(gate.params)]
+
+
+def schedule_signature(schedule: Schedule) -> dict:
+    """Canonical JSON-able structure of a schedule, layer by layer.
+
+    Covers exactly what :func:`repro.verify.oracles.diff_schedules`
+    compares: per-layer gates/identities/virtual plus the trailing
+    virtual gates — equal signatures iff the oracle diff is empty.
+    """
+    return {
+        "layers": [
+            {
+                "gates": [_gate_tuple(g) for g in layer.gates],
+                "identities": [_gate_tuple(g) for g in layer.identities],
+                "virtual": [_gate_tuple(g) for g in layer.virtual],
+            }
+            for layer in schedule.layers
+        ],
+        "trailing_virtual": [
+            _gate_tuple(g) for g in schedule.trailing_virtual
+        ],
+    }
+
+
+def schedule_digest(schedule: Schedule) -> str:
+    """Content hash over :func:`schedule_signature`'s content (serve's
+    equivalence pin).
+
+    Streamed straight into the hash rather than through ``json.dumps`` —
+    on an Eagle-scale schedule the dump costs as much as the warm compile
+    itself.  Section tags keep the encoding injective (a gate can't slide
+    between gates/identities/virtual or across layers without changing
+    the digest), so equal digests still mean an empty oracle diff.
+    """
+    h = hashlib.sha256()
+    for layer in schedule.layers:
+        for tag, gates in (
+            (b"\x01g", layer.gates),
+            (b"\x01i", layer.identities),
+            (b"\x01v", layer.virtual),
+        ):
+            h.update(tag)
+            for g in gates:
+                h.update(
+                    repr((g.name, tuple(g.qubits), tuple(g.params))).encode()
+                )
+    h.update(b"\x01t")
+    for g in schedule.trailing_virtual:
+        h.update(repr((g.name, tuple(g.qubits), tuple(g.params))).encode())
+    return h.hexdigest()[:24]

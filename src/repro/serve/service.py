@@ -1,0 +1,280 @@
+"""The serve daemon's request engine: warm caches + thread-safe handlers.
+
+One :class:`CompileService` owns every amortizable artifact of the
+compile/simulate path and keeps it hot across requests:
+
+- a bounded, thread-safe
+  :class:`~repro.scheduling.plan_cache.SuppressionPlanCache` — one
+  Algorithm-1 plan serves every circuit that asks for the same
+  ``(topology, Q, alpha, top_k)`` problem;
+- the pulse-library cache (via the campaign runner's per-process
+  ``cached_library``, which itself sits on the warm pulse-cache file);
+- per-``(library, device, noise)``
+  :class:`~repro.runtime.backends.LayerPropagatorCache` instances for
+  simulate requests — *keyed* instances, because a propagator cache must
+  not outlive one (library, device couplings, noise) validity domain;
+- an optional campaign :class:`~repro.campaigns.store.ResultStore`, so
+  repeated simulate requests are answered from disk exactly like a
+  resumed sweep.
+
+Handlers are synchronous and thread-safe: the daemon calls them from a
+thread pool, so every piece of shared state is either lock-guarded here
+or internally thread-safe (the caches after this PR).  Results are
+bit-identical to one-shot CLI runs: compile responses digest the same
+schedule a fresh ``repro sched-bench`` process would emit, simulate
+responses reuse the exact campaign evaluation path (same store records).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from functools import lru_cache
+
+from repro.campaigns.fingerprint import library_fingerprint
+from repro.campaigns.runner import cached_topology, supervised_evaluate
+from repro.campaigns.spec import DEFAULT_POLICY, Cell, RetryPolicy, cell_key
+from repro.campaigns.store import ResultStore, record_status
+from repro.runtime.backends import LayerPropagatorCache
+from repro.scheduling.plan_cache import SuppressionPlanCache
+from repro.scheduling.requirement import SuppressionRequirement
+from repro.scheduling.scalebench import bench_circuit
+from repro.scheduling.zzxsched import zzx_schedule
+from repro.serve.protocol import (
+    CompileRequest,
+    SimulateRequest,
+    schedule_digest,
+)
+from repro.telemetry import counter, span
+from repro.verify.generators import scale_topology
+
+#: Default bound on the suppression-plan cache (entries, FIFO-evicted).
+DEFAULT_PLAN_CACHE_SIZE = 4096
+
+#: Default bound per layer-propagator cache (entries per map, FIFO).
+DEFAULT_PROP_CACHE_SIZE = 512
+
+
+@lru_cache(maxsize=None)
+def _scale_context(device: str):
+    """(topology, requirement) for a scale-device name, built once.
+
+    Also pre-warms the topology's one-time structures (distance matrix,
+    planar dual) so the first compile request doesn't pay for them — the
+    same split ``sched-bench`` uses, keeping serve latencies comparable.
+    """
+    topology = scale_topology(device)
+    requirement = SuppressionRequirement.from_topology(topology)
+    topology.distance_matrix
+    topology.dual_simple
+    return topology, requirement
+
+
+@lru_cache(maxsize=None)
+def _scale_circuit(device: str, circuit: str, seed: int):
+    topology, _ = _scale_context(device)
+    return bench_circuit(topology, circuit, seed=seed)
+
+
+class CompileService:
+    """Thread-safe request engine behind the ``repro serve`` daemon."""
+
+    def __init__(
+        self,
+        *,
+        plan_cache_size: int | None = DEFAULT_PLAN_CACHE_SIZE,
+        prop_cache_size: int | None = DEFAULT_PROP_CACHE_SIZE,
+        store: ResultStore | str | None = None,
+        policy: RetryPolicy | None = None,
+    ):
+        self.plan_cache = SuppressionPlanCache(maxsize=plan_cache_size)
+        self.prop_cache_size = prop_cache_size
+        self._prop_caches: dict[tuple, LayerPropagatorCache] = {}
+        # No path -> in-memory store: repeat simulate requests are still
+        # answered from the first evaluation for the daemon's lifetime.
+        if store is None or isinstance(store, str):
+            store = ResultStore(store)
+        self.store = store
+        self.policy = policy if policy is not None else DEFAULT_POLICY
+        self._fingerprint = library_fingerprint()
+        self._lock = threading.Lock()
+        self.requests = 0
+        self.errors = 0
+        self.store_hits = 0
+        self.batches = 0
+        self.batched_requests = 0
+        self.max_batch = 0
+
+    # -- batching support ---------------------------------------------------
+
+    def batch_key(self, request) -> str:
+        """The topology fingerprint a request compiles/simulates against.
+
+        Requests sharing a key can share one Algorithm-1 plan, so the
+        daemon coalesces them into one batch.  Cached after the first
+        resolution per device, so this is cheap on the event loop.
+        """
+        if isinstance(request, CompileRequest):
+            topology, _ = _scale_context(request.device)
+            return topology.fingerprint
+        device = request.cell.device
+        return cached_topology(
+            device.family, device.rows, device.cols
+        ).fingerprint
+
+    def note_batch(self, size: int) -> None:
+        with self._lock:
+            self.batches += 1
+            self.batched_requests += size
+            if size > self.max_batch:
+                self.max_batch = size
+
+    # -- request handlers ---------------------------------------------------
+
+    def handle(self, request) -> dict:
+        """Serve one request; never raises — errors become responses."""
+        with self._lock:
+            self.requests += 1
+        counter("serve.requests")
+        with span("serve.request", group=request.kind):
+            try:
+                if isinstance(request, CompileRequest):
+                    response = self._handle_compile(request)
+                elif isinstance(request, SimulateRequest):
+                    response = self._handle_simulate(request)
+                else:  # pragma: no cover - parse_request prevents this
+                    raise TypeError(f"unknown request type {type(request)!r}")
+            except Exception as exc:
+                with self._lock:
+                    self.errors += 1
+                counter("serve.errors")
+                return {
+                    "status": "error",
+                    "kind": request.kind,
+                    "error": {"type": type(exc).__name__, "message": str(exc)},
+                }
+        if response.get("status") != "ok":
+            with self._lock:
+                self.errors += 1
+            counter("serve.errors")
+        return response
+
+    def _handle_compile(self, request: CompileRequest) -> dict:
+        topology, requirement = _scale_context(request.device)
+        circuit = _scale_circuit(request.device, request.circuit, request.seed)
+        t0 = time.perf_counter()
+        with span("serve.compile", group=f"{request.device}/{request.circuit}"):
+            schedule = zzx_schedule(
+                circuit, topology, requirement, None, self.plan_cache
+            )
+        return {
+            "status": "ok",
+            "kind": "compile",
+            "device": request.device,
+            "circuit": request.circuit,
+            "seed": request.seed,
+            "num_qubits": topology.num_qubits,
+            "num_gates": len(circuit.gates),
+            "num_layers": schedule.num_layers,
+            "digest": schedule_digest(schedule),
+            "elapsed_s": time.perf_counter() - t0,
+        }
+
+    def _prop_cache_for(self, cell: Cell) -> LayerPropagatorCache | None:
+        """The shared propagator cache of this cell's validity domain.
+
+        Keyed by (pulse method, device spec, T1, T2) — exactly the
+        (library, device couplings, noise) combination a
+        ``LayerPropagatorCache`` may serve — so sharing across requests
+        can never cross domains.  Only density-backend cells get one;
+        the statevector walk is faster without (per-backend policy).
+        """
+        if cell.backend != "density":
+            return None
+        key = (cell.method, cell.device, cell.t1_us, cell.t2_us)
+        with self._lock:
+            found = self._prop_caches.get(key)
+            if found is None:
+                found = self._prop_caches[key] = LayerPropagatorCache(
+                    maxsize=self.prop_cache_size
+                )
+            return found
+
+    def _handle_simulate(self, request: SimulateRequest) -> dict:
+        cell = request.cell
+        key = cell_key(cell, self._fingerprint)
+        if self.store is not None:
+            with self._lock:
+                record = self.store.get(key)
+            if record is not None and record_status(record) == "ok":
+                with self._lock:
+                    self.store_hits += 1
+                counter("serve.store_hit")
+                return {
+                    "status": "ok",
+                    "kind": "simulate",
+                    "key": key,
+                    "result": record["result"],
+                    "elapsed_s": 0.0,
+                    "cached": True,
+                }
+        outcome = supervised_evaluate(
+            cell, self.policy, prop_cache=self._prop_cache_for(cell)
+        )
+        if self.store is not None:
+            with self._lock:
+                self.store.put(
+                    cell,
+                    outcome.result,
+                    fingerprint=self._fingerprint,
+                    elapsed_s=outcome.elapsed_s,
+                    status=outcome.status,
+                    error=outcome.error,
+                    attempts=outcome.attempts,
+                    telemetry=outcome.telemetry,
+                )
+        if not outcome.ok:
+            return {
+                "status": "error",
+                "kind": "simulate",
+                "key": key,
+                "error": outcome.error,
+                "elapsed_s": outcome.elapsed_s,
+            }
+        return {
+            "status": "ok",
+            "kind": "simulate",
+            "key": key,
+            "result": outcome.result,
+            "elapsed_s": outcome.elapsed_s,
+            "cached": False,
+        }
+
+    # -- introspection ------------------------------------------------------
+
+    def stats(self) -> dict:
+        """JSON-able cache/request statistics for the /stats endpoint."""
+        with self._lock:
+            prop = {
+                "instances": len(self._prop_caches),
+                "hits": sum(c.hits for c in self._prop_caches.values()),
+                "misses": sum(c.misses for c in self._prop_caches.values()),
+                "evictions": sum(
+                    c.evictions for c in self._prop_caches.values()
+                ),
+            }
+            stats = {
+                "requests": self.requests,
+                "errors": self.errors,
+                "store_hits": self.store_hits,
+                "batches": self.batches,
+                "batched_requests": self.batched_requests,
+                "max_batch": self.max_batch,
+            }
+        stats["plan_cache"] = self.plan_cache.stats
+        stats["prop_caches"] = prop
+        stats["store"] = {
+            "path": str(self.store.path) if self.store is not None and self.store.path else None,
+            "records": len(self.store) if self.store is not None else 0,
+        }
+        return stats

@@ -15,6 +15,7 @@ from repro.telemetry.core import (
     enable,
     enabled,
     gauge,
+    gauge_max,
     merge_snapshot,
     observe,
     read_trace,
@@ -38,6 +39,7 @@ __all__ = [
     "enable",
     "enabled",
     "gauge",
+    "gauge_max",
     "get_logger",
     "merge_snapshot",
     "observe",

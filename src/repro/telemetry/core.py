@@ -147,39 +147,61 @@ class SpanStats:
 
 
 class Collector:
-    """One accumulation scope: spans by (path, group), counters, gauges."""
+    """One accumulation scope: spans by (path, group), counters, gauges.
+
+    Thread-safe: concurrent ``repro serve`` requests record spans and
+    counters into the module-global collector from many worker threads
+    at once, so every mutation (and the snapshot read) happens under a
+    per-collector lock.  The lock is uncontended in single-threaded runs
+    and held only for the dict update itself, keeping the enabled-path
+    overhead within the bench_telemetry_overhead budget.
+    """
 
     def __init__(self):
         self.spans: dict[tuple[str, str], SpanStats] = {}
         self.counters: dict[str, float] = {}
         self.gauges: dict[str, float] = {}
+        self._lock = threading.Lock()
 
     def record_span(
         self, path: str, group: str, seconds: float, error: bool = False
     ) -> None:
-        stats = self.spans.get((path, group))
-        if stats is None:
-            stats = self.spans[(path, group)] = SpanStats()
-        stats.add(seconds, error)
+        with self._lock:
+            stats = self.spans.get((path, group))
+            if stats is None:
+                stats = self.spans[(path, group)] = SpanStats()
+            stats.add(seconds, error)
 
     def count(self, name: str, n: float = 1) -> None:
-        self.counters[name] = self.counters.get(name, 0) + n
+        with self._lock:
+            self.counters[name] = self.counters.get(name, 0) + n
 
     def gauge(self, name: str, value: float) -> None:
-        self.gauges[name] = float(value)
+        with self._lock:
+            self.gauges[name] = float(value)
+
+    def gauge_max(self, name: str, value: float) -> None:
+        """Set the gauge only when ``value`` exceeds the current one."""
+        with self._lock:
+            current = self.gauges.get(name)
+            if current is None or value > current:
+                self.gauges[name] = float(value)
 
     def is_empty(self) -> bool:
         return not (self.spans or self.counters or self.gauges)
 
     def snapshot(self) -> dict:
         """Plain-JSON form of everything collected (deterministic order)."""
-        return {
-            "spans": [
-                self.spans[key].as_dict(*key) for key in sorted(self.spans)
-            ],
-            "counters": {k: self.counters[k] for k in sorted(self.counters)},
-            "gauges": {k: self.gauges[k] for k in sorted(self.gauges)},
-        }
+        with self._lock:
+            return {
+                "spans": [
+                    self.spans[key].as_dict(*key) for key in sorted(self.spans)
+                ],
+                "counters": {
+                    k: self.counters[k] for k in sorted(self.counters)
+                },
+                "gauges": {k: self.gauges[k] for k in sorted(self.gauges)},
+            }
 
     def merge_snapshot(self, snap: dict | None) -> None:
         """Fold a snapshot (e.g. from a worker process) into this scope.
@@ -189,24 +211,26 @@ class Collector:
         """
         if not snap:
             return
-        for data in snap.get("spans", ()):
-            key = (data["path"], data.get("group", ""))
-            stats = self.spans.get(key)
-            if stats is None:
-                self.spans[key] = SpanStats.from_dict(data)
-            else:
-                stats.merge(SpanStats.from_dict(data))
-        for name, value in snap.get("counters", {}).items():
-            self.count(name, value)
-        for name, value in snap.get("gauges", {}).items():
-            current = self.gauges.get(name)
-            if current is None or value > current:
-                self.gauges[name] = float(value)
+        with self._lock:
+            for data in snap.get("spans", ()):
+                key = (data["path"], data.get("group", ""))
+                stats = self.spans.get(key)
+                if stats is None:
+                    self.spans[key] = SpanStats.from_dict(data)
+                else:
+                    stats.merge(SpanStats.from_dict(data))
+            for name, value in snap.get("counters", {}).items():
+                self.counters[name] = self.counters.get(name, 0) + value
+            for name, value in snap.get("gauges", {}).items():
+                current = self.gauges.get(name)
+                if current is None or value > current:
+                    self.gauges[name] = float(value)
 
     def clear(self) -> None:
-        self.spans.clear()
-        self.counters.clear()
-        self.gauges.clear()
+        with self._lock:
+            self.spans.clear()
+            self.counters.clear()
+            self.gauges.clear()
 
 
 #: The process-wide trace every record lands in.
@@ -311,6 +335,20 @@ def gauge(name: str, value: float) -> None:
     _GLOBAL.gauge(name, value)
     for collector in _captures():
         collector.gauge(name, value)
+
+
+def gauge_max(name: str, value: float) -> None:
+    """Raise a named gauge to ``value`` if it is the new maximum.
+
+    Safe under concurrency (the compare-and-set happens inside the
+    collector lock) — used for high-water marks like the largest batch a
+    ``repro serve`` run coalesced.
+    """
+    if not _enabled:
+        return
+    _GLOBAL.gauge_max(name, value)
+    for collector in _captures():
+        collector.gauge_max(name, value)
 
 
 class _Capture:

@@ -4,6 +4,7 @@ import os
 import signal
 import subprocess
 import sys
+import threading
 import time
 from pathlib import Path
 
@@ -170,6 +171,37 @@ class TestSupervisedEvaluate:
         outcome = supervised_evaluate(
             CELL, RetryPolicy(max_attempts=1, timeout_s=0.2)
         )
+        assert outcome.status == "timeout"
+        assert outcome.quarantined
+        assert outcome.error["type"] == "CellTimeout"
+
+    def test_timeout_works_off_main_thread(self, monkeypatch):
+        """Serve worker threads can't install SIGALRM; the timer-based
+        soft deadline must break the hang instead (regression: this used
+        to raise 'signal only works in main thread')."""
+
+        def chunked_hang(cell):
+            # Chunked like the injected hang fault: the soft timeout lands
+            # at a bytecode boundary, never inside one long blocking call.
+            deadline = time.monotonic() + 10.0
+            while time.monotonic() < deadline:
+                time.sleep(0.01)
+
+        monkeypatch.setattr(runner_mod, "evaluate_cell", chunked_hang)
+        outcomes = []
+        worker = threading.Thread(
+            target=lambda: outcomes.append(
+                supervised_evaluate(
+                    CELL, RetryPolicy(max_attempts=1, timeout_s=0.2)
+                )
+            )
+        )
+        start = time.perf_counter()
+        worker.start()
+        worker.join(timeout=8.0)
+        assert not worker.is_alive(), "soft timeout never fired"
+        assert time.perf_counter() - start < 8.0
+        (outcome,) = outcomes
         assert outcome.status == "timeout"
         assert outcome.quarantined
         assert outcome.error["type"] == "CellTimeout"

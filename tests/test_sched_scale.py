@@ -163,9 +163,13 @@ class TestPlanCache:
         a = cache.plan(topology, (0, 1))
         b = cache.plan(topology, (0, 1))
         assert a is b
-        assert cache.stats == {"hits": 1, "misses": 1, "size": 1}
+        assert cache.stats == {
+            "hits": 1, "misses": 1, "evictions": 0, "size": 1,
+        }
         cache.clear()
-        assert cache.stats == {"hits": 0, "misses": 0, "size": 0}
+        assert cache.stats == {
+            "hits": 0, "misses": 0, "evictions": 0, "size": 0,
+        }
 
     def test_shared_across_equal_topologies(self):
         # Two instances with the same structure share the fingerprint, so

@@ -1,0 +1,312 @@
+"""Tests for the ``repro serve`` daemon, service, protocol and client.
+
+The contract under test is the serving layer's reason to exist: answers
+must be *fast because cached*, never *different because cached* — serve
+responses are pinned bit-identical to one-shot CLI compiles through the
+schedule digest (which mirrors the verify oracles' structural diff), and
+simulate responses ride the exact campaign evaluation path.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro import telemetry
+from repro.campaigns.runner import supervised_evaluate
+from repro.campaigns.spec import Cell, DeviceSpec
+from repro.scheduling.plan_cache import SuppressionPlanCache
+from repro.scheduling.requirement import SuppressionRequirement
+from repro.scheduling.scalebench import bench_circuit
+from repro.scheduling.zzxsched import zzx_schedule
+from repro.serve import (
+    CompileRequest,
+    CompileService,
+    ProtocolError,
+    ReproServer,
+    ServeClient,
+    ServeConfig,
+    ServeError,
+    SimulateRequest,
+    parse_request,
+    schedule_digest,
+)
+from repro.serve.loadtest import one_shot, percentile, run_load_test
+from repro.verify.generators import scale_topology
+from repro.verify.oracles import diff_schedules
+
+#: Small enough to keep the suite quick; real heavy-hex runs in CI smoke.
+DEVICE = "grid:2x3"
+SIM_CELL = Cell("QAOA", 4, "pert+zzx", device=DeviceSpec(rows=2, cols=3))
+
+
+@pytest.fixture(autouse=True)
+def _telemetry_off():
+    telemetry.disable()
+    telemetry.reset()
+    yield
+    telemetry.disable()
+    telemetry.reset()
+
+
+def _schedule(device=DEVICE, circuit="qaoa", seed=0):
+    topology = scale_topology(device)
+    compiled = bench_circuit(topology, circuit, seed=seed)
+    requirement = SuppressionRequirement.from_topology(topology)
+    return zzx_schedule(
+        compiled, topology, requirement, None, SuppressionPlanCache()
+    )
+
+
+class TestProtocol:
+    def test_compile_roundtrip(self):
+        request = parse_request(
+            {"kind": "compile", "device": "eagle", "circuit": "qv", "seed": 3}
+        )
+        assert request == CompileRequest("eagle", "qv", 3)
+        assert parse_request(request.payload()) == request
+
+    def test_simulate_roundtrip(self):
+        request = parse_request(SimulateRequest(SIM_CELL).payload())
+        assert request.cell == SIM_CELL
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "not-an-object",
+            {"kind": "launder"},
+            {"kind": "compile", "circuit": "qaoa"},
+            {"kind": "compile", "device": "eagle"},
+            {"kind": "compile", "device": "eagle", "circuit": "qv", "seed": True},
+            {"kind": "simulate"},
+            {"kind": "simulate", "cell": {"benchmark": "nope"}},
+        ],
+    )
+    def test_malformed_requests_rejected(self, bad):
+        with pytest.raises(ProtocolError):
+            parse_request(bad)
+
+    def test_digest_equivalence_mirrors_oracle_diff(self):
+        """Equal digests <=> empty diff_schedules: the serving layer's
+        equivalence pin is exactly the verify oracle's identity."""
+        a = _schedule()
+        b = _schedule()
+        assert diff_schedules("equiv", a, b) == []
+        assert schedule_digest(a) == schedule_digest(b)
+        c = _schedule(circuit="qv")
+        assert diff_schedules("equiv", a, c) != []
+        assert schedule_digest(a) != schedule_digest(c)
+
+
+class TestCompileService:
+    def test_compile_matches_one_shot_cli_path(self):
+        service = CompileService()
+        response = service.handle(CompileRequest(DEVICE, "qaoa"))
+        assert response["status"] == "ok"
+        direct = one_shot(DEVICE, "qaoa")
+        assert response["digest"] == direct["digest"]
+        assert response["digest"] == schedule_digest(_schedule())
+
+    def test_repeat_compiles_hit_the_plan_cache(self):
+        service = CompileService()
+        first = service.handle(CompileRequest(DEVICE, "qaoa"))
+        misses = service.plan_cache.misses
+        again = service.handle(CompileRequest(DEVICE, "qaoa"))
+        assert again["digest"] == first["digest"]
+        assert service.plan_cache.misses == misses
+        assert service.plan_cache.hits > 0
+
+    def test_unknown_device_becomes_error_response(self):
+        service = CompileService()
+        response = service.handle(CompileRequest("tarantula", "qaoa"))
+        assert response["status"] == "error"
+        assert "tarantula" in response["error"]["message"]
+        assert service.stats()["errors"] == 1
+
+    def test_simulate_matches_campaign_evaluation(self):
+        service = CompileService()
+        response = service.handle(SimulateRequest(SIM_CELL))
+        assert response["status"] == "ok"
+        direct = supervised_evaluate(SIM_CELL)
+        assert response["result"] == direct.result
+
+    def test_repeat_simulates_served_from_store(self):
+        service = CompileService()
+        first = service.handle(SimulateRequest(SIM_CELL))
+        assert first["cached"] is False
+        again = service.handle(SimulateRequest(SIM_CELL))
+        assert again["cached"] is True
+        assert again["result"] == first["result"]
+        assert service.stats()["store_hits"] == 1
+
+    def test_batch_key_groups_by_topology(self):
+        service = CompileService()
+        qaoa = service.batch_key(CompileRequest(DEVICE, "qaoa"))
+        qv = service.batch_key(CompileRequest(DEVICE, "qv"))
+        assert qaoa == qv
+        assert service.batch_key(CompileRequest("falcon", "qaoa")) != qaoa
+        sim = service.batch_key(SimulateRequest(SIM_CELL))
+        assert sim == scale_topology("grid:2x3").fingerprint
+
+
+@pytest.fixture(scope="module")
+def daemon():
+    server = ReproServer(ServeConfig(port=0, workers=2))
+    thread = server.start_background()
+    client = ServeClient(port=server.port)
+    client.wait_ready()
+    yield server, client
+    try:
+        client.shutdown()
+    except ServeError:
+        server.request_stop()
+    thread.join(timeout=10.0)
+
+
+class TestDaemon:
+    def test_health(self, daemon):
+        _, client = daemon
+        health = client.health()
+        assert health["status"] == "ok"
+        assert health["version"] == 1
+
+    def test_served_compile_is_bit_identical_to_one_shot(self, daemon):
+        _, client = daemon
+        response = client.compile(DEVICE, "qaoa")
+        assert response["status"] == "ok"
+        assert response["digest"] == one_shot(DEVICE, "qaoa")["digest"]
+        assert response["batch_size"] >= 1
+
+    def test_served_simulate_matches_campaign_path(self, daemon):
+        _, client = daemon
+        response = client.simulate(SIM_CELL)
+        assert response["status"] == "ok"
+        assert response["result"] == supervised_evaluate(SIM_CELL).result
+
+    def test_concurrent_mixed_requests_all_succeed(self, daemon):
+        _, client = daemon
+        expected = one_shot(DEVICE, "qaoa")["digest"]
+        results, errors = [], []
+
+        def body():
+            mine = ServeClient(port=client.port)
+            for _ in range(4):
+                try:
+                    results.append(mine.compile(DEVICE, "qaoa")["digest"])
+                except ServeError as exc:  # pragma: no cover
+                    errors.append(exc)
+
+        pool = [threading.Thread(target=body) for _ in range(4)]
+        for t in pool:
+            t.start()
+        for t in pool:
+            t.join()
+        assert errors == []
+        assert results == [expected] * 16
+
+    def test_stats_endpoint(self, daemon):
+        _, client = daemon
+        stats = client.stats()
+        assert stats["requests"] >= 1
+        assert stats["batches"] >= 1
+        assert set(stats["plan_cache"]) == {
+            "hits", "misses", "evictions", "size",
+        }
+        assert "queue_depth" in stats
+
+    def test_unknown_path_is_404(self, daemon):
+        _, client = daemon
+        with pytest.raises(ServeError) as info:
+            client._call("GET", "/nope")
+        assert info.value.status == 404
+
+    def test_bad_json_is_400(self, daemon):
+        _, client = daemon
+        with pytest.raises(ServeError) as info:
+            client.request({"kind": "compile", "device": "eagle"})
+        assert info.value.status == 400
+        assert "circuit" in str(info.value)
+
+
+class _SlowService:
+    """Stub service: fixed handling delay, no real compilation."""
+
+    def __init__(self, delay_s: float):
+        self.delay_s = delay_s
+        self.handled = 0
+
+    def batch_key(self, request) -> str:
+        return "slow"
+
+    def note_batch(self, size: int) -> None:
+        pass
+
+    def handle(self, request) -> dict:
+        time.sleep(self.delay_s)
+        self.handled += 1
+        return {"status": "ok"}
+
+    def stats(self) -> dict:
+        return {"requests": self.handled}
+
+
+class TestOverload:
+    def test_full_queue_answers_503_and_recovers(self):
+        config = ServeConfig(
+            port=0, queue_size=2, workers=1, max_batch=1, batch_window_s=0.0
+        )
+        server = ReproServer(config, service=_SlowService(0.15))
+        thread = server.start_background()
+        client = ServeClient(port=server.port)
+        client.wait_ready()
+        try:
+            outcomes = []
+            lock = threading.Lock()
+
+            def body():
+                mine = ServeClient(port=server.port)
+                try:
+                    mine.compile("eagle", "qaoa")
+                    status = 200
+                except ServeError as exc:
+                    status = exc.status
+                with lock:
+                    outcomes.append(status)
+
+            pool = [threading.Thread(target=body) for _ in range(12)]
+            for t in pool:
+                t.start()
+            for t in pool:
+                t.join()
+            assert sorted(set(outcomes)) in ([200, 503], [503, 200])
+            assert outcomes.count(503) >= 1, "bounded queue never overflowed"
+            assert outcomes.count(200) >= 1
+            # Overload must shed load, not wedge the daemon.
+            assert client.compile("eagle", "qaoa")["status"] == "ok"
+        finally:
+            client.shutdown()
+            thread.join(timeout=10.0)
+
+
+class TestLoadTest:
+    def test_percentile(self):
+        values = [1.0, 2.0, 3.0, 4.0]
+        assert percentile(values, 0.0) == 1.0
+        assert percentile(values, 1.0) == 4.0
+        assert percentile(values, 0.5) == 2.5
+        assert percentile([7.0], 0.9) == 7.0
+
+    def test_harness_end_to_end(self):
+        report = run_load_test(
+            requests=8,
+            clients=2,
+            devices=(DEVICE,),
+            circuits=("qaoa", "qv"),
+            config=ServeConfig(port=0, workers=2),
+            check=True,
+        )
+        assert report["ok"] == 8
+        assert report["errors"] == []
+        assert report["equivalence"]["mismatches"] == []
+        assert report["latency"]["p50_s"] > 0
+        assert report["server"]["requests"] >= 10  # 2 warmup + 8 timed

@@ -1,13 +1,16 @@
 """Serving benchmarks: warm daemon round-trips vs cold per-request cost.
 
-Boots one in-process ``repro serve`` daemon and times complete client
-round-trips (HTTP parse, queue, batch, compile, response) with warm
-caches — the steady state the daemon exists for — plus a concurrent
-burst, and the per-request cold-process baseline each request would pay
-without the daemon (fresh interpreter, imports, topology build, cold
-plan cache).  The warm-request/cold-process ratio is the serving layer's
-contribution; through ``scripts/dump_bench.py`` these land in the
-``BENCH_<n>.json`` trend snapshots.
+Boots one in-process ``repro serve`` daemon *per backend* (thread /
+process) and times complete client round-trips (HTTP parse, queue,
+batch, compile, response) with warm caches — the steady state the daemon
+exists for — plus a concurrent burst, and the per-request cold-process
+baseline each request would pay without the daemon (fresh interpreter,
+imports, topology build, cold plan cache).  The warm-request/cold
+ratio is the serving layer's contribution; the thread-vs-process A/B on
+the burst is the multicore story (on a 1-core box the two tie — the
+process pool pays IPC without gaining parallelism).  Through
+``scripts/dump_bench.py`` these land in the ``BENCH_<n>.json`` trend
+snapshots.
 """
 
 from __future__ import annotations
@@ -29,13 +32,17 @@ POINTS = [
 if FULL:
     POINTS.append(("osprey", "qaoa"))
 
+BACKENDS = ("thread", "process")
+
 BURST_CLIENTS = 4
 BURST_PER_CLIENT = 4
 
 
-@pytest.fixture(scope="module")
-def daemon():
-    server = ReproServer(ServeConfig(port=0, workers=4))
+@pytest.fixture(scope="module", params=BACKENDS)
+def daemon(request):
+    server = ReproServer(
+        ServeConfig(port=0, workers=2, backend=request.param)
+    )
     thread = server.start_background()
     client = ServeClient(port=server.port)
     client.wait_ready()
@@ -47,7 +54,8 @@ def daemon():
         client.shutdown()
     except ServeError:
         server.request_stop()
-    thread.join(timeout=10.0)
+    client.close()
+    thread.join(timeout=15.0)
 
 
 @pytest.mark.parametrize("name,kind", POINTS, ids=[f"{n}-{k}" for n, k in POINTS])
@@ -58,18 +66,25 @@ def test_serve_warm_request(benchmark, daemon, name, kind):
 
 
 def test_serve_concurrent_burst(benchmark, daemon):
-    """A 4-client burst of 16 warm eagle requests, wall-clock."""
+    """A 4-client burst of 16 warm eagle requests, wall-clock.
+
+    The thread-vs-process fixture split makes this the CPU-bound
+    throughput A/B: with ≥2 usable cores the process backend's burst
+    should be strictly faster.
+    """
 
     def burst():
         errors = []
 
         def body():
             mine = ServeClient(port=daemon.port)
-            for _ in range(BURST_PER_CLIENT):
-                try:
+            try:
+                for _ in range(BURST_PER_CLIENT):
                     mine.compile("eagle", "qaoa")
-                except ServeError as exc:  # pragma: no cover
-                    errors.append(exc)
+            except ServeError as exc:  # pragma: no cover
+                errors.append(exc)
+            finally:
+                mine.close()
 
         pool = [threading.Thread(target=body) for _ in range(BURST_CLIENTS)]
         for t in pool:

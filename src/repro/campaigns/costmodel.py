@@ -193,6 +193,89 @@ def order_longest_first(
     return [cell for _, cell in indexed]
 
 
+@dataclass(frozen=True)
+class ShardPlan:
+    """Predicted execution of one shard of a sharded campaign.
+
+    What ``repro plan`` prints: how much cell work the shard owns
+    (``est_cell_s``), what the dispatch decision would be on a machine
+    with the given cores/workers, and the resulting predicted wall time
+    (``est_wall_s`` — serial sum, or spawn + warmup + the longest-job /
+    even-split bound under a pool, matching :func:`decide_dispatch`).
+    """
+
+    index: int
+    shards: int
+    cells: int
+    est_cell_s: float
+    est_wall_s: float
+    workers: int
+    mode: str
+    reason: str
+
+    @property
+    def label(self) -> str:
+        return f"{self.index}/{self.shards}"
+
+
+def predict_shards(
+    cells,
+    shards: int = 1,
+    *,
+    requested_workers: int = 1,
+    calibration: CostCalibration | None = None,
+    cores: int | None = None,
+    dispatch: str = "auto",
+) -> list[ShardPlan]:
+    """Predicted per-shard wall time of a sharded campaign (no compute).
+
+    Uses the same deterministic slicing as ``sweep --shard i/N``
+    (:meth:`~repro.campaigns.spec.Shard.select`) and the same cost model
+    as campaign dispatch, so the plan shows exactly what each machine
+    would sign up for.  ``cores`` models the target machines (defaults to
+    this machine's affinity).
+    """
+    from repro.campaigns.spec import Shard
+
+    if shards < 1:
+        raise ValueError(f"shard count must be >= 1, got {shards}")
+    cells = list(cells)
+    calibration = calibration or EMPTY_CALIBRATION
+    plans = []
+    for index in range(shards):
+        mine = Shard(index, shards).select(cells)
+        costs = [calibration.estimate(cell) for cell in mine]
+        est_serial = sum(costs)
+        decision = decide_dispatch(
+            mine,
+            requested_workers,
+            calibration=calibration,
+            cores=cores,
+            dispatch=dispatch,
+        )
+        if decision.serial or not costs:
+            est_wall = est_serial
+        else:
+            est_wall = (
+                SPAWN_COST_S
+                + WORKER_WARMUP_S
+                + max(max(costs), est_serial / decision.workers)
+            )
+        plans.append(
+            ShardPlan(
+                index=index,
+                shards=shards,
+                cells=len(mine),
+                est_cell_s=est_serial,
+                est_wall_s=est_wall,
+                workers=decision.workers,
+                mode=decision.mode,
+                reason=decision.reason,
+            )
+        )
+    return plans
+
+
 DISPATCH_MODES = ("auto", "serial", "parallel")
 
 

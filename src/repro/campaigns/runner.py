@@ -55,6 +55,7 @@ import signal
 import threading
 import time
 import traceback
+from collections.abc import Iterable
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from contextlib import contextmanager
@@ -566,6 +567,21 @@ def _plan_snapshot_for_workers() -> tuple | None:
     return SHARED_PLAN_CACHE.export()
 
 
+def prewarm_worker_parent(methods: Iterable[str]) -> tuple | None:
+    """Warm the caches a forked worker process should inherit.
+
+    The reusable core of the campaign parallel path's parent pre-warm,
+    shared with the ``repro serve`` process backend
+    (:mod:`repro.serve.procpool`): load the pulse libraries in the
+    *parent* so fork-started children get them for free, and return the
+    plan-cache snapshot (None on fork platforms) to hand to
+    :func:`warm_worker` in each child as the spawn-start fallback.
+    """
+    for method in sorted(set(methods)):
+        cached_library(method)
+    return _plan_snapshot_for_workers()
+
+
 #: Snapshot of this worker's one-time warmup cost, consumed by (attached
 #: to) the first cell the worker evaluates.
 _WORKER_WARMUP: dict | None = None
@@ -600,6 +616,11 @@ def _take_worker_warmup() -> dict | None:
     global _WORKER_WARMUP
     snap, _WORKER_WARMUP = _WORKER_WARMUP, None
     return snap
+
+
+#: Public name for the worker-process initializer — the serve process
+#: backend runs the same warm-up in its fork-warm workers.
+warm_worker = _warm_worker
 
 
 @dataclass

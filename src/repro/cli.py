@@ -8,6 +8,9 @@ Subcommands:
   worker processes (``--shard i/N`` runs one machine's deterministic
   slice; ``--dispatch`` overrides the cost model's serial/parallel
   decision);
+- ``plan`` — predict a sweep's per-shard wall time from the campaign
+  cost model without computing anything (``--shards N`` previews an
+  N-machine split; ``--store`` calibrates on measured timings);
 - ``merge`` — union shard stores into one file, bit-identical to a
   single-machine run of the full grid;
 - ``report`` — re-render a stored sweep without computing anything;
@@ -22,9 +25,10 @@ Subcommands:
   converges to the fault-free result;
 - ``stats`` — render a telemetry trace (span tree, cache hit ratios,
   latency percentiles), or diff two traces;
-- ``serve`` — run the compilation-as-a-service daemon: warm caches in
-  one long-lived process answering compile/simulate requests over local
-  HTTP/JSON (see "Serving compiles" in EXPERIMENTS.md);
+- ``serve`` — run the compilation-as-a-service daemon: warm caches
+  answering compile/simulate requests over local HTTP/JSON, on worker
+  threads or fork-warm worker processes (``--backend thread|process``;
+  see "Serving compiles" in EXPERIMENTS.md);
 - ``bench-serve`` — load-test an in-process daemon with concurrent mixed
   workloads and report latency percentiles, batching, and the speedup
   over per-request cold processes.
@@ -59,8 +63,8 @@ from repro.telemetry import get_logger
 logger = get_logger(__name__)
 
 SUBCOMMANDS = (
-    "run", "sweep", "merge", "report", "list", "verify", "sched-bench",
-    "chaos", "stats", "serve", "bench-serve",
+    "run", "sweep", "plan", "merge", "report", "list", "verify",
+    "sched-bench", "chaos", "stats", "serve", "bench-serve",
 )
 
 #: Where ``--telemetry`` without a path writes its trace.
@@ -418,6 +422,88 @@ def _cmd_sweep(args) -> int:
     return 0
 
 
+def _cmd_plan(args) -> int:
+    from repro.campaigns.costmodel import (
+        CostCalibration,
+        available_cores,
+        predict_shards,
+    )
+    from repro.campaigns.spec import Shard
+
+    spec = _checked_spec(args)
+    if spec is None:
+        return 2
+    shards = args.shards
+    only = None
+    if args.shard is not None:
+        try:
+            only = Shard.parse(args.shard)
+        except ValueError as exc:
+            logger.error(f"invalid plan: {exc}")
+            return 2
+        if args.shards != 1 and args.shards != only.count:
+            logger.error(
+                f"invalid plan: --shard {args.shard} conflicts with "
+                f"--shards {args.shards}"
+            )
+            return 2
+        shards = only.count
+    if shards < 1:
+        logger.error(f"invalid plan: --shards must be >= 1, got {shards}")
+        return 2
+    calibration = None
+    source = "heuristic cost model (no measured timings)"
+    if args.store:
+        if not Path(args.store).exists():
+            logger.warning(
+                f"note: store {args.store} does not exist yet — "
+                "planning on heuristics"
+            )
+        else:
+            from repro.campaigns.store import ResultStore
+
+            calibration = CostCalibration.from_records(
+                ResultStore(args.store).records()
+            )
+            source = (
+                f"{len(calibration)} measured cost bucket(s) "
+                f"from {args.store}"
+            )
+    cells = spec.cells()
+    cores = args.cores if args.cores is not None else available_cores()
+    plans = predict_shards(
+        cells,
+        shards,
+        requested_workers=args.workers,
+        calibration=calibration,
+        cores=cores,
+        dispatch=args.dispatch,
+    )
+    print(
+        f"plan: {len(cells)} cells over {shards} shard(s), "
+        f"--workers {args.workers} on {cores} core(s) per machine"
+    )
+    print(f"calibration: {source}")
+    shown = [p for p in plans if only is None or p.index == only.index]
+    for plan in shown:
+        line = (
+            f"  shard {plan.label}: {plan.cells} cells, "
+            f"est {plan.est_cell_s:.1f}s of cell work -> "
+            f"{plan.est_wall_s:.1f}s wall ({plan.mode}"
+        )
+        if plan.mode == "parallel":
+            line += f" x{plan.workers}"
+        print(line + f") — {plan.reason}")
+    if only is None and shards > 1:
+        slowest = max(plans, key=lambda p: p.est_wall_s)
+        print(
+            f"campaign finishes with shard {slowest.label}: "
+            f"est {slowest.est_wall_s:.1f}s wall "
+            f"({sum(p.est_cell_s for p in plans):.1f}s total cell work)"
+        )
+    return 0
+
+
 def _cmd_merge(args) -> int:
     from repro.campaigns.store import StoreMergeError, merge_stores
 
@@ -621,6 +707,7 @@ def _cmd_serve(args) -> int:
         batch_window_s=args.batch_window,
         max_batch=args.max_batch,
         workers=args.serve_workers,
+        backend=args.backend,
         plan_cache_size=args.plan_cache_size,
         store=args.store,
     )
@@ -628,7 +715,8 @@ def _cmd_serve(args) -> int:
     thread = server.start_background()
     print(
         f"repro serve listening on {config.host}:{server.port} "
-        f"({config.workers} workers, queue {config.queue_size}, "
+        f"({config.workers} {config.backend} workers, "
+        f"queue {config.queue_size}, "
         f"batch window {config.batch_window_s * 1000:.0f}ms) — "
         "Ctrl-C or POST /shutdown to stop"
     )
@@ -659,6 +747,7 @@ def _cmd_bench_serve(args) -> int:
         batch_window_s=args.batch_window,
         max_batch=args.max_batch,
         workers=args.serve_workers,
+        backend=args.backend,
     )
     start = time.perf_counter()
     report = run_load_test(
@@ -725,6 +814,42 @@ def build_parser() -> argparse.ArgumentParser:
     _add_sweep_scale_arguments(sweep_parser)
     _add_policy_arguments(sweep_parser)
     sweep_parser.set_defaults(func=_cmd_sweep)
+
+    plan_parser = sub.add_parser(
+        "plan",
+        help="predict a sweep's per-shard wall time from the cost model "
+        "(no computation; --store calibrates on measured timings)",
+    )
+    _add_grid_arguments(plan_parser)
+    plan_parser.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        metavar="N",
+        help="preview an N-machine split (default 1: one machine)",
+    )
+    plan_parser.add_argument(
+        "--cores",
+        type=int,
+        default=None,
+        metavar="N",
+        help="model target machines with N cores (default: this machine)",
+    )
+    from repro.campaigns.costmodel import DISPATCH_MODES
+
+    plan_parser.add_argument(
+        "--dispatch",
+        default="auto",
+        choices=DISPATCH_MODES,
+        help="serial/parallel policy assumed per shard (default auto)",
+    )
+    plan_parser.add_argument(
+        "--shard",
+        default=None,
+        metavar="I/N",
+        help="show only this shard of an N-way split",
+    )
+    plan_parser.set_defaults(func=_cmd_plan)
 
     merge_parser = sub.add_parser(
         "merge",
@@ -968,7 +1093,17 @@ def _add_serve_tuning_arguments(parser: argparse.ArgumentParser) -> None:
         "--serve-workers",
         type=int,
         default=4,
-        help="daemon worker threads (default 4)",
+        help="daemon workers: threads or processes per --backend (default 4)",
+    )
+    parser.add_argument(
+        "--backend",
+        default="thread",
+        # Mirrors repro.serve.daemon.BACKENDS (not imported here: parser
+        # construction must not pay for the serve stack).
+        choices=("thread", "process"),
+        help="batch executor: 'thread' shares every cache in one process "
+        "(GIL-bound); 'process' forks warm worker processes for "
+        "multicore compile scaling (default thread)",
     )
 
 

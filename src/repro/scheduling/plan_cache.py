@@ -139,6 +139,21 @@ class SuppressionPlanCache:
                     added += 1
         return added
 
+    def resize(self, maxsize: int | None) -> None:
+        """Re-bound the cache, evicting oldest entries FIFO if shrinking.
+
+        Lets a serve worker adopt the process-wide
+        :data:`SHARED_PLAN_CACHE` (inherited warm across a fork) while
+        still honoring the daemon's ``--plan-cache-size`` bound.
+        """
+        with self._lock:
+            self.maxsize = maxsize
+            if maxsize is not None:
+                while len(self._plans) > maxsize:
+                    self._plans.pop(next(iter(self._plans)))
+                    self.evictions += 1
+                    counter("plan_cache.evict")
+
     def clear(self) -> None:
         with self._lock:
             self._plans.clear()

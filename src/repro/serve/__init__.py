@@ -4,13 +4,17 @@ A long-lived asyncio process that keeps the warm caches
 (:class:`~repro.scheduling.plan_cache.SuppressionPlanCache`, the pulse
 library cache, per-(library, device, noise)
 :class:`~repro.runtime.backends.LayerPropagatorCache` instances, and a
-campaign :class:`~repro.campaigns.store.ResultStore`) hot in one process
-and serves concurrent compile/simulate requests over a local HTTP/JSON
-protocol — see EXPERIMENTS.md "Serving compiles".
+campaign :class:`~repro.campaigns.store.ResultStore`) hot and serves
+concurrent compile/simulate requests over a local HTTP/JSON protocol
+with keep-alive connections.  Batches execute on a thread pool
+(``--backend thread``) or on fork-warm worker processes
+(``--backend process``, :class:`~repro.serve.procpool.ProcessWorkerPool`)
+for multicore scaling — see EXPERIMENTS.md "Serving compiles".
 """
 
 from repro.serve.client import ServeClient, ServeError
 from repro.serve.daemon import ReproServer, ServeConfig, run_server
+from repro.serve.procpool import ProcessWorkerPool
 from repro.serve.protocol import (
     CompileRequest,
     ProtocolError,
@@ -23,6 +27,7 @@ from repro.serve.service import CompileService
 __all__ = [
     "CompileRequest",
     "CompileService",
+    "ProcessWorkerPool",
     "ProtocolError",
     "ReproServer",
     "ServeClient",

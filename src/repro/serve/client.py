@@ -1,17 +1,20 @@
 """Blocking HTTP/JSON client for the ``repro serve`` daemon.
 
-Standard-library only (:mod:`http.client`), one connection per call —
-the daemon closes connections after each response, and for a local
-socket the reconnect cost is noise next to a compile.  Thread-safe by
-construction: clients hold no mutable state, so the load harness gives
-each worker thread its own instance purely out of politeness.
+Standard-library only (:mod:`http.client`), with **keep-alive**: the
+client holds one persistent connection and reuses it across calls, so a
+session of N requests pays one TCP handshake instead of N.  A connection
+the daemon (or an idle timeout) closed under us is detected on the next
+call and retried once on a fresh connection — requests are pure, so the
+retry is answer-identical.
+
+One client is **not** thread-safe (the cached connection is mutable
+state); give each thread its own instance, as the load harness does.
 """
 
 from __future__ import annotations
 
 import http.client
 import json
-import socket
 import time
 
 from repro.campaigns.spec import Cell
@@ -30,7 +33,7 @@ class ServeError(RuntimeError):
 
 
 class ServeClient:
-    """Talk to one daemon at ``host:port``."""
+    """Talk to one daemon at ``host:port`` over a persistent connection."""
 
     def __init__(
         self,
@@ -41,13 +44,35 @@ class ServeClient:
         self.host = host
         self.port = port
         self.timeout_s = timeout_s
+        self._conn: http.client.HTTPConnection | None = None
 
     # -- transport ----------------------------------------------------------
 
+    def close(self) -> None:
+        """Drop the cached connection (reopened lazily on the next call)."""
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
     def _call(self, method: str, path: str, payload: dict | None = None) -> dict:
-        conn = http.client.HTTPConnection(
-            self.host, self.port, timeout=self.timeout_s
-        )
+        # First attempt may ride a kept-alive connection that the daemon
+        # has since closed; only that case earns one silent retry on a
+        # fresh connection.  Errors on a brand-new connection propagate.
+        reused = self._conn is not None
+        try:
+            return self._call_once(method, path, payload)
+        except (http.client.HTTPException, OSError):
+            self.close()
+            if not reused:
+                raise
+        return self._call_once(method, path, payload)
+
+    def _call_once(self, method: str, path: str, payload: dict | None) -> dict:
+        if self._conn is None:
+            self._conn = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout_s
+            )
+        conn = self._conn
         try:
             body = None if payload is None else json.dumps(payload)
             conn.request(
@@ -58,25 +83,32 @@ class ServeClient:
             )
             response = conn.getresponse()
             raw = response.read()
-            try:
-                data = json.loads(raw.decode() or "{}")
-            except json.JSONDecodeError:
-                raise ServeError(
-                    f"non-JSON answer from {method} {path}: {raw[:200]!r}",
-                    status=response.status,
-                )
-            if response.status != 200:
-                message = (data.get("error") or {}).get(
-                    "message", f"HTTP {response.status}"
-                )
-                raise ServeError(
-                    f"{method} {path} failed: {message}",
-                    status=response.status,
-                    payload=data,
-                )
-            return data
-        finally:
-            conn.close()
+            # The daemon says Connection: close on terminal answers
+            # (shutdown drains, bad requests); honor it so the next call
+            # doesn't try to reuse a half-dead socket.
+            if response.will_close:
+                self.close()
+        except BaseException:
+            # Any transport failure poisons the cached connection.
+            self.close()
+            raise
+        try:
+            data = json.loads(raw.decode() or "{}")
+        except json.JSONDecodeError:
+            raise ServeError(
+                f"non-JSON answer from {method} {path}: {raw[:200]!r}",
+                status=response.status,
+            ) from None
+        if response.status != 200:
+            message = (data.get("error") or {}).get(
+                "message", f"HTTP {response.status}"
+            )
+            raise ServeError(
+                f"{method} {path} failed: {message}",
+                status=response.status,
+                payload=data,
+            )
+        return data
 
     # -- endpoints ----------------------------------------------------------
 
@@ -107,10 +139,10 @@ class ServeClient:
         while True:
             try:
                 return self.health()
-            except (ConnectionError, socket.error, ServeError):
+            except (ConnectionError, ServeError) as exc:
                 if time.monotonic() >= deadline:
                     raise ServeError(
                         f"daemon at {self.host}:{self.port} not ready "
                         f"after {timeout_s:.0f}s"
-                    )
+                    ) from exc
                 time.sleep(0.05)

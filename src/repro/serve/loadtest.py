@@ -151,6 +151,8 @@ def run_load_test(
     report: dict = {
         "requests": requests,
         "clients": clients,
+        "backend": config.backend,
+        "workers": config.workers,
         "devices": list(devices),
         "circuits": list(circuits),
         "seeds": seeds,
@@ -173,21 +175,25 @@ def run_load_test(
         lock = threading.Lock()
 
         def worker(indices):
+            # One keep-alive client (and so one connection) per thread.
             mine = ServeClient(config.host, server.port)
-            for i in indices:
-                combo = workload[i]
-                t_start = time.perf_counter()
-                try:
-                    response = mine.compile(*combo)
-                except ServeError as exc:
+            try:
+                for i in indices:
+                    combo = workload[i]
+                    t_start = time.perf_counter()
+                    try:
+                        response = mine.compile(*combo)
+                    except ServeError as exc:
+                        with lock:
+                            errors.append(f"{combo}: {exc}")
+                        continue
+                    elapsed = time.perf_counter() - t_start
                     with lock:
-                        errors.append(f"{combo}: {exc}")
-                    continue
-                elapsed = time.perf_counter() - t_start
-                with lock:
-                    latencies.append(elapsed)
-                    by_combo[combo].append(elapsed)
-                    service_s.append(response.get("elapsed_s", 0.0))
+                        latencies.append(elapsed)
+                        by_combo[combo].append(elapsed)
+                        service_s.append(response.get("elapsed_s", 0.0))
+            finally:
+                mine.close()
 
         threads = [
             threading.Thread(
@@ -240,6 +246,7 @@ def run_load_test(
             client.shutdown()
         except ServeError:
             server.request_stop()
+        client.close()
         thread.join(timeout=15.0)
 
     if baseline_samples > 0:
@@ -260,7 +267,9 @@ def render(report: dict) -> str:
     """Human-readable summary of a load-test report."""
     lines = [
         f"serve load test: {report['requests']} requests, "
-        f"{report['clients']} clients, {report['combos']} workload combos",
+        f"{report['clients']} clients, {report['combos']} workload combos "
+        f"({report.get('backend', 'thread')} backend, "
+        f"{report.get('workers', '?')} workers)",
         f"warmup {report.get('warmup_s', 0):.3f}s, "
         f"run {report.get('wall_s', 0):.3f}s "
         f"({report.get('throughput_rps', 0)} req/s), "

@@ -16,6 +16,12 @@ Responses always carry ``status`` (``"ok"`` | ``"error"``) plus, on
 success, ``elapsed_s`` (service-side evaluation time) and ``batch_size``
 (how many requests shared the batch that served this one).
 
+HTTP status mirrors the payload (since protocol version 2): ``"ok"``
+rides a 200, handler failures a 500, shutdown-drained requests and queue
+overflow a 503, malformed requests a 400 (or 413 when oversized) — a
+failed compile can never be mistaken for a success by a caller that only
+checks the status line.
+
 :func:`schedule_digest` is the equivalence currency: it hashes the same
 ``(name, qubits, params)`` gate tuples the verify oracles diff
 (:func:`repro.verify.oracles.diff_schedules`), so two schedules share a
@@ -32,7 +38,8 @@ from repro.campaigns.spec import Cell
 from repro.scheduling.layer import Schedule
 
 #: Protocol version, echoed by /health so clients can detect skew.
-PROTOCOL_VERSION = 1
+#: v2: error payloads ride non-200 HTTP statuses; keep-alive connections.
+PROTOCOL_VERSION = 2
 
 REQUEST_KINDS = ("compile", "simulate")
 

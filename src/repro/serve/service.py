@@ -86,8 +86,16 @@ class CompileService:
         prop_cache_size: int | None = DEFAULT_PROP_CACHE_SIZE,
         store: ResultStore | str | None = None,
         policy: RetryPolicy | None = None,
+        plan_cache: SuppressionPlanCache | None = None,
     ):
-        self.plan_cache = SuppressionPlanCache(maxsize=plan_cache_size)
+        # ``plan_cache`` lets a serve worker process adopt the
+        # fork-inherited SHARED_PLAN_CACHE instead of starting cold; the
+        # size bound is applied to whichever instance serves.
+        if plan_cache is None:
+            plan_cache = SuppressionPlanCache(maxsize=plan_cache_size)
+        else:
+            plan_cache.resize(plan_cache_size)
+        self.plan_cache = plan_cache
         self.prop_cache_size = prop_cache_size
         self._prop_caches: dict[tuple, LayerPropagatorCache] = {}
         # No path -> in-memory store: repeat simulate requests are still

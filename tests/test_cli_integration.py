@@ -51,6 +51,48 @@ class TestCLI:
     def test_report_requires_store(self, capsys):
         assert main(["report"]) == 2
 
+    def test_plan_predicts_without_computing(self, capsys):
+        args = [
+            "plan", "--benchmarks", "QAOA,Ising", "--sizes", "4,6",
+            "--configs", "gau+par,pert+zzx", "--shards", "2",
+            "--workers", "4", "--cores", "4",
+        ]
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "8 cells over 2 shard(s)" in out
+        assert "heuristic cost model" in out
+        assert "shard 0/2" in out and "shard 1/2" in out
+        assert "campaign finishes with shard" in out
+
+    def test_plan_calibrates_from_store(self, tmp_path, capsys):
+        store = str(tmp_path / "store.jsonl")
+        sweep = [
+            "--benchmarks", "QAOA", "--sizes", "4",
+            "--configs", "gau+par", "--store", store,
+        ]
+        assert main(["sweep", *sweep]) == 0
+        capsys.readouterr()
+        assert main(["plan", *sweep]) == 0
+        out = capsys.readouterr().out
+        assert "measured cost bucket(s)" in out
+
+    def test_plan_single_shard_view(self, capsys):
+        args = [
+            "plan", "--benchmarks", "QAOA", "--sizes", "4",
+            "--configs", "gau+par,pert+zzx", "--shard", "1/3",
+        ]
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "shard 1/3" in out
+        assert "shard 0/3" not in out
+
+    def test_plan_rejects_bad_inputs(self, capsys):
+        base = ["plan", "--benchmarks", "QAOA", "--sizes", "4"]
+        assert main([*base, "--shard", "5/2"]) == 2
+        assert main([*base, "--shard", "0/2", "--shards", "3"]) == 2
+        assert "conflicts" in capsys.readouterr().err
+        assert main([*base, "--shards", "0"]) == 2
+
     def test_sweep_rejects_bad_inputs(self, capsys):
         assert main(["sweep", "--configs", "gau+zzz"]) == 2
         assert "known:" in capsys.readouterr().err

@@ -11,6 +11,7 @@ from repro.campaigns.costmodel import (
     estimate_cost,
     heuristic_cost,
     order_longest_first,
+    predict_shards,
 )
 from repro.campaigns.runner import (
     _clear_warm_caches,
@@ -164,6 +165,42 @@ class TestDecision:
         decision = decide_dispatch(cells, 4, calibration=cal, cores=8)
         assert decision.serial
         assert "margin" in decision.reason
+
+
+class TestShardPrediction:
+    CELLS = [_cell(circuit_seed=i) for i in range(8)]
+
+    def test_shards_partition_the_grid(self):
+        plans = predict_shards(self.CELLS, 3)
+        assert [p.label for p in plans] == ["0/3", "1/3", "2/3"]
+        assert sum(p.cells for p in plans) == len(self.CELLS)
+        total = sum(p.est_cell_s for p in plans)
+        serial = sum(estimate_cost(c) for c in self.CELLS)
+        assert total == pytest.approx(serial)
+
+    def test_serial_shard_wall_is_its_cell_work(self):
+        (plan,) = predict_shards(self.CELLS, 1, requested_workers=1)
+        assert plan.mode == "serial"
+        assert plan.est_wall_s == pytest.approx(plan.est_cell_s)
+
+    def test_parallel_shard_wall_beats_serial(self):
+        cal = CostCalibration(
+            {cost_features(c.payload()): 5.0 for c in self.CELLS}
+        )
+        (plan,) = predict_shards(
+            self.CELLS, 1, requested_workers=4, calibration=cal, cores=8
+        )
+        assert plan.mode == "parallel" and plan.workers == 4
+        assert plan.est_wall_s < plan.est_cell_s
+
+    def test_deterministic(self):
+        a = predict_shards(self.CELLS, 2, requested_workers=4, cores=4)
+        b = predict_shards(self.CELLS, 2, requested_workers=4, cores=4)
+        assert a == b
+
+    def test_rejects_bad_shard_count(self):
+        with pytest.raises(ValueError, match=">= 1"):
+            predict_shards(self.CELLS, 0)
 
 
 class TestRunnerIntegration:

@@ -7,6 +7,7 @@ schedule digest (which mirrors the verify oracles' structural diff), and
 simulate responses ride the exact campaign evaluation path.
 """
 
+import socket
 import threading
 import time
 
@@ -168,7 +169,8 @@ class TestDaemon:
         _, client = daemon
         health = client.health()
         assert health["status"] == "ok"
-        assert health["version"] == 1
+        assert health["version"] == 2
+        assert health["backend"] == "thread"
 
     def test_served_compile_is_bit_identical_to_one_shot(self, daemon):
         _, client = daemon
@@ -226,6 +228,104 @@ class TestDaemon:
             client.request({"kind": "compile", "device": "eagle"})
         assert info.value.status == 400
         assert "circuit" in str(info.value)
+
+    def test_handler_failure_is_500_not_silent_200(self, daemon):
+        """A failed compile must *raise* at the client — an error payload
+        answered with 200 would read as success to status-line callers."""
+        _, client = daemon
+        with pytest.raises(ServeError) as info:
+            client.compile("tarantula", "qaoa")
+        assert info.value.status == 500
+        assert info.value.payload["status"] == "error"
+        assert "tarantula" in str(info.value)
+
+    def test_keep_alive_reuses_one_connection(self, daemon):
+        """A client session of N requests costs one daemon connection."""
+        server, _ = daemon
+        before = server.connections
+        mine = ServeClient(port=server.port)
+        try:
+            first = mine.compile(DEVICE, "qaoa")
+            again = mine.compile(DEVICE, "qv")
+            stats = mine.stats()
+        finally:
+            mine.close()
+        assert first["status"] == "ok" and again["status"] == "ok"
+        assert stats["connections"] == before + 1
+
+
+def _raw_exchange(port: int, blob: bytes) -> bytes:
+    """Send raw bytes, return everything the daemon answers."""
+    with socket.create_connection(("127.0.0.1", port), timeout=10.0) as sock:
+        sock.sendall(blob)
+        chunks = []
+        while True:
+            chunk = sock.recv(4096)
+            if not chunk:
+                break
+            chunks.append(chunk)
+        return b"".join(chunks)
+
+
+class TestMalformedHTTP:
+    """Junk input earns a diagnosable status line, not a silent close."""
+
+    def test_garbage_request_line_is_400(self, daemon):
+        server, _ = daemon
+        answer = _raw_exchange(server.port, b"GARBAGE\r\n\r\n")
+        assert answer.startswith(b"HTTP/1.1 400 ")
+        assert b"Connection: close" in answer
+        assert b"BadRequest" in answer
+
+    def test_non_integer_content_length_is_400(self, daemon):
+        server, _ = daemon
+        answer = _raw_exchange(
+            server.port,
+            b"POST /request HTTP/1.1\r\nContent-Length: banana\r\n\r\n",
+        )
+        assert answer.startswith(b"HTTP/1.1 400 ")
+        assert b"banana" in answer
+
+    def test_oversized_body_is_413(self, daemon):
+        server, _ = daemon
+        answer = _raw_exchange(
+            server.port,
+            b"POST /request HTTP/1.1\r\nContent-Length: 999999999\r\n\r\n",
+        )
+        assert answer.startswith(b"HTTP/1.1 413 ")
+
+    def test_http_10_connection_closes_after_answer(self, daemon):
+        """_raw_exchange reads to EOF, so an answer proves the daemon
+        honored HTTP/1.0's default close instead of keeping alive."""
+        server, _ = daemon
+        answer = _raw_exchange(
+            server.port, b"GET /health HTTP/1.0\r\n\r\n"
+        )
+        assert answer.startswith(b"HTTP/1.1 200 ")
+        assert b"Connection: close" in answer
+
+
+class TestClient:
+    def test_wait_ready_chains_the_underlying_error(self):
+        """The timeout ServeError must carry the real cause (`from exc`),
+        not discard it — 'not ready' alone is undebuggable."""
+        client = ServeClient(port=1, timeout_s=0.2)
+        with pytest.raises(ServeError) as info:
+            client.wait_ready(timeout_s=0.3)
+        assert "not ready" in str(info.value)
+        assert info.value.__cause__ is not None
+
+    def test_stale_connection_is_retried_once(self, daemon):
+        """A kept-alive connection the daemon dropped must not surface."""
+        server, _ = daemon
+        mine = ServeClient(port=server.port)
+        try:
+            assert mine.health()["status"] == "ok"
+            # Sabotage the cached connection; the next call must recover.
+            mine._conn.sock.close()
+            assert mine.compile(DEVICE, "qaoa")["status"] == "ok"
+        finally:
+            mine.close()
 
 
 class _SlowService:
@@ -286,6 +386,48 @@ class TestOverload:
         finally:
             client.shutdown()
             thread.join(timeout=10.0)
+
+
+class TestShutdownDrain:
+    def test_queued_requests_fail_with_503_not_fake_200(self):
+        """Requests drained at shutdown answer 503/Shutdown — a client
+        must never mistake an unserved request for a success."""
+        config = ServeConfig(
+            port=0, workers=1, max_batch=1, batch_window_s=0.0
+        )
+        server = ReproServer(config, service=_SlowService(0.4))
+        thread = server.start_background()
+        outcomes = []
+        lock = threading.Lock()
+
+        def body():
+            mine = ServeClient(port=server.port)
+            try:
+                response = mine.compile("eagle", "qaoa")
+                status, payload = 200, response
+            except ServeError as exc:
+                status, payload = exc.status, exc.payload
+            finally:
+                mine.close()
+            with lock:
+                outcomes.append((status, payload))
+
+        ServeClient(port=server.port).wait_ready()
+        pool = [threading.Thread(target=body) for _ in range(4)]
+        for t in pool:
+            t.start()
+        time.sleep(0.15)  # first batch in flight, rest queued
+        server.request_stop()
+        for t in pool:
+            t.join(timeout=15.0)
+        thread.join(timeout=15.0)
+        assert len(outcomes) == 4
+        drained = [p for s, p in outcomes if s == 503]
+        assert drained, "no queued request saw the shutdown drain"
+        for payload in drained:
+            assert payload["error"]["type"] == "Shutdown"
+        # The in-flight batch still completed and answered 200.
+        assert any(s == 200 for s, _ in outcomes)
 
 
 class TestLoadTest:
